@@ -1,0 +1,56 @@
+// Ablation: the dynamic incremental scheduler's reverse-phase insertions.
+//
+// The sweep definition (§2.2) allows a forward phase followed by a reverse
+// phase; our dynamic scheduler inserts below-head arrivals into the reverse
+// phase (reads on the way back down). This ablation disables that, leaving
+// forward-only insertion, to quantify how much the reverse phase buys.
+
+#include "bench_common.h"
+
+namespace tapejuke {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  int exit_code = 0;
+  if (!options.Parse(argc, argv,
+                     "Ablation: reverse-phase insertion in the dynamic "
+                     "incremental scheduler",
+                     &exit_code)) {
+    return exit_code;
+  }
+  Table table({"replicas", "reverse_phase", "load", "throughput_req_min",
+               "delay_min"});
+  for (const int nr : {0, 9}) {
+    for (const bool reverse : {true, false}) {
+      ExperimentConfig config = PaperBaseConfig(options);
+      config.layout.num_replicas = nr;
+      config.layout.start_position = nr == 0 ? 0.0 : 1.0;
+      config.algorithm =
+          AlgorithmSpec::Parse("dynamic-max-bandwidth").value();
+      config.algorithm.options.allow_reverse_phase = reverse;
+      for (const CurvePoint& point : LoadSweep(config, options)) {
+        const int64_t load = options.Model() == QueuingModel::kOpen
+                                 ? static_cast<int64_t>(
+                                       point.interarrival_seconds)
+                                 : point.queue_length;
+        table.AddRow({static_cast<int64_t>(nr),
+                      std::string(reverse ? "on" : "off"), load,
+                      point.throughput_req_per_min,
+                      point.mean_delay_minutes});
+      }
+    }
+  }
+  Emit(options, "dynamic max-bandwidth with/without reverse-phase inserts",
+       &table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tapejuke
+
+int main(int argc, char** argv) {
+  return tapejuke::bench::Main(argc, argv);
+}

@@ -1,0 +1,91 @@
+// Ablations of the envelope-extension algorithm's design choices (§3.2):
+// step-5 envelope shrinking and the step-2 replica tie-break, plus the
+// algorithm-behaviour counters that explain *when* each mechanism can fire.
+//
+// Structural finding (documented in EXPERIMENTS.md): with the paper's best
+// layout — full replication at the tape ends — the initial envelope is
+// pinned by cold (non-replicated) requests in the front half of every
+// tape, so no hot replica is ever inside two envelopes at once: step 2
+// never faces a multi-replica choice, and step 5 never finds a shrinkable
+// edge. The shrink machinery only engages for partial replication at the
+// tape ends (extensions into hot regions can then overlap), and even there
+// its effect is small. The step-2 tie-break affects only the advisory
+// assignment, which influences behaviour solely through extension and
+// shrink — so with those quiet, it has no observable effect at all.
+
+#include "bench_common.h"
+#include "sched/envelope_scheduler.h"
+
+namespace tapejuke {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* label;
+  bool shrink;
+  bool paper_tiebreak;
+};
+
+void RunGrid(const BenchOptions& options, const ExperimentConfig& base,
+             const char* title) {
+  const Variant variants[] = {
+      {"full (paper)", true, true},
+      {"no shrink (step 5 off)", false, true},
+      {"naive replica tie-break", true, false},
+  };
+  Table table({"variant", "throughput_req_min", "delay_min", "ext_rounds",
+               "shrink_moves", "multi_choices", "sweep_trims"});
+  for (const Variant& variant : variants) {
+    Jukebox jukebox(base.jukebox);
+    const Catalog catalog =
+        LayoutBuilder::Build(&jukebox, base.layout).value();
+    SchedulerOptions sched_options;
+    sched_options.envelope_shrink = variant.shrink;
+    sched_options.paper_replica_tiebreak = variant.paper_tiebreak;
+    EnvelopeScheduler scheduler(&jukebox, &catalog,
+                                TapePolicy::kMaxBandwidth, sched_options);
+    SimulationConfig sim_config = base.sim;
+    sim_config.workload.queue_length = 60;
+    Simulator sim(&jukebox, &catalog, &scheduler, sim_config);
+    const SimulationResult result = sim.Run();
+    const auto& counters = scheduler.counters();
+    table.AddRow({std::string(variant.label), result.requests_per_minute,
+                  result.mean_delay_minutes, counters.extension_rounds,
+                  counters.shrink_moves, counters.multi_replica_choices,
+                  counters.sweep_trims});
+  }
+  Emit(options, title, &table);
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  int exit_code = 0;
+  if (!options.Parse(argc, argv,
+                     "Ablations: envelope shrinking and replica tie-break",
+                     &exit_code)) {
+    return exit_code;
+  }
+  ExperimentConfig full = PaperBaseConfig(options);
+  full.layout.layout = HotLayout::kVertical;
+  full.layout.num_replicas = 9;
+  full.layout.start_position = 1.0;
+  RunGrid(options, full,
+          "full replication at tape ends (paper's best layout): shrink "
+          "cannot fire");
+
+  ExperimentConfig partial = PaperBaseConfig(options);
+  partial.layout.num_replicas = 3;
+  partial.layout.start_position = 1.0;
+  RunGrid(options, partial,
+          "partial replication (NR-3, horizontal, tape ends): shrink "
+          "engages");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tapejuke
+
+int main(int argc, char** argv) {
+  return tapejuke::bench::Main(argc, argv);
+}

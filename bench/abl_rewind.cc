@@ -1,0 +1,55 @@
+// Ablation: the rewind-before-eject hardware requirement.
+//
+// The paper assumes helical-scan drives that must fully rewind before
+// ejecting — that assumption is why hot data belongs at the *beginning* of
+// the tape without replication (related work [3] shows rewind-to-nearest-
+// zone drives prefer organ-pipe/middle placement instead). This ablation
+// simulates a hypothetical eject-anywhere drive and re-runs the placement
+// comparison: with the rewind gone, the beginning-of-tape advantage should
+// shrink and middle placement become competitive.
+
+#include "bench_common.h"
+
+namespace tapejuke {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  int exit_code = 0;
+  if (!options.Parse(argc, argv,
+                     "Ablation: rewind-before-eject vs eject-anywhere",
+                     &exit_code)) {
+    return exit_code;
+  }
+  Table table({"drive", "placement", "load", "throughput_req_min",
+               "delay_min"});
+  for (const bool rewind : {true, false}) {
+    for (const double sp : {0.0, 0.5, 1.0}) {
+      ExperimentConfig config = PaperBaseConfig(options);
+      config.jukebox.rewind_before_eject = rewind;
+      config.layout.start_position = sp;
+      for (const CurvePoint& point : LoadSweep(config, options)) {
+        const int64_t load = options.Model() == QueuingModel::kOpen
+                                 ? static_cast<int64_t>(
+                                       point.interarrival_seconds)
+                                 : point.queue_length;
+        table.AddRow({std::string(rewind ? "rewind-before-eject"
+                                         : "eject-anywhere"),
+                      "SP-" + std::to_string(sp).substr(0, 3), load,
+                      point.throughput_req_per_min,
+                      point.mean_delay_minutes});
+      }
+    }
+  }
+  Emit(options, "placement sensitivity to the rewind requirement", &table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tapejuke
+
+int main(int argc, char** argv) {
+  return tapejuke::bench::Main(argc, argv);
+}

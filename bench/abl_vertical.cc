@@ -1,0 +1,64 @@
+// Probe of the paper's §4.3 suspicion: "We did not experiment with
+// quantities of hot data larger than the capacity of one tape, but we
+// suspect that a vertical layout in that case would lead to excessive tape
+// switching."
+//
+// With hot data spanning three tapes (PH-30), the vertical layout must
+// bounce between the dedicated hot tapes (each hot request binds to
+// exactly one of them), while the horizontal layout serves hot requests on
+// whichever tape is mounted. This bench measures throughput, delay, and
+// switch rates for both layouts across PH and load.
+
+#include "bench_common.h"
+
+namespace tapejuke {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  int exit_code = 0;
+  if (!options.Parse(argc, argv,
+                     "Ablation: vertical layouts beyond one hot tape "
+                     "(paper §4.3 suspicion)",
+                     &exit_code)) {
+    return exit_code;
+  }
+  Table table({"ph_pct", "layout", "load", "throughput_req_min",
+               "delay_min", "switches_per_h"});
+  for (const int ph : {10, 30}) {
+    for (const HotLayout layout :
+         {HotLayout::kVertical, HotLayout::kHorizontal}) {
+      ExperimentConfig config = PaperBaseConfig(options);
+      config.layout.hot_fraction = ph / 100.0;
+      config.layout.layout = layout;
+      config.layout.start_position = 0.0;
+      // RH scaled so hot data stays "hot" relative to its footprint.
+      config.sim.workload.hot_request_fraction = ph == 10 ? 0.40 : 0.60;
+      for (const CurvePoint& point : LoadSweep(config, options)) {
+        const int64_t load = options.Model() == QueuingModel::kOpen
+                                 ? static_cast<int64_t>(
+                                       point.interarrival_seconds)
+                                 : point.queue_length;
+        table.AddRow({static_cast<int64_t>(ph),
+                      std::string(layout == HotLayout::kVertical
+                                      ? "vertical"
+                                      : "horizontal"),
+                      load, point.throughput_req_per_min,
+                      point.mean_delay_minutes,
+                      point.sim.tape_switches_per_hour});
+      }
+    }
+  }
+  Emit(options, "vertical vs horizontal as hot data outgrows one tape",
+       &table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tapejuke
+
+int main(int argc, char** argv) {
+  return tapejuke::bench::Main(argc, argv);
+}

@@ -1,0 +1,86 @@
+#include "bench_common.h"
+
+#include <sstream>
+
+namespace tapejuke {
+namespace bench {
+
+bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
+                         int* exit_code, FlagSet* extra) {
+  FlagSet local(summary);
+  FlagSet& flags = extra != nullptr ? *extra : local;
+  flags.AddDouble("sim-seconds", &sim_seconds,
+                  "simulated seconds per data point (paper: 10,000,000)");
+  flags.AddInt64("seed", &seed, "workload random seed");
+  flags.AddBool("csv", &csv, "also print CSV blocks");
+  flags.AddString("queuing", &queuing,
+                  "arrival model: closed (constant queue) or open (Poisson)");
+  const Status status = flags.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) {  // --help
+    *exit_code = 0;
+    return false;
+  }
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    *exit_code = 2;
+    return false;
+  }
+  if (queuing != "closed" && queuing != "open") {
+    std::cerr << "--queuing must be 'closed' or 'open'\n";
+    *exit_code = 2;
+    return false;
+  }
+  *exit_code = 0;
+  return true;
+}
+
+ExperimentConfig PaperBaseConfig(const BenchOptions& options) {
+  ExperimentConfig config;
+  config.jukebox.num_tapes = 10;
+  config.jukebox.block_size_mb = 16;
+  config.layout.hot_fraction = 0.10;
+  config.layout.num_replicas = 0;
+  config.layout.start_position = 0.0;
+  config.sim.duration_seconds = options.sim_seconds;
+  config.sim.warmup_seconds = options.sim_seconds * 0.1;
+  config.sim.workload.model = options.Model();
+  config.sim.workload.hot_request_fraction = 0.40;
+  config.sim.workload.seed = static_cast<uint64_t>(options.seed);
+  config.algorithm = AlgorithmSpec::Parse("dynamic-max-bandwidth").value();
+  return config;
+}
+
+std::vector<CurvePoint> LoadSweep(const ExperimentConfig& config,
+                                  const BenchOptions& options) {
+  if (options.Model() == QueuingModel::kOpen) {
+    return OpenThroughputDelayCurve(config, PaperInterarrivals()).value();
+  }
+  return ThroughputDelayCurve(config, PaperQueueLengths()).value();
+}
+
+void Emit(const BenchOptions& options, const std::string& title,
+          Table* table) {
+  std::cout << "\n== " << title << " ==\n";
+  table->PrintText(std::cout);
+  if (options.csv) {
+    std::cout << "\n-- csv --\n";
+    table->PrintCsv(std::cout);
+  }
+}
+
+std::string ParamCaption(const ExperimentConfig& config) {
+  std::ostringstream out;
+  out << "PH-" << static_cast<int>(config.layout.hot_fraction * 100)
+      << " RH-"
+      << static_cast<int>(config.sim.workload.hot_request_fraction * 100)
+      << " NR-" << config.layout.num_replicas << " SP-"
+      << config.layout.start_position << " block-"
+      << config.jukebox.block_size_mb << "MB "
+      << (config.layout.layout == HotLayout::kVertical ? "vertical"
+                                                       : "horizontal")
+      << " " << config.jukebox.num_tapes << " tapes";
+  return out.str();
+}
+
+}  // namespace bench
+}  // namespace tapejuke

@@ -1,0 +1,70 @@
+// Shared helpers for the figure benches: common flags, standard parameter
+// grids, and table emission.
+//
+// Every figure bench prints the same series the paper plots — an aligned
+// text table plus (with --csv) machine-readable CSV. Simulated duration
+// defaults to DefaultSimSeconds() (override with --sim-seconds or the
+// TAPEJUKE_SIM_SECONDS environment variable); the paper used 10M seconds
+// per point.
+
+#ifndef TAPEJUKE_BENCH_BENCH_COMMON_H_
+#define TAPEJUKE_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/tapejuke.h"
+
+namespace tapejuke {
+namespace bench {
+
+/// Flags shared by every figure bench.
+struct BenchOptions {
+  double sim_seconds = DefaultSimSeconds();
+  int64_t seed = 1;
+  bool csv = false;
+  std::string queuing = "closed";  // "closed" or "open"
+
+  /// Parses argv; returns false if the process should exit (help or error;
+  /// error sets a nonzero *exit_code).
+  bool Parse(int argc, char** argv, const std::string& summary,
+             int* exit_code, FlagSet* extra = nullptr);
+
+  QueuingModel Model() const {
+    return queuing == "open" ? QueuingModel::kOpen : QueuingModel::kClosed;
+  }
+};
+
+/// The paper's closed-model load sweep (queue lengths 20..140).
+inline std::vector<int64_t> PaperQueueLengths() {
+  return {20, 40, 60, 80, 100, 120, 140};
+}
+
+/// Open-model interarrival sweep spanning light load to saturation.
+inline std::vector<double> PaperInterarrivals() {
+  return {240, 160, 120, 90, 70, 60, 50};
+}
+
+/// Baseline experiment configuration: PH-10, RH-40, NR-0, SP-0, 16 MB
+/// blocks, 10 x 7 GB tapes, dynamic max-bandwidth.
+ExperimentConfig PaperBaseConfig(const BenchOptions& options);
+
+/// Runs `config` across the standard load sweep for the selected queuing
+/// model and returns curve points.
+std::vector<CurvePoint> LoadSweep(const ExperimentConfig& config,
+                                  const BenchOptions& options);
+
+/// Prints `table` as text, plus CSV when requested.
+void Emit(const BenchOptions& options, const std::string& title,
+          Table* table);
+
+/// Standard header line describing the workload parameters, mirroring the
+/// paper's "PH-10 RH-40 NR-0 SP-0" captions.
+std::string ParamCaption(const ExperimentConfig& config);
+
+}  // namespace bench
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Figure 5: throughput and latency as a function of hot-data placement,
+// no replication.
+//
+// PH-10 RH-40 NR-0, dynamic max-bandwidth. A family of curves for
+// horizontal placements SP in {0, 0.25, 0.5, 0.75, 1.0} plus one vertical
+// layout. Paper answer (Q3): vertical is best except at very high
+// intensity; for horizontal layouts, hot data belongs at the beginning.
+
+#include "bench_common.h"
+
+namespace tapejuke {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  int exit_code = 0;
+  if (!options.Parse(argc, argv,
+                     "Figure 5: hot-data placement without replication",
+                     &exit_code)) {
+    return exit_code;
+  }
+  ExperimentConfig base = PaperBaseConfig(options);
+  std::cout << "Figure 5 | " << ParamCaption(base)
+            << " | dynamic max-bandwidth\n";
+
+  Table table({"placement", "load", "throughput_req_min", "delay_min"});
+  auto sweep = [&](const std::string& label, const ExperimentConfig& cfg) {
+    for (const CurvePoint& point : LoadSweep(cfg, options)) {
+      const int64_t load = options.Model() == QueuingModel::kOpen
+                               ? static_cast<int64_t>(
+                                     point.interarrival_seconds)
+                               : point.queue_length;
+      table.AddRow({label, load, point.throughput_req_per_min,
+                    point.mean_delay_minutes});
+    }
+  };
+
+  for (const double sp : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ExperimentConfig config = base;
+    config.layout.start_position = sp;
+    sweep("SP-" + std::to_string(sp).substr(0, 4), config);
+  }
+  ExperimentConfig vertical = base;
+  vertical.layout.layout = HotLayout::kVertical;
+  sweep("vertical", vertical);
+
+  Emit(options, "placement curves", &table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tapejuke
+
+int main(int argc, char** argv) {
+  return tapejuke::bench::Main(argc, argv);
+}

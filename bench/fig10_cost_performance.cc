@@ -1,0 +1,119 @@
+// Figure 10: cost-effectiveness of replication (§4.8).
+//
+// (a) The analytic storage expansion factor E = 1 + NR * PH as a function
+//     of the replica count and the hot percentage.
+// (b) The cost-performance ratio of replication vs no replication: each
+//     replicated point runs at queue length Q/E (the farm needs E times
+//     more jukeboxes, so each sees 1/E of the workload). Curves for four
+//     skews. Paper answers (Q8): moderate skew can lose a few percent;
+//     very high skew gains ~8% with 2 replicas and ~10% at full
+//     replication (~14% at queue 20); spare-capacity replication is free.
+
+#include "bench_common.h"
+
+namespace tapejuke {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  int64_t base_queue = 60;
+  FlagSet flags("Figure 10: cost-performance of replication");
+  flags.AddInt64("base-queue", &base_queue,
+                 "non-replicated per-jukebox queue length (paper: 60; "
+                 "try 20 for the light-load variant)");
+  int exit_code = 0;
+  if (!options.Parse(argc, argv, "Figure 10", &exit_code, &flags)) {
+    return exit_code;
+  }
+
+  // (a) Expansion factor: analytic, no simulation.
+  Table expansion({"replicas", "PH-5", "PH-10", "PH-20", "PH-30"});
+  expansion.set_precision(2);
+  for (int nr = 0; nr <= 9; ++nr) {
+    expansion.AddRow({static_cast<int64_t>(nr),
+                      LayoutBuilder::ExpansionFactor(0.05, nr),
+                      LayoutBuilder::ExpansionFactor(0.10, nr),
+                      LayoutBuilder::ExpansionFactor(0.20, nr),
+                      LayoutBuilder::ExpansionFactor(0.30, nr)});
+  }
+  Emit(options, "Figure 10(a): expansion factor E = 1 + NR x PH",
+       &expansion);
+
+  // (b) Cost-performance ratio vs replica count, by skew.
+  ExperimentConfig base = PaperBaseConfig(options);
+  base.algorithm = AlgorithmSpec::Parse("envelope-max-bandwidth").value();
+  std::cout << "\nFigure 10(b) | PH-10 | queue " << base_queue
+            << "/E per jukebox | max-bandwidth envelope\n";
+  Table ratio({"rh_pct", "replicas", "expansion", "queue_per_jukebox",
+               "throughput_mb_s", "cost_perf_ratio"});
+  for (const int rh : {20, 40, 60, 80}) {
+    ExperimentConfig config = base;
+    config.sim.workload.hot_request_fraction = rh / 100.0;
+    const auto curve =
+        CostPerformanceCurve(config, base_queue, {0, 1, 2, 3, 5, 7, 9})
+            .value();
+    for (const CostPerformancePoint& point : curve) {
+      ratio.AddRow({static_cast<int64_t>(rh),
+                    static_cast<int64_t>(point.num_replicas),
+                    point.expansion_factor, point.effective_queue,
+                    point.throughput_mb_per_s,
+                    point.cost_performance_ratio});
+    }
+  }
+  Emit(options, "Figure 10(b): cost-performance ratio vs replication",
+       &ratio);
+
+  // Spare-capacity comparison (§4.8): the same (smaller) dataset stored
+  // three ways. "Spread, spare at tape ends" is the natural state of a
+  // gradually filling jukebox — the baseline the paper's "for free"
+  // recommendation upgrades. "Packed" compacts cold data onto as few tapes
+  // as possible (the paper's cost-performance reference scheme); packing is
+  // itself a locality optimization, but it requires rewriting every tape.
+  ExperimentConfig replicated = base;
+  replicated.layout.layout = HotLayout::kVertical;
+  replicated.layout.num_replicas = 9;
+  replicated.layout.start_position = 1.0;
+  replicated.sim.workload.queue_length = base_queue;
+  ExperimentConfig spread = replicated;
+  spread.layout.num_replicas = 0;
+  spread.layout.start_position = 0.0;
+  {
+    Jukebox probe(replicated.jukebox);
+    spread.layout.logical_blocks_override =
+        LayoutBuilder::MaxLogicalBlocks(probe, replicated.layout);
+  }
+  ExperimentConfig packed = spread;
+  packed.layout.pack_cold = true;
+
+  Table spare_table({"scheme", "throughput_mb_s", "delay_min",
+                     "switches_per_h"});
+  const struct {
+    const char* label;
+    const ExperimentConfig* config;
+  } schemes[] = {
+      {"spread, spare space empty", &spread},
+      {"packed onto fewest tapes, rest empty", &packed},
+      {"spread, spare space holds replicas", &replicated},
+  };
+  for (const auto& scheme : schemes) {
+    const ExperimentResult result =
+        ExperimentRunner::Run(*scheme.config).value();
+    spare_table.AddRow({std::string(scheme.label),
+                        result.sim.throughput_mb_per_s,
+                        result.sim.mean_delay_minutes,
+                        result.sim.tape_switches_per_hour});
+  }
+  Emit(options,
+       "spare-capacity schemes: same dataset, replicas 'for free'",
+       &spare_table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tapejuke
+
+int main(int argc, char** argv) {
+  return tapejuke::bench::Main(argc, argv);
+}

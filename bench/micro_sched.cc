@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark): scheduler hot paths.
+//
+// The envelope major rescheduler is O(n^2 * t^2) worst case (§3.3); these
+// benchmarks measure its practical cost as the pending-queue size n and
+// tape count t grow, alongside the greedy rescheduler, the timing model,
+// and the event queue.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/tapejuke.h"
+#include "sim/event_queue.h"
+
+namespace tapejuke {
+namespace {
+
+struct SchedRig {
+  SchedRig(int32_t num_tapes, int32_t num_replicas)
+      : jukebox(MakeJukebox(num_tapes)) {
+    LayoutSpec layout;
+    layout.hot_fraction = 0.10;
+    layout.num_replicas = num_replicas;
+    layout.start_position = num_replicas == 0 ? 0.0 : 1.0;
+    catalog = std::make_unique<Catalog>(
+        LayoutBuilder::Build(&jukebox, layout).value());
+  }
+
+  static JukeboxConfig MakeJukebox(int32_t num_tapes) {
+    JukeboxConfig config;
+    config.num_tapes = num_tapes;
+    config.block_size_mb = 16;
+    return config;
+  }
+
+  std::vector<Request> MakeRequests(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Request> requests;
+    for (int i = 0; i < n; ++i) {
+      requests.push_back(Request{
+          i,
+          static_cast<BlockId>(rng.UniformUint64(
+              static_cast<uint64_t>(catalog->num_blocks()))),
+          0.0});
+    }
+    return requests;
+  }
+
+  Jukebox jukebox;
+  std::unique_ptr<Catalog> catalog;
+};
+
+void BM_EnvelopeUpperEnvelope(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto tapes = static_cast<int32_t>(state.range(1));
+  SchedRig rig(tapes, /*num_replicas=*/tapes - 1);
+  EnvelopeScheduler sched(&rig.jukebox, rig.catalog.get(),
+                          TapePolicy::kMaxBandwidth);
+  const std::vector<Request> requests = rig.MakeRequests(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.ComputeUpperEnvelope(requests));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EnvelopeUpperEnvelope)
+    ->ArgsProduct({{20, 60, 140, 300}, {5, 10}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GreedyMajorReschedule(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  SchedRig rig(10, 0);
+  const std::vector<Request> requests = rig.MakeRequests(n, 7);
+  for (auto _ : state) {
+    GreedyScheduler sched(&rig.jukebox, rig.catalog.get(),
+                          TapePolicy::kMaxBandwidth, /*dynamic=*/true);
+    for (const Request& r : requests) sched.OnArrival(r, 0);
+    benchmark::DoNotOptimize(sched.MajorReschedule());
+  }
+}
+BENCHMARK(BM_GreedyMajorReschedule)
+    ->Arg(20)
+    ->Arg(140)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TimingModelLocate(benchmark::State& state) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.LocateTime(
+        static_cast<Position>(rng.UniformUint64(7168)),
+        static_cast<Position>(rng.UniformUint64(7168))));
+  }
+}
+BENCHMARK(BM_TimingModelLocate);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  EventQueue<int> queue;
+  Rng rng(9);
+  // Steady-state heap of 1024 events.
+  for (int i = 0; i < 1024; ++i) {
+    queue.Schedule(rng.UniformDouble() * 1e6, i);
+  }
+  for (auto _ : state) {
+    auto [time, payload] = queue.Pop();
+    benchmark::DoNotOptimize(payload);
+    queue.Schedule(time + rng.UniformDouble() * 100, payload);
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_FullSimulationRun(benchmark::State& state) {
+  // End-to-end cost of a 100k-second simulated run (dynamic max-bandwidth,
+  // PH-10 RH-40, queue 60).
+  for (auto _ : state) {
+    SchedRig rig(10, 0);
+    GreedyScheduler sched(&rig.jukebox, rig.catalog.get(),
+                          TapePolicy::kMaxBandwidth, true);
+    SimulationConfig config;
+    config.duration_seconds = 100'000;
+    config.warmup_seconds = 0;
+    config.workload.queue_length = 60;
+    Simulator sim(&rig.jukebox, rig.catalog.get(), &sched, config);
+    benchmark::DoNotOptimize(sim.Run());
+  }
+}
+BENCHMARK(BM_FullSimulationRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tapejuke
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Example: capacity planner — should this jukebox replicate its hot data?
+//
+// Encodes the paper's §4.8 decision procedure. Given the workload skew
+// (PH, RH) and per-jukebox load, it reports the storage expansion factor,
+// the cost-performance ratio of replication at equal total cost (a
+// replicated farm needs E times more jukeboxes, so each sees 1/E of the
+// load), the "free" spare-capacity variant, and a recommendation following
+// the paper's concluding rules.
+//
+// Run: ./build/examples/capacity_planner --ph 10 --rh 80 --queue 60
+
+#include <iostream>
+
+#include "core/tapejuke.h"
+
+namespace {
+
+using namespace tapejuke;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double ph = 10.0;
+  double rh = 80.0;
+  int64_t queue = 60;
+  double sim_seconds = 400'000;
+  FlagSet flags("Replication capacity planner (paper Section 4.8)");
+  flags.AddDouble("ph", &ph, "percent of data that is hot");
+  flags.AddDouble("rh", &rh, "percent of requests directed to hot data");
+  flags.AddInt64("queue", &queue, "non-replicated per-jukebox queue length");
+  flags.AddDouble("sim-seconds", &sim_seconds, "simulated seconds per run");
+  const Status status = flags.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return 2;
+  }
+
+  ExperimentConfig base;
+  base.layout.hot_fraction = ph / 100.0;
+  base.sim.workload.hot_request_fraction = rh / 100.0;
+  base.sim.workload.seed = 11;
+  base.sim.duration_seconds = sim_seconds;
+  base.sim.warmup_seconds = sim_seconds * 0.1;
+  base.algorithm = AlgorithmSpec::Parse("envelope-max-bandwidth").value();
+
+  std::cout << "Capacity planner | PH-" << ph << " RH-" << rh << " queue "
+            << queue << "\n\n";
+
+  const auto curve =
+      CostPerformanceCurve(base, queue, {0, 1, 2, 3, 5, 7, 9}).value();
+  Table table({"replicas", "expansion E", "queue/jukebox",
+               "throughput MB/s", "cost-perf ratio"});
+  table.set_precision(3);
+  double best_ratio = 1.0;
+  int best_nr = 0;
+  for (const CostPerformancePoint& point : curve) {
+    table.AddRow({static_cast<int64_t>(point.num_replicas),
+                  point.expansion_factor, point.effective_queue,
+                  point.throughput_mb_per_s,
+                  point.cost_performance_ratio});
+    if (point.cost_performance_ratio > best_ratio) {
+      best_ratio = point.cost_performance_ratio;
+      best_nr = point.num_replicas;
+    }
+  }
+  table.PrintText(std::cout);
+
+  // The §4.8 "free" variant: same dataset, spare space at the tape ends
+  // either left empty (the natural state of a gradually filled jukebox) or
+  // holding replicas of the hot data.
+  ExperimentConfig replicated = base;
+  replicated.layout.layout = HotLayout::kVertical;
+  replicated.layout.num_replicas = 9;
+  replicated.layout.start_position = 1.0;
+  replicated.sim.workload.queue_length = queue;
+  ExperimentConfig spare = replicated;
+  spare.layout.num_replicas = 0;
+  spare.layout.start_position = 0.0;
+  {
+    Jukebox probe(replicated.jukebox);
+    spare.layout.logical_blocks_override =
+        LayoutBuilder::MaxLogicalBlocks(probe, replicated.layout);
+  }
+  const ExperimentResult with_replicas =
+      ExperimentRunner::Run(replicated).value();
+  const ExperimentResult left_empty = ExperimentRunner::Run(spare).value();
+
+  std::cout << "\nSpare-capacity check (same dataset on both):\n";
+  Table spare_table({"scheme", "req/min", "wait (min)"});
+  spare_table.AddRow({std::string("spare space left empty"),
+                      left_empty.sim.requests_per_minute,
+                      left_empty.sim.mean_delay_minutes});
+  spare_table.AddRow({std::string("spare space holds replicas"),
+                      with_replicas.sim.requests_per_minute,
+                      with_replicas.sim.mean_delay_minutes});
+  spare_table.PrintText(std::cout);
+
+  std::cout << "\nRecommendation:\n";
+  if (best_ratio > 1.02) {
+    std::cout << "  * Skew is high enough that replication pays for itself: "
+              << best_nr << " replicas improve cost-performance by "
+              << static_cast<int>((best_ratio - 1.0) * 100 + 0.5) << "%.\n";
+  } else {
+    std::cout << "  * At this skew, buying extra capacity for replicas does "
+                 "not pay (cost-performance ratio <= ~1).\n";
+  }
+  std::cout << "  * Whatever the skew: if the jukebox has spare capacity, "
+               "fill it with replicas\n    of hot data at the tape ends — "
+               "the performance gain is free (see the\n    spare-capacity "
+               "check above).\n"
+            << "  * While the jukebox fills, keep the hottest " << ph
+            << "% of data on a dedicated tape\n    (vertical layout), "
+               "append replicas to the ends of the other tapes, and\n    "
+               "reclaim the replica space as the jukebox approaches "
+               "overflow.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Example: call-detail-record (CDR) mining on tape — an open-queuing
+// workload.
+//
+// A telecom provider keeps months of billing records on a tape jukebox
+// (the paper's motivating scenario: "telecommunication service providers
+// store terabytes of phone call data for billing, data mining, and fraud
+// detection"). Fraud analysts submit sporadic scan requests — a Poisson
+// stream whose rate does not react to how fast the jukebox answers. This
+// example shows the open-queuing behaviour the paper describes: below
+// saturation everything works; past saturation the backlog grows without
+// bound and only *latency* distinguishes the schedulers, not throughput.
+//
+// Run: ./build/examples/cdr_mining [--sim-seconds N]
+
+#include <iostream>
+
+#include "core/tapejuke.h"
+
+namespace {
+
+using namespace tapejuke;
+
+ExperimentConfig CdrBase(double sim_seconds, double interarrival) {
+  ExperimentConfig config;
+  config.jukebox.num_tapes = 10;
+  config.jukebox.block_size_mb = 16;
+  // Recent billing periods are hot: 10% of the data, 70% of the scans.
+  config.layout.hot_fraction = 0.10;
+  config.layout.num_replicas = 9;
+  config.layout.start_position = 1.0;
+  config.sim.workload.model = QueuingModel::kOpen;
+  config.sim.workload.mean_interarrival_seconds = interarrival;
+  config.sim.workload.hot_request_fraction = 0.70;
+  config.sim.workload.seed = 7;
+  config.sim.duration_seconds = sim_seconds;
+  config.sim.warmup_seconds = sim_seconds * 0.1;
+  config.algorithm = AlgorithmSpec::Parse("envelope-max-bandwidth").value();
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sim_seconds = 500'000;
+  FlagSet flags("CDR mining: open-queuing study");
+  flags.AddDouble("sim-seconds", &sim_seconds, "simulated seconds per run");
+  const Status status = flags.Parse(argc, argv);
+  if (status.code() == StatusCode::kNotFound) return 0;
+  if (!status.ok()) {
+    std::cerr << status << "\n";
+    return 2;
+  }
+
+  std::cout << "CDR mining on a 10-tape jukebox; analysts submit Poisson "
+               "scan requests.\n\nLoad sweep (max-bandwidth envelope):\n";
+  Table sweep({"interarrival (s)", "scans/min", "wait (min)",
+               "backlog (avg)"});
+  for (const double gap : {300.0, 150.0, 90.0, 60.0, 45.0}) {
+    const ExperimentResult result =
+        ExperimentRunner::Run(CdrBase(sim_seconds, gap)).value();
+    sweep.AddRow({static_cast<int64_t>(gap),
+                  result.sim.requests_per_minute,
+                  result.sim.mean_delay_minutes,
+                  result.sim.mean_outstanding});
+  }
+  sweep.PrintText(std::cout);
+  std::cout << "Past saturation (~1 scan/min of service capability) the "
+               "backlog explodes:\nthe arrival rate, not the scheduler, "
+               "caps throughput.\n";
+
+  std::cout << "\nScheduler comparison at heavy load (interarrival 55 s):\n";
+  Table algos({"algorithm", "scans/min", "wait (min)"});
+  for (const char* algo :
+       {"static-max-bandwidth", "dynamic-max-bandwidth",
+        "envelope-max-bandwidth"}) {
+    ExperimentConfig config = CdrBase(sim_seconds, 55.0);
+    config.algorithm = AlgorithmSpec::Parse(algo).value();
+    const ExperimentResult result = ExperimentRunner::Run(config).value();
+    algos.AddRow({result.algorithm_name, result.sim.requests_per_minute,
+                  result.sim.mean_delay_minutes});
+  }
+  algos.PrintText(std::cout);
+  std::cout << "\nThroughput is pinned by arrivals; the better schedulers "
+               "show up purely as\nshorter analyst wait times (the paper's "
+               "open-queuing caveat, Sections 4.2/4.4).\n";
+  return 0;
+}

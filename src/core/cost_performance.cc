@@ -1,0 +1,44 @@
+#include "core/cost_performance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tapejuke {
+
+StatusOr<std::vector<CostPerformancePoint>> CostPerformanceCurve(
+    ExperimentConfig base, int64_t base_queue,
+    const std::vector<int32_t>& replica_counts) {
+  std::vector<CostPerformancePoint> curve;
+  base.sim.workload.model = QueuingModel::kClosed;
+
+  double baseline_throughput = 0;
+  for (const int32_t nr : replica_counts) {
+    CostPerformancePoint point;
+    point.num_replicas = nr;
+    point.expansion_factor =
+        LayoutBuilder::ExpansionFactor(base.layout.hot_fraction, nr);
+
+    ExperimentConfig config = base;
+    config.layout.num_replicas = nr;
+    // Best placements (§4.3 / §4.5): the beginning of tape without
+    // replication, the end of tape with replication.
+    config.layout.start_position = nr == 0 ? 0.0 : 1.0;
+    point.effective_queue = std::max<int64_t>(
+        1, std::llround(static_cast<double>(base_queue) /
+                        point.expansion_factor));
+    config.sim.workload.queue_length = point.effective_queue;
+
+    StatusOr<ExperimentResult> result = ExperimentRunner::Run(config);
+    if (!result.ok()) return result.status();
+    point.throughput_mb_per_s = result->sim.throughput_mb_per_s;
+    if (nr == 0) baseline_throughput = point.throughput_mb_per_s;
+    point.cost_performance_ratio =
+        baseline_throughput > 0
+            ? point.throughput_mb_per_s / baseline_throughput
+            : 1.0;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace tapejuke

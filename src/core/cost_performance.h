@@ -1,0 +1,40 @@
+// Cost-performance analysis of replication (paper §4.8, Figure 10).
+//
+// Replication expands storage by E = 1 + NR * PH. A farm serving a fixed
+// total workload with replication needs E times more jukeboxes, so each
+// jukebox sees 1/E of the load: the cost-performance *ratio* of a
+// replicated scheme vs the non-replicated one reduces to the ratio of
+// per-jukebox throughputs, with the replicated jukebox simulated at queue
+// length Q/E instead of Q.
+
+#ifndef TAPEJUKE_CORE_COST_PERFORMANCE_H_
+#define TAPEJUKE_CORE_COST_PERFORMANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// One point of the Figure 10(b) curve family.
+struct CostPerformancePoint {
+  int32_t num_replicas = 0;
+  double expansion_factor = 1.0;        ///< analytic E = 1 + NR * PH
+  int64_t effective_queue = 0;          ///< round(Q / E)
+  double throughput_mb_per_s = 0;       ///< per jukebox at effective queue
+  double cost_performance_ratio = 1.0;  ///< vs the NR = 0 baseline
+};
+
+/// Runs the Figure 10(b) analysis: `base` describes the non-replicated
+/// scheme (its layout.num_replicas and start_position are overridden per
+/// point; replicated points place hot data at the tape end per §4.5).
+/// `base_queue` is the non-replicated per-jukebox queue length.
+StatusOr<std::vector<CostPerformancePoint>> CostPerformanceCurve(
+    ExperimentConfig base, int64_t base_queue,
+    const std::vector<int32_t>& replica_counts);
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_CORE_COST_PERFORMANCE_H_

@@ -1,0 +1,170 @@
+#include "core/farm.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/workload.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tapejuke {
+
+Status FarmConfig::Validate() const {
+  if (num_jukeboxes < 1) {
+    return Status::InvalidArgument("farm needs at least one jukebox");
+  }
+  return per_jukebox.Validate();
+}
+
+struct FarmSimulator::Box {
+  explicit Box(const ExperimentConfig& config)
+      : jukebox(config.jukebox),
+        catalog(LayoutBuilder::Build(&jukebox, config.layout).value()),
+        scheduler(CreateScheduler(config.algorithm, &jukebox, &catalog)) {}
+
+  void AccumulateOutstanding(double now) {
+    outstanding_area += static_cast<double>(outstanding) *
+                        (now - last_transition);
+    last_transition = now;
+  }
+
+  Jukebox jukebox;
+  Catalog catalog;
+  std::unique_ptr<Scheduler> scheduler;
+  std::optional<ServiceEntry> in_flight;
+  bool busy = false;
+  int64_t completions = 0;
+  int64_t outstanding = 0;
+  double last_transition = 0;
+  double outstanding_area = 0;
+};
+
+FarmSimulator::~FarmSimulator() = default;
+
+FarmSimulator::FarmSimulator(const FarmConfig& config) : config_(config) {
+  const Status status = config.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  boxes_.reserve(static_cast<size_t>(config.num_jukeboxes));
+  for (int32_t i = 0; i < config.num_jukeboxes; ++i) {
+    boxes_.push_back(std::make_unique<Box>(config.per_jukebox));
+  }
+}
+
+void FarmSimulator::Dispatch(int box_index, double now) {
+  Box& box = *boxes_[static_cast<size_t>(box_index)];
+  if (box.busy) return;
+  if (box.scheduler->sweep_empty()) {
+    if (!box.scheduler->HasWork()) return;  // idle
+    const TapeId tape = box.scheduler->MajorReschedule();
+    TJ_CHECK_NE(tape, kInvalidTape);
+    const double switch_seconds = box.jukebox.SwitchTo(tape);
+    box.busy = true;
+    events_.Schedule(now + switch_seconds, box_index);
+    return;
+  }
+  const std::optional<ServiceEntry> entry = box.scheduler->PopNext();
+  TJ_CHECK(entry.has_value());
+  const double op_seconds = box.jukebox.ReadBlockAt(entry->position);
+  box.in_flight = *entry;
+  box.busy = true;
+  events_.Schedule(now + op_seconds, box_index);
+}
+
+FarmResult FarmSimulator::Run() {
+  TJ_CHECK(!ran_) << "Run may be called once";
+  ran_ = true;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const SimulationConfig& sim = config_.per_jukebox.sim;
+  const bool closed = sim.workload.model == QueuingModel::kClosed;
+
+  // All boxes share one block generator (identical catalogs) and one
+  // router; both are deterministic in the workload seed.
+  WorkloadGenerator workload(&boxes_.front()->catalog, sim.workload);
+  Rng router(sim.workload.seed ^ 0xfeedfacecafef00dULL);
+  MetricsCollector metrics(sim.warmup_seconds,
+                           config_.per_jukebox.jukebox.block_size_mb);
+
+  auto aggregate_counters = [&]() {
+    JukeboxCounters total;
+    for (const auto& box : boxes_) {
+      const JukeboxCounters& c = box->jukebox.counters();
+      total.tape_switches += c.tape_switches;
+      total.blocks_read += c.blocks_read;
+      total.mb_read += c.mb_read;
+      total.rewind_seconds += c.rewind_seconds;
+      total.switch_seconds += c.switch_seconds;
+      total.locate_seconds += c.locate_seconds;
+      total.read_seconds += c.read_seconds;
+    }
+    return total;
+  };
+
+  auto route = [&](double now) {
+    const auto target = static_cast<int>(
+        router.UniformUint64(static_cast<uint64_t>(boxes_.size())));
+    Box& box = *boxes_[static_cast<size_t>(target)];
+    const Request request = workload.NextRequest(now);
+    metrics.OnArrival(now);
+    box.AccumulateOutstanding(now);
+    ++box.outstanding;
+    box.scheduler->OnArrival(request, box.jukebox.head());
+    Dispatch(target, now);
+  };
+
+  if (closed) {
+    for (int64_t i = 0; i < sim.workload.queue_length; ++i) route(0.0);
+  } else {
+    next_arrival_ = workload.NextInterarrival();
+  }
+  bool warmup_marked = false;
+  auto maybe_warmup = [&]() {
+    if (!warmup_marked && clock_ >= sim.warmup_seconds) {
+      warmup_marked = true;
+      metrics.MarkWarmupBoundary(aggregate_counters());
+    }
+  };
+  maybe_warmup();
+
+  while (clock_ < sim.duration_seconds) {
+    const double event_time = events_.empty() ? kInf : events_.NextTime();
+    const double arrival_time = closed ? kInf : next_arrival_;
+    const double next = std::min(event_time, arrival_time);
+    if (next == kInf || next > sim.duration_seconds) break;
+    clock_ = next;
+
+    if (arrival_time <= event_time) {
+      route(clock_);
+      next_arrival_ = clock_ + workload.NextInterarrival();
+    } else {
+      const auto [time, box_index] = events_.Pop();
+      Box& box = *boxes_[static_cast<size_t>(box_index)];
+      box.busy = false;
+      if (box.in_flight.has_value()) {
+        const ServiceEntry entry = std::move(*box.in_flight);
+        box.in_flight.reset();
+        for (const Request& request : entry.requests) {
+          metrics.OnCompletion(request.arrival_time, clock_);
+          box.AccumulateOutstanding(clock_);
+          --box.outstanding;
+          ++box.completions;
+          if (closed) route(clock_);
+        }
+      }
+      Dispatch(box_index, clock_);
+    }
+    maybe_warmup();
+  }
+  if (!warmup_marked) metrics.MarkWarmupBoundary(aggregate_counters());
+
+  FarmResult result;
+  result.aggregate = metrics.Finalize(clock_, aggregate_counters());
+  for (const auto& box : boxes_) {
+    box->AccumulateOutstanding(clock_);
+    result.completions_per_jukebox.push_back(box->completions);
+    result.mean_outstanding_per_jukebox.push_back(
+        clock_ > 0 ? box->outstanding_area / clock_ : 0.0);
+  }
+  return result;
+}
+
+}  // namespace tapejuke

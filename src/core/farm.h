@@ -1,0 +1,73 @@
+// Jukebox-farm simulation (extension; the §4.8 cost-performance analysis
+// in farm form).
+//
+// The paper's cost-performance argument assumes a farm of n jukeboxes with
+// the total workload "spread evenly over the jukeboxes", so a replicated
+// scheme (E times more jukeboxes) runs each jukebox at queue Q/E. That is
+// an approximation: in a real closed farm the population migrates — a
+// completed request regenerates onto a *random* jukebox, so per-jukebox
+// queue lengths fluctuate around Q/n rather than being pinned there. This
+// simulator implements the real thing: n independent jukeboxes (each with
+// its own tapes, drive, scheduler, and dataset partition) served by one
+// shared request population (closed) or one Poisson stream (open), with
+// uniform routing. The ext_farm bench quantifies how close the paper's
+// fixed-split approximation is.
+
+#ifndef TAPEJUKE_CORE_FARM_H_
+#define TAPEJUKE_CORE_FARM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Farm parameters: n identical jukeboxes, each built from the same
+/// per-jukebox configuration (geometry, layout, algorithm). The workload
+/// section describes the *farm-wide* load: closed queue_length is the total
+/// population; open mean_interarrival_seconds is the farm-wide rate.
+struct FarmConfig {
+  int32_t num_jukeboxes = 2;
+  ExperimentConfig per_jukebox;
+
+  Status Validate() const;
+};
+
+/// Farm results: aggregate metrics plus per-jukebox breakdowns.
+struct FarmResult {
+  SimulationResult aggregate;
+  std::vector<int64_t> completions_per_jukebox;
+  /// Time-averaged outstanding requests per jukebox.
+  std::vector<double> mean_outstanding_per_jukebox;
+};
+
+/// Simulates the farm; deterministic in the workload seed.
+class FarmSimulator {
+ public:
+  explicit FarmSimulator(const FarmConfig& config);
+  ~FarmSimulator();  // defined out of line: Box is incomplete here
+
+  /// Runs to completion; call once.
+  FarmResult Run();
+
+ private:
+  struct Box;  // one jukebox + scheduler + drive state
+
+  void Arrive(const Request& request, double now);
+  void Dispatch(int box_index, double now);
+
+  FarmConfig config_;
+  std::vector<std::unique_ptr<Box>> boxes_;
+  EventQueue<int> events_;  ///< payload: jukebox index
+  double clock_ = 0;
+  double next_arrival_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_CORE_FARM_H_

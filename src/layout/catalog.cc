@@ -1,0 +1,43 @@
+#include "layout/catalog.h"
+
+#include <set>
+
+namespace tapejuke {
+
+Catalog::Catalog(std::vector<std::vector<Replica>> replicas, int64_t num_hot)
+    : replicas_(std::move(replicas)), num_hot_(num_hot), total_copies_(0) {
+  TJ_CHECK_GE(num_hot_, 0);
+  TJ_CHECK_LE(num_hot_, num_blocks());
+  for (const auto& copies : replicas_) {
+    TJ_CHECK(!copies.empty()) << "every block needs at least one replica";
+    std::set<TapeId> tapes;
+    for (const Replica& r : copies) {
+      TJ_CHECK_GE(r.tape, 0);
+      TJ_CHECK_GE(r.slot, 0);
+      TJ_CHECK_GE(r.position, 0);
+      TJ_CHECK(tapes.insert(r.tape).second)
+          << "duplicate replica tape" << r.tape;
+    }
+    total_copies_ += static_cast<int64_t>(copies.size());
+  }
+}
+
+const Replica* Catalog::ReplicaOn(BlockId block, TapeId tape) const {
+  for (const Replica& r : ReplicasOf(block)) {
+    if (r.tape == tape) return &r;
+  }
+  return nullptr;
+}
+
+void Catalog::AddReplica(BlockId block, const Replica& replica) {
+  TJ_CHECK(block >= 0 && block < num_blocks());
+  TJ_CHECK(ReplicaOn(block, replica.tape) == nullptr)
+      << "block already has a copy on tape" << replica.tape;
+  TJ_CHECK_GE(replica.tape, 0);
+  TJ_CHECK_GE(replica.slot, 0);
+  TJ_CHECK_GE(replica.position, 0);
+  replicas_[static_cast<size_t>(block)].push_back(replica);
+  ++total_copies_;
+}
+
+}  // namespace tapejuke

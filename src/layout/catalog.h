@@ -1,0 +1,76 @@
+// Catalog: the mapping from logical blocks to their physical replicas.
+//
+// Logical blocks are numbered [0, L). Blocks [0, H) are hot, [H, L) are
+// cold (the paper's hot/cold skew model). Each block has one or more
+// replicas, each on a distinct tape (at most one copy per tape).
+
+#ifndef TAPEJUKE_LAYOUT_CATALOG_H_
+#define TAPEJUKE_LAYOUT_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tape/types.h"
+#include "util/check.h"
+
+namespace tapejuke {
+
+/// One physical copy of a logical block.
+struct Replica {
+  TapeId tape = kInvalidTape;
+  int64_t slot = -1;
+  Position position = -1;  ///< start position on the tape, MB
+
+  friend bool operator==(const Replica&, const Replica&) = default;
+};
+
+/// Immutable replica directory produced by LayoutBuilder.
+class Catalog {
+ public:
+  /// `replicas[b]` lists the copies of logical block b; blocks [0,
+  /// num_hot) are hot. Every block must have at least one replica.
+  Catalog(std::vector<std::vector<Replica>> replicas, int64_t num_hot);
+
+  /// Number of logical blocks L.
+  int64_t num_blocks() const {
+    return static_cast<int64_t>(replicas_.size());
+  }
+
+  /// Number of hot logical blocks H (ids [0, H)).
+  int64_t num_hot_blocks() const { return num_hot_; }
+
+  /// Number of cold logical blocks L - H.
+  int64_t num_cold_blocks() const { return num_blocks() - num_hot_; }
+
+  /// True if `block` is hot.
+  bool IsHot(BlockId block) const {
+    TJ_DCHECK(block >= 0 && block < num_blocks());
+    return block < num_hot_;
+  }
+
+  /// All replicas of `block` (non-empty, tapes pairwise distinct).
+  const std::vector<Replica>& ReplicasOf(BlockId block) const {
+    TJ_DCHECK(block >= 0 && block < num_blocks());
+    return replicas_[static_cast<size_t>(block)];
+  }
+
+  /// Total number of physical copies across all blocks.
+  int64_t TotalCopies() const { return total_copies_; }
+
+  /// The replica of `block` on `tape`, or nullptr if none.
+  const Replica* ReplicaOn(BlockId block, TapeId tape) const;
+
+  /// Registers an additional copy of `block` (the §4.8 gradual-fill
+  /// lifecycle writes replicas into spare capacity while the system runs).
+  /// The tape must not already hold a copy of the block.
+  void AddReplica(BlockId block, const Replica& replica);
+
+ private:
+  std::vector<std::vector<Replica>> replicas_;
+  int64_t num_hot_;
+  int64_t total_copies_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_LAYOUT_CATALOG_H_

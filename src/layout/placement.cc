@@ -1,0 +1,274 @@
+#include "layout/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+namespace {
+
+/// Number of hot logical blocks for a dataset of L blocks.
+int64_t HotCount(int64_t logical_blocks, double hot_fraction) {
+  return std::llround(hot_fraction * static_cast<double>(logical_blocks));
+}
+
+/// Vertical layout: number of dedicated hot tapes for `hot` hot blocks
+/// (the paper studied exactly one; more than a tapeful generalizes to the
+/// minimal prefix of tapes — see §4.3's untested "excessive switching"
+/// suspicion, probed by the layout tests and abl_vertical bench).
+int32_t VerticalHotTapes(int64_t hot, int64_t slots_per_tape) {
+  if (hot == 0) return 0;
+  return static_cast<int32_t>((hot + slots_per_tape - 1) / slots_per_tape);
+}
+
+/// The tape holding copy `j` (0 = original) of hot block `h`.
+TapeId HotCopyTape(const LayoutSpec& spec, int32_t num_tapes,
+                   int64_t slots_per_tape, int64_t hot, int64_t h,
+                   int32_t j) {
+  if (spec.layout == HotLayout::kHorizontal) {
+    return static_cast<TapeId>((h + j) % num_tapes);
+  }
+  // Vertical: originals packed onto the leading hot tapes; replicas
+  // round-robin over the remaining tapes.
+  const int32_t hot_tapes = VerticalHotTapes(hot, slots_per_tape);
+  if (j == 0) return static_cast<TapeId>(h / slots_per_tape);
+  const int64_t others = num_tapes - hot_tapes;
+  TJ_CHECK_GT(others, 0);
+  return static_cast<TapeId>(
+      hot_tapes + (h * spec.num_replicas + (j - 1)) % others);
+}
+
+/// Per-tape count of hot copies for a dataset of `hot` hot blocks.
+std::vector<int64_t> HotCopiesPerTape(const LayoutSpec& spec,
+                                      int32_t num_tapes,
+                                      int64_t slots_per_tape, int64_t hot) {
+  std::vector<int64_t> counts(static_cast<size_t>(num_tapes), 0);
+  for (int64_t h = 0; h < hot; ++h) {
+    for (int32_t j = 0; j <= spec.num_replicas; ++j) {
+      ++counts[static_cast<size_t>(
+          HotCopyTape(spec, num_tapes, slots_per_tape, hot, h, j))];
+    }
+  }
+  return counts;
+}
+
+/// True if a dataset of `logical` blocks fits the layout.
+bool Fits(const Jukebox& jukebox, const LayoutSpec& spec, int64_t logical) {
+  const int32_t num_tapes = jukebox.num_tapes();
+  const int64_t slots = jukebox.slots_per_tape();
+  const int64_t hot = HotCount(logical, spec.hot_fraction);
+  const int64_t cold = logical - hot;
+  if (hot < 0 || cold < 0) return false;
+  int32_t hot_tapes = 0;
+  if (spec.layout == HotLayout::kVertical) {
+    hot_tapes = VerticalHotTapes(hot, slots);
+    // Replicas and cold data need the non-hot tapes; each replicated
+    // block needs NR distinct non-hot tapes.
+    if (hot_tapes >= num_tapes && cold > 0) return false;
+    if (spec.num_replicas > num_tapes - hot_tapes) return false;
+  }
+  const std::vector<int64_t> hot_counts =
+      HotCopiesPerTape(spec, num_tapes, slots, hot);
+  int64_t cold_capacity = 0;
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    const int64_t used = hot_counts[static_cast<size_t>(t)];
+    if (used > slots) return false;
+    // Vertical dedicates the hot tapes; cold lives elsewhere.
+    if (spec.layout == HotLayout::kVertical && t < hot_tapes) continue;
+    cold_capacity += slots - used;
+  }
+  return cold <= cold_capacity;
+}
+
+}  // namespace
+
+Status LayoutSpec::Validate(const Jukebox& jukebox) const {
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    return Status::InvalidArgument("hot_fraction must be in [0, 1]");
+  }
+  if (start_position < 0.0 || start_position > 1.0) {
+    return Status::InvalidArgument("start_position must be in [0, 1]");
+  }
+  if (num_replicas < 0) {
+    return Status::InvalidArgument("num_replicas must be >= 0");
+  }
+  const int32_t num_tapes = jukebox.num_tapes();
+  if (layout == HotLayout::kHorizontal && num_replicas + 1 > num_tapes) {
+    return Status::InvalidArgument(
+        "horizontal layout needs num_replicas + 1 <= num_tapes (one copy "
+        "per tape)");
+  }
+  if (layout == HotLayout::kVertical) {
+    if (num_tapes < 2 && hot_fraction > 0 && hot_fraction < 1) {
+      return Status::InvalidArgument(
+          "vertical layout needs at least two tapes");
+    }
+    if (num_replicas > num_tapes - 1) {
+      return Status::InvalidArgument(
+          "vertical layout needs num_replicas <= num_tapes - 1");
+    }
+  }
+  if (num_replicas > 0 && hot_fraction == 0.0) {
+    return Status::InvalidArgument(
+        "replication requested but hot_fraction is zero");
+  }
+  if (logical_blocks_override < 0) {
+    return Status::InvalidArgument("logical_blocks_override must be >= 0");
+  }
+  return Status::Ok();
+}
+
+int64_t LayoutBuilder::MaxLogicalBlocks(const Jukebox& jukebox,
+                                        const LayoutSpec& spec) {
+  int64_t lo = 0;
+  int64_t hi = jukebox.total_slots();
+  // Largest L with Fits(L). Fits is monotone in L for these layouts (adding
+  // blocks only adds copies), so binary search applies.
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo + 1) / 2;
+    if (Fits(jukebox, spec, mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+StatusOr<Catalog> LayoutBuilder::Build(Jukebox* jukebox,
+                                       const LayoutSpec& spec) {
+  TJ_CHECK(jukebox != nullptr);
+  TJ_RETURN_IF_ERROR(spec.Validate(*jukebox));
+  const int32_t num_tapes = jukebox->num_tapes();
+  const int64_t slots = jukebox->slots_per_tape();
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    if (jukebox->tape(t).num_blocks() != 0) {
+      return Status::FailedPrecondition(
+          "jukebox tapes must be empty before Build");
+    }
+  }
+
+  int64_t logical = spec.logical_blocks_override;
+  if (logical == 0) {
+    logical = MaxLogicalBlocks(*jukebox, spec);
+    if (logical == 0) {
+      return Status::CapacityExceeded("no dataset fits this layout");
+    }
+  } else if (!Fits(*jukebox, spec, logical)) {
+    return Status::CapacityExceeded(
+        "requested dataset of " + std::to_string(logical) +
+        " blocks does not fit the layout");
+  }
+  const int64_t hot = HotCount(logical, spec.hot_fraction);
+  const int64_t cold = logical - hot;
+
+  // Gather hot copies per tape (block ids, ascending).
+  std::vector<std::vector<BlockId>> hot_on_tape(
+      static_cast<size_t>(num_tapes));
+  for (int64_t h = 0; h < hot; ++h) {
+    for (int32_t j = 0; j <= spec.num_replicas; ++j) {
+      hot_on_tape[static_cast<size_t>(
+                      HotCopyTape(spec, num_tapes, slots, hot, h, j))]
+          .push_back(h);
+    }
+  }
+
+  std::vector<std::vector<Replica>> replicas(static_cast<size_t>(logical));
+  // Track which slots remain free on each tape after hot placement.
+  std::vector<std::vector<int64_t>> free_slots(
+      static_cast<size_t>(num_tapes));
+
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    auto& hot_blocks = hot_on_tape[static_cast<size_t>(t)];
+    const auto n_hot = static_cast<int64_t>(hot_blocks.size());
+    TJ_CHECK_LE(n_hot, slots);
+    // Hot region start slot within this tape.
+    double sp = spec.start_position;
+    if (spec.placement == PlacementScheme::kOrganPipe) sp = 0.5;
+    const auto hot_start = static_cast<int64_t>(
+        std::llround(sp * static_cast<double>(slots - n_hot)));
+    Tape& tape = jukebox->tape(t);
+    for (int64_t i = 0; i < n_hot; ++i) {
+      const int64_t slot = hot_start + i;
+      const BlockId block = hot_blocks[static_cast<size_t>(i)];
+      const Status placed = tape.PlaceBlock(block, slot);
+      TJ_CHECK(placed.ok()) << placed.ToString();
+      replicas[static_cast<size_t>(block)].push_back(
+          Replica{t, slot, tape.PositionOfSlot(slot)});
+    }
+    for (int64_t s = 0; s < slots; ++s) {
+      if (s < hot_start || s >= hot_start + n_hot) {
+        free_slots[static_cast<size_t>(t)].push_back(s);
+      }
+    }
+  }
+
+  // Place cold blocks. Round-robin over eligible tapes (spread), or packed
+  // tape-by-tape (§4.8 spare-capacity variant). Vertical skips tape 0.
+  std::vector<TapeId> eligible;
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    if (spec.layout == HotLayout::kVertical &&
+        t < static_cast<TapeId>((hot + slots - 1) / slots)) {
+      continue;  // dedicated hot tapes hold no cold data
+    }
+    eligible.push_back(t);
+  }
+  std::vector<size_t> next_free(static_cast<size_t>(num_tapes), 0);
+  size_t cursor = 0;
+  for (BlockId c = hot; c < logical; ++c) {
+    // Find the next eligible tape with a free slot.
+    bool placed_block = false;
+    for (size_t tries = 0; tries < eligible.size(); ++tries) {
+      const TapeId t = eligible[cursor % eligible.size()];
+      auto& free = free_slots[static_cast<size_t>(t)];
+      size_t& idx = next_free[static_cast<size_t>(t)];
+      if (idx < free.size()) {
+        const int64_t slot = free[idx++];
+        Tape& tape = jukebox->tape(t);
+        const Status placed = tape.PlaceBlock(c, slot);
+        TJ_CHECK(placed.ok()) << placed.ToString();
+        replicas[static_cast<size_t>(c)].push_back(
+            Replica{t, slot, tape.PositionOfSlot(slot)});
+        placed_block = true;
+        // Spread mode advances to the next tape per block; packed mode
+        // stays on the current tape until it fills.
+        if (!spec.pack_cold) ++cursor;
+        break;
+      }
+      ++cursor;
+    }
+    if (!placed_block) {
+      return Status::Internal("cold placement overflow despite Fits() check");
+    }
+  }
+
+  TJ_CHECK_EQ(cold, logical - hot);
+  return Catalog(std::move(replicas), hot);
+}
+
+LayoutStats LayoutBuilder::ComputeStats(const Jukebox& jukebox,
+                                        const Catalog& catalog) {
+  LayoutStats stats;
+  stats.logical_blocks = catalog.num_blocks();
+  stats.hot_blocks = catalog.num_hot_blocks();
+  stats.cold_blocks = catalog.num_cold_blocks();
+  stats.total_copies = catalog.TotalCopies();
+  stats.total_slots = jukebox.total_slots();
+  int64_t used = 0;
+  for (TapeId t = 0; t < jukebox.num_tapes(); ++t) {
+    used += jukebox.tape(t).num_blocks();
+  }
+  stats.used_slots = used;
+  stats.measured_expansion =
+      stats.logical_blocks > 0
+          ? static_cast<double>(stats.total_copies) /
+                static_cast<double>(stats.logical_blocks)
+          : 1.0;
+  return stats;
+}
+
+}  // namespace tapejuke

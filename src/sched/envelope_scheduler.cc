@@ -1,0 +1,472 @@
+#include "sched/envelope_scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+namespace {
+
+/// Rank of `tape` scanning the jukebox circularly from `origin` (origin
+/// itself has rank 0).
+int32_t ScanRankFrom(TapeId tape, TapeId origin, int32_t num_tapes) {
+  if (origin < 0) origin = 0;
+  origin = origin % num_tapes;
+  return (tape - origin + num_tapes) % num_tapes;
+}
+
+}  // namespace
+
+EnvelopeScheduler::EnvelopeScheduler(const Jukebox* jukebox,
+                                     const Catalog* catalog,
+                                     TapePolicy policy,
+                                     const SchedulerOptions& options)
+    : Scheduler(jukebox, catalog, options), policy_(policy) {}
+
+std::string EnvelopeScheduler::name() const {
+  return std::string(TapePolicyName(policy_)) + " envelope";
+}
+
+const Replica* EnvelopeScheduler::ChooseInsideReplica(
+    const std::vector<const Replica*>& inside,
+    const std::vector<int64_t>& scheduled_per_tape, TapeId mounted) const {
+  TJ_CHECK(!inside.empty());
+  if (!options_.paper_replica_tiebreak) {
+    // Ablation: lowest tape id, ignoring drive state and schedule sizes.
+    return *std::min_element(inside.begin(), inside.end(),
+                             [](const Replica* a, const Replica* b) {
+                               return a->tape < b->tape;
+                             });
+  }
+  const int32_t num_tapes = jukebox_->num_tapes();
+  const Replica* best = nullptr;
+  for (const Replica* replica : inside) {
+    if (replica->tape == mounted) return replica;  // paper: mounted first
+    if (best == nullptr) {
+      best = replica;
+      continue;
+    }
+    const int64_t count = scheduled_per_tape[static_cast<size_t>(
+        replica->tape)];
+    const int64_t best_count =
+        scheduled_per_tape[static_cast<size_t>(best->tape)];
+    if (count > best_count) {
+      best = replica;
+    } else if (count == best_count &&
+               ScanRankFrom(replica->tape, mounted + 1, num_tapes) <
+                   ScanRankFrom(best->tape, mounted + 1, num_tapes)) {
+      best = replica;
+    }
+  }
+  return best;
+}
+
+EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::ComputeUpperEnvelope(
+    const std::vector<Request>& requests) const {
+  const int32_t num_tapes = jukebox_->num_tapes();
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const TapeId mounted = jukebox_->mounted_tape();
+  const Position head = jukebox_->head();
+  const TimingModel& model = jukebox_->model();
+
+  EnvelopeResult result;
+  result.envelope.assign(static_cast<size_t>(num_tapes), 0);
+  result.scheduled_per_tape.assign(static_cast<size_t>(num_tapes), 0);
+  auto& env = result.envelope;
+  auto& counts = result.scheduled_per_tape;
+  // Per-tape assigned requests, keyed by replica position (multimap:
+  // several requests can name the same block).
+  std::vector<std::multimap<Position, Request>> assigned(
+      static_cast<size_t>(num_tapes));
+
+  auto assign = [&](const Request& request, const Replica& replica) {
+    result.assignment[request.id] = replica;
+    ++counts[static_cast<size_t>(replica.tape)];
+    assigned[static_cast<size_t>(replica.tape)].emplace(replica.position,
+                                                        request);
+  };
+
+  // Step 1: the highest non-replicated request on each tape pins the
+  // initial envelope; the mounted tape's envelope covers the head.
+  for (const Request& request : requests) {
+    const auto& replicas = catalog_->ReplicasOf(request.block);
+    if (replicas.size() == 1) {
+      Position& edge = env[static_cast<size_t>(replicas.front().tape)];
+      edge = std::max(edge, replicas.front().position + block_mb);
+    }
+  }
+  if (mounted != kInvalidTape) {
+    env[static_cast<size_t>(mounted)] =
+        std::max(env[static_cast<size_t>(mounted)], head);
+  }
+
+  // Step 2: absorb every request with a replica inside the envelope.
+  std::vector<Request> unscheduled;
+  auto absorb_or_keep = [&](const Request& request) {
+    std::vector<const Replica*> inside;
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (replica.position + block_mb <=
+          env[static_cast<size_t>(replica.tape)]) {
+        inside.push_back(&replica);
+      }
+    }
+    if (inside.empty()) {
+      unscheduled.push_back(request);
+      return;
+    }
+    if (inside.size() > 1) ++counters_.multi_replica_choices;
+    assign(request, *ChooseInsideReplica(inside, counts, mounted));
+  };
+  for (const Request& request : requests) absorb_or_keep(request);
+
+  result.initial_envelope = env;
+  result.initially_unscheduled = unscheduled;
+
+  // Steps 3-6: extend the envelope until every request is scheduled.
+  const int64_t max_shrinks =
+      static_cast<int64_t>(requests.size()) * num_tapes + 16;
+  int64_t shrinks_done = 0;
+  while (!unscheduled.empty()) {
+    // Step 3: per-tape extension lists (unscheduled requests sorted by the
+    // position of their replica on that tape) and incremental bandwidths of
+    // every prefix.
+    struct Ext {
+      Position position;
+      size_t index;  // into `unscheduled`
+    };
+    std::vector<std::vector<Ext>> ext(static_cast<size_t>(num_tapes));
+    for (size_t i = 0; i < unscheduled.size(); ++i) {
+      for (const Replica& replica :
+           catalog_->ReplicasOf(unscheduled[i].block)) {
+        TJ_DCHECK(replica.position >=
+                  env[static_cast<size_t>(replica.tape)]);
+        ext[static_cast<size_t>(replica.tape)].push_back(
+            Ext{replica.position, i});
+      }
+    }
+    for (auto& list : ext) {
+      std::sort(list.begin(), list.end(),
+                [](const Ext& a, const Ext& b) {
+                  return a.position < b.position ||
+                         (a.position == b.position && a.index < b.index);
+                });
+    }
+
+    TapeId best_tape = kInvalidTape;
+    size_t best_len = 0;
+    double best_bw = -1.0;
+    for (TapeId t = 0; t < num_tapes; ++t) {
+      const auto& list = ext[static_cast<size_t>(t)];
+      if (list.empty()) continue;
+      // Previously untouched tapes pay the eject + robot + load surcharge.
+      const double surcharge =
+          (env[static_cast<size_t>(t)] == 0 && t != mounted)
+              ? model.SwitchTime()
+              : 0.0;
+      const Position edge = env[static_cast<size_t>(t)];
+      Position cursor = edge;
+      double outbound = 0.0;
+      int64_t distinct = 0;
+      Position prev = -1;
+      for (size_t k = 0; k < list.size(); ++k) {
+        if (list[k].position != prev) {
+          outbound +=
+              model.LocateAndReadTime(cursor, list[k].position, block_mb);
+          cursor = list[k].position + block_mb;
+          ++distinct;
+          prev = list[k].position;
+        }
+        const double total =
+            surcharge + outbound + model.LocateTime(cursor, edge);
+        const double bandwidth =
+            static_cast<double>(distinct * block_mb) / total;
+        bool better = bandwidth > best_bw;
+        if (!better && bandwidth == best_bw && best_tape != kInvalidTape) {
+          // Ties: most scheduled requests inside the envelope, then
+          // jukebox order.
+          const int64_t c_t = counts[static_cast<size_t>(t)];
+          const int64_t c_b = counts[static_cast<size_t>(best_tape)];
+          better = c_t > c_b ||
+                   (c_t == c_b &&
+                    ScanRankFrom(t, mounted, num_tapes) <
+                        ScanRankFrom(best_tape, mounted, num_tapes));
+        }
+        if (better) {
+          best_bw = bandwidth;
+          best_tape = t;
+          best_len = k + 1;
+        }
+      }
+    }
+    TJ_CHECK_NE(best_tape, kInvalidTape)
+        << "unscheduled request without replicas";
+    ++counters_.extension_rounds;
+
+    // Step 4: extend the envelope over the winning prefix.
+    const auto& winner = ext[static_cast<size_t>(best_tape)];
+    env[static_cast<size_t>(best_tape)] =
+        winner[best_len - 1].position + block_mb;
+    std::vector<bool> scheduled(unscheduled.size(), false);
+    for (size_t k = 0; k < best_len; ++k) {
+      const size_t idx = winner[k].index;
+      TJ_CHECK(!scheduled[idx]);
+      scheduled[idx] = true;
+      assign(unscheduled[idx],
+             Replica{best_tape, winner[k].position / block_mb,
+                     winner[k].position});
+    }
+    std::vector<Request> remaining;
+    remaining.reserve(unscheduled.size() - best_len);
+    for (size_t i = 0; i < unscheduled.size(); ++i) {
+      if (!scheduled[i]) remaining.push_back(unscheduled[i]);
+    }
+    unscheduled = std::move(remaining);
+    // Absorb any request whose replica the extension just enclosed (e.g. a
+    // second request for a block at the new envelope edge).
+    std::vector<Request> still_unscheduled;
+    std::swap(still_unscheduled, unscheduled);
+    for (const Request& request : still_unscheduled) absorb_or_keep(request);
+
+    // Step 5: shrink. A replicated block scheduled at the outer edge of
+    // some tape's envelope that also has a replica inside another tape's
+    // envelope is moved there, and the donor envelope retreats to its
+    // preceding scheduled request.
+    while (options_.envelope_shrink && shrinks_done < max_shrinks) {
+      // Collect shrinkable tapes: edge request has an in-envelope replica
+      // elsewhere.
+      TapeId shrink_tape = kInvalidTape;
+      for (TapeId a = 0; a < num_tapes; ++a) {
+        const auto& on_a = assigned[static_cast<size_t>(a)];
+        if (on_a.empty()) continue;
+        const auto& [edge_pos, edge_req] = *on_a.rbegin();
+        if (edge_pos + block_mb != env[static_cast<size_t>(a)]) continue;
+        bool movable = false;
+        for (const Replica& replica :
+             catalog_->ReplicasOf(edge_req.block)) {
+          if (replica.tape != a &&
+              replica.position + block_mb <=
+                  env[static_cast<size_t>(replica.tape)]) {
+            movable = true;
+            break;
+          }
+        }
+        if (!movable) continue;
+        if (shrink_tape == kInvalidTape ||
+            counts[static_cast<size_t>(a)] <
+                counts[static_cast<size_t>(shrink_tape)] ||
+            (counts[static_cast<size_t>(a)] ==
+                 counts[static_cast<size_t>(shrink_tape)] &&
+             a < shrink_tape)) {
+          shrink_tape = a;
+        }
+      }
+      if (shrink_tape == kInvalidTape) break;
+      ++shrinks_done;
+      ++counters_.shrink_moves;
+
+      auto& on_a = assigned[static_cast<size_t>(shrink_tape)];
+      auto edge_it = std::prev(on_a.end());
+      const Request moved = edge_it->second;
+      std::vector<const Replica*> inside;
+      for (const Replica& replica : catalog_->ReplicasOf(moved.block)) {
+        if (replica.tape != shrink_tape &&
+            replica.position + block_mb <=
+                env[static_cast<size_t>(replica.tape)]) {
+          inside.push_back(&replica);
+        }
+      }
+      TJ_CHECK(!inside.empty());
+      on_a.erase(edge_it);
+      --counts[static_cast<size_t>(shrink_tape)];
+      const Replica* target = ChooseInsideReplica(inside, counts, mounted);
+      assign(moved, *target);
+      // Retreat the donor envelope to its preceding scheduled request (or
+      // the head / beginning of tape).
+      Position base = (shrink_tape == mounted) ? head : 0;
+      if (!on_a.empty()) {
+        base = std::max(base, on_a.rbegin()->first + block_mb);
+      }
+      env[static_cast<size_t>(shrink_tape)] = base;
+    }
+  }
+  return result;
+}
+
+TapeId EnvelopeScheduler::MajorReschedule() {
+  TJ_CHECK(sweep_.empty());
+  if (pending_.empty()) {
+    envelope_valid_ = false;
+    return kInvalidTape;
+  }
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const std::vector<Request> requests(pending_.begin(), pending_.end());
+  ++counters_.major_reschedules;
+  EnvelopeResult result = ComputeUpperEnvelope(requests);
+
+  // Tape choice: apply the policy to the set of requests each tape can
+  // satisfy within the upper envelope (a superset of the per-tape
+  // assignment built above).
+  std::vector<TapeCandidate> candidates(
+      static_cast<size_t>(jukebox_->num_tapes()));
+  for (TapeId t = 0; t < jukebox_->num_tapes(); ++t) {
+    candidates[static_cast<size_t>(t)].tape = t;
+  }
+  const RequestId oldest = pending_.front().id;
+  for (const Request& request : requests) {
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (replica.position + block_mb <=
+          result.envelope[static_cast<size_t>(replica.tape)]) {
+        TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
+        ++c.num_requests;
+        c.positions.push_back(replica.position);
+        if (request.id == oldest) c.serves_oldest = true;
+      }
+    }
+  }
+  const TapeId tape =
+      SelectTape(policy_, candidates, jukebox_->mounted_tape(),
+                 jukebox_->head(), jukebox_->num_tapes(), cost_);
+  TJ_CHECK_NE(tape, kInvalidTape);
+  const Position limit = result.envelope[static_cast<size_t>(tape)];
+  ExtractAndBuildSweep(tape, &limit);
+  TJ_CHECK(!sweep_.empty());
+  envelope_ = std::move(result.envelope);
+  envelope_valid_ = true;
+  return tape;
+}
+
+void EnvelopeScheduler::DeferInOrder(const Request& request) {
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), request.id,
+      [](const Request& r, RequestId id) { return r.id < id; });
+  pending_.insert(it, request);
+}
+
+void EnvelopeScheduler::ShrinkActiveSweep(TapeId extended_tape,
+                                          Position committed_head) {
+  const TapeId mounted = jukebox_->mounted_tape();
+  if (mounted == kInvalidTape || mounted == extended_tape) return;
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  while (!sweep_.empty()) {
+    // The sweep's outermost block: end of the forward phase or start of the
+    // reverse phase, whichever is farther out.
+    Position edge_pos = -1;
+    BlockId edge_block = kInvalidBlock;
+    if (!sweep_.forward().empty()) {
+      edge_pos = sweep_.forward().back().position;
+      edge_block = sweep_.forward().back().block;
+    }
+    if (!sweep_.reverse().empty() &&
+        sweep_.reverse().front().position > edge_pos) {
+      edge_pos = sweep_.reverse().front().position;
+      edge_block = sweep_.reverse().front().block;
+    }
+    // Shrinking only applies when the envelope edge is a scheduled block.
+    if (edge_pos + block_mb !=
+        envelope_[static_cast<size_t>(mounted)]) {
+      return;
+    }
+    const Replica* replica = catalog_->ReplicaOn(edge_block, extended_tape);
+    if (replica == nullptr ||
+        replica->position + block_mb >
+            envelope_[static_cast<size_t>(extended_tape)]) {
+      return;
+    }
+    // Move the edge block's requests off the active sweep; they will be
+    // rescheduled (normally on `extended_tape`) at the next reschedule.
+    std::optional<ServiceEntry> removed = sweep_.RemoveBlock(edge_block);
+    TJ_CHECK(removed.has_value());
+    ++counters_.sweep_trims;
+    for (const Request& request : removed->requests) DeferInOrder(request);
+    Position new_edge = std::max<Position>(committed_head, 0);
+    if (!sweep_.forward().empty()) {
+      new_edge = std::max(new_edge,
+                          sweep_.forward().back().position + block_mb);
+    }
+    if (!sweep_.reverse().empty()) {
+      new_edge = std::max(new_edge,
+                          sweep_.reverse().front().position + block_mb);
+    }
+    envelope_[static_cast<size_t>(mounted)] = new_edge;
+  }
+}
+
+void EnvelopeScheduler::OnArrival(const Request& request,
+                                  Position committed_head) {
+  const TapeId mounted = jukebox_->mounted_tape();
+  if (!envelope_valid_ || sweep_.empty() || mounted == kInvalidTape) {
+    pending_.push_back(request);
+    return;
+  }
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const TimingModel& model = jukebox_->model();
+
+  // (a) Satisfiable by the mounted tape within the upper envelope: insert
+  // into the running sweep like the dynamic incremental scheduler.
+  const Replica* on_mounted = catalog_->ReplicaOn(request.block, mounted);
+  if (on_mounted != nullptr &&
+      on_mounted->position + block_mb <=
+          envelope_[static_cast<size_t>(mounted)] &&
+      sweep_.InsertRequest(request, on_mounted->position, committed_head,
+                           options_.allow_reverse_phase)) {
+    ++counters_.incremental_inserts;
+    return;
+  }
+
+  // (b) A replica inside some tape's envelope: no extension needed; the
+  // request waits for that tape's next visit.
+  for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    if (replica.position + block_mb <=
+        envelope_[static_cast<size_t>(replica.tape)]) {
+      pending_.push_back(request);
+      return;
+    }
+  }
+
+  // (c) Outside the envelope everywhere: apply the extension step (3-5) to
+  // this one request — pick the replica with the cheapest incremental cost.
+  const Replica* best = nullptr;
+  double best_cost = 0;
+  for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    const Position edge = envelope_[static_cast<size_t>(replica.tape)];
+    const double surcharge =
+        (edge == 0 && replica.tape != mounted) ? model.SwitchTime() : 0.0;
+    const double cost =
+        surcharge + model.LocateAndReadTime(edge, replica.position, block_mb) +
+        model.LocateTime(replica.position + block_mb, edge);
+    if (best == nullptr || cost < best_cost) {
+      best = &replica;
+      best_cost = cost;
+    }
+  }
+  TJ_CHECK(best != nullptr);
+
+  if (best->tape == mounted) {
+    if (sweep_.InsertRequest(request, best->position, committed_head,
+                             options_.allow_reverse_phase)) {
+      ++counters_.incremental_inserts;
+      ++counters_.incremental_extensions;
+      envelope_[static_cast<size_t>(mounted)] =
+          std::max(envelope_[static_cast<size_t>(mounted)],
+                   best->position + block_mb);
+      return;
+    }
+    pending_.push_back(request);
+    return;
+  }
+  // Extend the envelope on the winning tape; this can make the mounted
+  // tape's outermost scheduled block redundant (step 5), trimming the
+  // active sweep.
+  ++counters_.incremental_extensions;
+  envelope_[static_cast<size_t>(best->tape)] =
+      std::max(envelope_[static_cast<size_t>(best->tape)],
+               best->position + block_mb);
+  if (options_.envelope_shrink) {
+    ShrinkActiveSweep(best->tape, committed_head);
+  }
+  pending_.push_back(request);
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,110 @@
+// The envelope-extension scheduling algorithm (paper §3.2).
+//
+// Unlike the greedy algorithms, envelope extension takes a global view over
+// all tapes and all replicas. The requests for *non-replicated* blocks pin
+// down an initial "envelope" — the set of tape prefixes that must be
+// traversed no matter what. Requests with a replica inside the envelope are
+// absorbed for free. The remaining requests are scheduled by repeatedly
+// extending the envelope with the extension-list prefix of highest
+// *incremental bandwidth* (bytes fetched per extra second, including the
+// locate out, the reads, the locate back, and a tape-switch surcharge for
+// previously untouched tapes), then shrinking the envelope wherever a
+// just-enclosed replica makes an edge block on another tape redundant.
+//
+// The scheduling-extension problem is NP-hard (Theorem 1); the greedy
+// bandwidth extension is within a harmonic factor of the optimal extension
+// (Theorem 2) — see theory.h for the cost functions used to validate this.
+//
+// When no data are replicated, every request's single replica defines the
+// initial envelope, steps 3-6 have nothing to do, and the algorithm
+// degenerates into the corresponding dynamic greedy algorithm.
+
+#ifndef TAPEJUKE_SCHED_ENVELOPE_SCHEDULER_H_
+#define TAPEJUKE_SCHED_ENVELOPE_SCHEDULER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace tapejuke {
+
+/// Envelope-extension scheduler with a pluggable tape-selection policy
+/// (oldest-request / max-requests / max-bandwidth envelope variants).
+class EnvelopeScheduler : public Scheduler {
+ public:
+  EnvelopeScheduler(const Jukebox* jukebox, const Catalog* catalog,
+                    TapePolicy policy, const SchedulerOptions& options = {});
+
+  std::string name() const override;
+
+  TapePolicy policy() const { return policy_; }
+
+  void OnArrival(const Request& request, Position committed_head) override;
+
+  TapeId MajorReschedule() override;
+
+  /// Output of the upper-envelope computation (exposed for tests and the
+  /// Theorem-2 validation).
+  struct EnvelopeResult {
+    /// Per-tape upper envelope (position up to which the tape prefix is
+    /// traversed; block-aligned).
+    std::vector<Position> envelope;
+    /// Chosen replica for every input request.
+    std::unordered_map<RequestId, Replica> assignment;
+    /// Number of requests assigned per tape.
+    std::vector<int64_t> scheduled_per_tape;
+    /// Per-tape envelope at the end of step 2 (before any extension) and
+    /// the requests that were still unscheduled then — the (S1, remaining)
+    /// pair of Theorems 1-2.
+    std::vector<Position> initial_envelope;
+    std::vector<Request> initially_unscheduled;
+  };
+
+  /// Runs steps 1-6 of the major rescheduler on `requests` against the
+  /// current drive state. Pure (does not modify scheduler state).
+  EnvelopeResult ComputeUpperEnvelope(
+      const std::vector<Request>& requests) const;
+
+  /// The upper envelope persisted from the last major reschedule (empty
+  /// before the first). For inspection in tests.
+  const std::vector<Position>& current_envelope() const { return envelope_; }
+
+  /// Algorithm-behaviour counters (cumulative over the scheduler's life).
+  struct EnvelopeCounters {
+    int64_t major_reschedules = 0;
+    int64_t extension_rounds = 0;     ///< step 3-4 iterations
+    int64_t shrink_moves = 0;         ///< step 5 reassignments
+    int64_t multi_replica_choices = 0;  ///< step-2 picks among >1 option
+    int64_t incremental_inserts = 0;  ///< arrivals inserted into the sweep
+    int64_t incremental_extensions = 0;  ///< arrivals that extended the envelope
+    int64_t sweep_trims = 0;          ///< active-sweep blocks removed by shrink
+  };
+  const EnvelopeCounters& counters() const { return counters_; }
+
+ private:
+  /// Picks a replica for a request among `inside` (replicas inside the
+  /// envelope) per the step-2 tie-break. Requires `inside` non-empty.
+  const Replica* ChooseInsideReplica(
+      const std::vector<const Replica*>& inside,
+      const std::vector<int64_t>& scheduled_per_tape, TapeId mounted) const;
+
+  /// Step 5: shrink the active sweep's envelope after `extended_tape` was
+  /// extended (incremental variant): any block scheduled at the outer edge
+  /// of the mounted tape's envelope that has a replica inside the extended
+  /// tape's envelope is removed from the sweep, its requests re-deferred.
+  void ShrinkActiveSweep(TapeId extended_tape, Position committed_head);
+
+  /// Re-adds `request` to the pending list keeping arrival (id) order.
+  void DeferInOrder(const Request& request);
+
+  TapePolicy policy_;
+  std::vector<Position> envelope_;  ///< persisted between major reschedules
+  bool envelope_valid_ = false;
+  mutable EnvelopeCounters counters_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SCHED_ENVELOPE_SCHEDULER_H_

@@ -1,0 +1,49 @@
+#include "sched/fifo_scheduler.h"
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+FifoScheduler::FifoScheduler(const Jukebox* jukebox, const Catalog* catalog,
+                             const SchedulerOptions& options)
+    : Scheduler(jukebox, catalog, options) {}
+
+void FifoScheduler::OnArrival(const Request& request,
+                              Position committed_head) {
+  (void)committed_head;
+  pending_.push_back(request);
+}
+
+TapeId FifoScheduler::MajorReschedule() {
+  if (pending_.empty()) return kInvalidTape;
+  const Request oldest = pending_.front();
+  pending_.pop_front();
+
+  // Prefer a replica on the mounted tape; otherwise the first replica.
+  const Replica* chosen =
+      catalog_->ReplicaOn(oldest.block, jukebox_->mounted_tape());
+  if (chosen == nullptr) chosen = &catalog_->ReplicasOf(oldest.block).front();
+
+  ServiceEntry entry{chosen->position, oldest.block, {oldest}};
+  // Other pending requests for the same block ride along for free.
+  std::deque<Request> keep;
+  for (const Request& request : pending_) {
+    if (request.block == oldest.block) {
+      entry.requests.push_back(request);
+    } else {
+      keep.push_back(request);
+    }
+  }
+  pending_ = std::move(keep);
+
+  const Position start_head =
+      (chosen->tape == jukebox_->mounted_tape()) ? jukebox_->head() : 0;
+  if (entry.position >= start_head) {
+    sweep_.AppendForward(entry);
+  } else {
+    sweep_.AppendReverse(entry);
+  }
+  return chosen->tape;
+}
+
+}  // namespace tapejuke

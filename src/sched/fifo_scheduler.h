@@ -1,0 +1,36 @@
+// FIFO baseline: service requests strictly in arrival order (paper §3.1).
+//
+// Every retrieval typically pays a tape switch and a long locate; the paper
+// uses FIFO as the "terrible" baseline whose throughput/delay curve is a
+// vertical line. The only concession made here is that additional pending
+// requests for the *same block* are satisfied by the same read (which costs
+// nothing extra).
+
+#ifndef TAPEJUKE_SCHED_FIFO_SCHEDULER_H_
+#define TAPEJUKE_SCHED_FIFO_SCHEDULER_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace tapejuke {
+
+/// First-in-first-out scheduler.
+class FifoScheduler : public Scheduler {
+ public:
+  FifoScheduler(const Jukebox* jukebox, const Catalog* catalog,
+                const SchedulerOptions& options = {});
+
+  std::string name() const override { return "fifo"; }
+
+  /// FIFO always defers arrivals to the pending list.
+  void OnArrival(const Request& request, Position committed_head) override;
+
+  /// Services the single oldest pending request (preferring a replica on
+  /// the mounted tape when the block is replicated).
+  TapeId MajorReschedule() override;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SCHED_FIFO_SCHEDULER_H_

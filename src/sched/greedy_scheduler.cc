@@ -1,0 +1,49 @@
+#include "sched/greedy_scheduler.h"
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+GreedyScheduler::GreedyScheduler(const Jukebox* jukebox,
+                                 const Catalog* catalog, TapePolicy policy,
+                                 bool dynamic,
+                                 const SchedulerOptions& options)
+    : Scheduler(jukebox, catalog, options),
+      policy_(policy),
+      dynamic_(dynamic) {}
+
+std::string GreedyScheduler::name() const {
+  return std::string(dynamic_ ? "dynamic " : "static ") +
+         TapePolicyName(policy_);
+}
+
+void GreedyScheduler::OnArrival(const Request& request,
+                                Position committed_head) {
+  if (dynamic_ && !sweep_.empty()) {
+    const TapeId mounted = jukebox_->mounted_tape();
+    const Replica* replica =
+        (mounted == kInvalidTape)
+            ? nullptr
+            : catalog_->ReplicaOn(request.block, mounted);
+    if (replica != nullptr &&
+        sweep_.InsertRequest(request, replica->position, committed_head,
+                             options_.allow_reverse_phase)) {
+      return;
+    }
+  }
+  pending_.push_back(request);
+}
+
+TapeId GreedyScheduler::MajorReschedule() {
+  TJ_CHECK(sweep_.empty());
+  if (pending_.empty()) return kInvalidTape;
+  const TapeId tape =
+      SelectTape(policy_, BuildCandidates(), jukebox_->mounted_tape(),
+                 jukebox_->head(), jukebox_->num_tapes(), cost_);
+  TJ_CHECK_NE(tape, kInvalidTape);
+  ExtractAndBuildSweep(tape, /*envelope_limit=*/nullptr);
+  TJ_CHECK(!sweep_.empty());
+  return tape;
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,31 @@
+// Retrieval request representation (paper §2.2 service model).
+//
+// The unit of I/O is one fixed-size logical block; each request names one
+// block. Requests carry their arrival time so the metrics layer can compute
+// response delays, and a monotonically increasing id that doubles as the
+// arrival order ("oldest request" policies use it).
+
+#ifndef TAPEJUKE_SCHED_REQUEST_H_
+#define TAPEJUKE_SCHED_REQUEST_H_
+
+#include <cstdint>
+
+#include "tape/types.h"
+
+namespace tapejuke {
+
+/// Unique request identifier; ids increase in arrival order.
+using RequestId = int64_t;
+
+/// One pending block-read request.
+struct Request {
+  RequestId id = -1;
+  BlockId block = kInvalidBlock;
+  double arrival_time = 0.0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SCHED_REQUEST_H_

@@ -1,0 +1,133 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+#include "sched/sweep_builder.h"
+#include "util/check.h"
+
+namespace tapejuke {
+
+const char* TapePolicyName(TapePolicy policy) {
+  switch (policy) {
+    case TapePolicy::kRoundRobin:
+      return "round-robin";
+    case TapePolicy::kMaxRequests:
+      return "max-requests";
+    case TapePolicy::kMaxBandwidth:
+      return "max-bandwidth";
+    case TapePolicy::kOldestMaxRequests:
+      return "oldest-max-requests";
+    case TapePolicy::kOldestMaxBandwidth:
+      return "oldest-max-bandwidth";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Rank of `tape` in jukebox scan order starting at `origin` (origin itself
+/// first). Lower rank wins ties.
+int32_t ScanRank(TapeId tape, TapeId origin, int32_t num_tapes) {
+  if (origin < 0) origin = 0;
+  return (tape - origin + num_tapes) % num_tapes;
+}
+
+}  // namespace
+
+TapeId SelectTape(TapePolicy policy, const std::vector<TapeCandidate>& tapes,
+                  TapeId mounted, Position head, int32_t num_tapes,
+                  const ScheduleCost& cost) {
+  // Collect candidates with work, honoring the oldest-request restriction.
+  const bool restrict_oldest = policy == TapePolicy::kOldestMaxRequests ||
+                               policy == TapePolicy::kOldestMaxBandwidth;
+  std::vector<const TapeCandidate*> eligible;
+  for (const TapeCandidate& c : tapes) {
+    if (c.num_requests <= 0) continue;
+    if (restrict_oldest && !c.serves_oldest) continue;
+    eligible.push_back(&c);
+  }
+  if (eligible.empty()) return kInvalidTape;
+
+  if (policy == TapePolicy::kRoundRobin) {
+    // Next tape in jukebox order strictly after the mounted tape (wrapping;
+    // the mounted tape itself is considered last).
+    const TapeCandidate* best = nullptr;
+    int32_t best_rank = num_tapes + 1;
+    for (const TapeCandidate* c : eligible) {
+      // Rank 0 (the mounted tape) maps to num_tapes: visited last.
+      int32_t rank = ScanRank(c->tape, mounted, num_tapes);
+      if (rank == 0) rank = num_tapes;
+      if (rank < best_rank) {
+        best_rank = rank;
+        best = c;
+      }
+    }
+    return best->tape;
+  }
+
+  const bool by_bandwidth = policy == TapePolicy::kMaxBandwidth ||
+                            policy == TapePolicy::kOldestMaxBandwidth;
+  const TapeCandidate* best = nullptr;
+  double best_score = -1;
+  int32_t best_rank = num_tapes + 1;
+  for (const TapeCandidate* c : eligible) {
+    double score;
+    if (by_bandwidth) {
+      score =
+          cost.EstimateVisit(c->tape, mounted, head, c->positions)
+              .BandwidthMBps();
+    } else {
+      score = static_cast<double>(c->num_requests);
+    }
+    const int32_t rank = ScanRank(c->tape, mounted, num_tapes);
+    if (score > best_score ||
+        (score == best_score && rank < best_rank)) {
+      best_score = score;
+      best_rank = rank;
+      best = c;
+    }
+  }
+  return best->tape;
+}
+
+Scheduler::Scheduler(const Jukebox* jukebox, const Catalog* catalog,
+                     const SchedulerOptions& options)
+    : jukebox_(jukebox),
+      catalog_(catalog),
+      options_(options),
+      cost_(&jukebox->model(), jukebox->config().block_size_mb) {
+  TJ_CHECK(jukebox != nullptr);
+  TJ_CHECK(catalog != nullptr);
+}
+
+std::vector<TapeCandidate> Scheduler::BuildCandidates() const {
+  std::vector<TapeCandidate> candidates(
+      static_cast<size_t>(jukebox_->num_tapes()));
+  for (TapeId t = 0; t < jukebox_->num_tapes(); ++t) {
+    candidates[static_cast<size_t>(t)].tape = t;
+  }
+  const BlockId oldest_block =
+      pending_.empty() ? kInvalidBlock : pending_.front().block;
+  for (const Request& request : pending_) {
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
+      ++c.num_requests;
+      c.positions.push_back(replica.position);
+      if (request.block == oldest_block && request.id == pending_.front().id) {
+        c.serves_oldest = true;
+      }
+    }
+  }
+  return candidates;
+}
+
+void Scheduler::ExtractAndBuildSweep(TapeId tape,
+                                     const Position* envelope_limit) {
+  const Position start_head =
+      (tape == jukebox_->mounted_tape()) ? jukebox_->head() : 0;
+  ExtractSweepForTape(*catalog_, tape, start_head,
+                      jukebox_->config().block_size_mb, envelope_limit,
+                      &pending_, &sweep_);
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,137 @@
+// Scheduler interface (paper §2.2 service model).
+//
+// A scheduling algorithm is a *major rescheduler* that runs at tape-switch
+// time (whenever the service list is empty): it chooses the next tape and
+// builds a retrieval sweep from the pending list; plus an *incremental
+// scheduler* that handles requests arriving during sweep execution, either
+// inserting them into the running sweep or deferring them to the pending
+// list. The simulator drives this interface through the four-step service
+// cycle.
+
+#ifndef TAPEJUKE_SCHED_SCHEDULER_H_
+#define TAPEJUKE_SCHED_SCHEDULER_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "layout/catalog.h"
+#include "sched/request.h"
+#include "sched/schedule_cost.h"
+#include "sched/sweep.h"
+#include "tape/jukebox.h"
+#include "tape/types.h"
+
+namespace tapejuke {
+
+/// Tape selection policy applied by the major rescheduler (paper §3.1).
+enum class TapePolicy {
+  kRoundRobin,          ///< next tape in jukebox order with pending work
+  kMaxRequests,         ///< tape with the most satisfiable pending requests
+  kMaxBandwidth,        ///< tape with the highest effective bandwidth
+  kOldestMaxRequests,   ///< serves the oldest request; ties by max requests
+  kOldestMaxBandwidth,  ///< serves the oldest request; ties by max bandwidth
+};
+
+/// Short lowercase name ("max-bandwidth", ...) for display.
+const char* TapePolicyName(TapePolicy policy);
+
+/// Behaviour knobs shared by all schedulers (ablation switches).
+struct SchedulerOptions {
+  /// Allow the incremental scheduler to insert below-head arrivals into the
+  /// sweep's reverse phase (on-the-way-back-down reads). Disabling this
+  /// restricts insertion to the forward phase (ablation).
+  bool allow_reverse_phase = true;
+  /// Enable step 5 (envelope shrinking) of the envelope-extension
+  /// algorithm. Disabling it is the abl_envelope_shrink ablation.
+  bool envelope_shrink = true;
+  /// Use the paper's replica tie-break in envelope step 2 (prefer the
+  /// mounted tape, then the tape with the most scheduled requests, then
+  /// jukebox order). When false, always take the first replica in jukebox
+  /// order (abl_replica_choice ablation).
+  bool paper_replica_tiebreak = true;
+};
+
+/// Candidate work available on one tape, used for tape selection.
+struct TapeCandidate {
+  TapeId tape = kInvalidTape;
+  int64_t num_requests = 0;          ///< pending requests satisfiable here
+  std::vector<Position> positions;   ///< block positions (may repeat)
+  bool serves_oldest = false;        ///< can satisfy the oldest request
+};
+
+/// Applies `policy` to the candidate tapes. `mounted`/`head` describe the
+/// drive state (for bandwidth estimates and jukebox-order tie-breaks).
+/// Returns kInvalidTape if no candidate has requests.
+TapeId SelectTape(TapePolicy policy, const std::vector<TapeCandidate>& tapes,
+                  TapeId mounted, Position head, int32_t num_tapes,
+                  const ScheduleCost& cost);
+
+/// Base class holding the pending list, the active sweep, and shared
+/// helpers. Subclasses implement tape selection + sweep construction and
+/// the incremental arrival rule.
+class Scheduler {
+ public:
+  /// `jukebox` and `catalog` must outlive the scheduler.
+  Scheduler(const Jukebox* jukebox, const Catalog* catalog,
+            const SchedulerOptions& options);
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Human-readable algorithm name ("dynamic max-bandwidth", ...).
+  virtual std::string name() const = 0;
+
+  /// Incremental scheduler: a request arrived. `committed_head` is the head
+  /// position after the operation currently in flight (== the current head
+  /// when the drive is idle); insertions may only target positions still
+  /// ahead of it.
+  virtual void OnArrival(const Request& request, Position committed_head) = 0;
+
+  /// Major rescheduler: called when the service list is empty. Chooses the
+  /// next tape, moves the requests it will serve from the pending list into
+  /// the sweep, and returns the tape to mount (kInvalidTape if there is no
+  /// pending work).
+  virtual TapeId MajorReschedule() = 0;
+
+  /// Pops the next service entry of the active sweep. (Virtual so
+  /// decorators like ValidatingScheduler can intercept the execution
+  /// stream.)
+  virtual std::optional<ServiceEntry> PopNext() { return sweep_.Pop(); }
+
+  virtual bool sweep_empty() const { return sweep_.empty(); }
+  virtual size_t sweep_size() const { return sweep_.size(); }
+  virtual size_t pending_size() const { return pending_.size(); }
+  virtual bool HasWork() const {
+    return !pending_.empty() || !sweep_.empty();
+  }
+
+  const Sweep& sweep() const { return sweep_; }
+  const std::deque<Request>& pending() const { return pending_; }
+
+ protected:
+  /// Builds per-tape candidates from the current pending list.
+  std::vector<TapeCandidate> BuildCandidates() const;
+
+  /// Removes every pending request with a replica on `tape` and builds the
+  /// sweep for them (grouped by block, forward phase from the start head,
+  /// below-head blocks in the reverse phase). The start head is the current
+  /// drive head if `tape` is mounted, else 0. `within_envelope`, if
+  /// non-null, restricts to replicas whose block end is <= the envelope
+  /// value for `tape`.
+  void ExtractAndBuildSweep(TapeId tape, const Position* envelope_limit);
+
+  const Jukebox* jukebox_;
+  const Catalog* catalog_;
+  SchedulerOptions options_;
+  ScheduleCost cost_;
+  std::deque<Request> pending_;
+  Sweep sweep_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SCHED_SCHEDULER_H_

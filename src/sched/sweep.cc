@@ -1,0 +1,130 @@
+#include "sched/sweep.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+void Sweep::Clear() {
+  forward_.clear();
+  reverse_.clear();
+}
+
+void Sweep::AppendForward(ServiceEntry entry) {
+  TJ_CHECK(forward_.empty() || forward_.back().position < entry.position)
+      << "forward phase must be appended in ascending position order";
+  forward_.push_back(std::move(entry));
+}
+
+void Sweep::AppendReverse(ServiceEntry entry) {
+  TJ_CHECK(reverse_.empty() || reverse_.back().position > entry.position)
+      << "reverse phase must be appended in descending position order";
+  reverse_.push_back(std::move(entry));
+}
+
+std::optional<ServiceEntry> Sweep::Pop() {
+  if (!forward_.empty()) {
+    ServiceEntry entry = std::move(forward_.front());
+    forward_.pop_front();
+    return entry;
+  }
+  if (!reverse_.empty()) {
+    ServiceEntry entry = std::move(reverse_.front());
+    reverse_.pop_front();
+    return entry;
+  }
+  return std::nullopt;
+}
+
+bool Sweep::IsAhead(Position position, Position committed_head,
+                    bool allow_reverse) const {
+  if (empty()) return false;
+  if (phase() == Phase::kForward) {
+    if (position >= committed_head) return true;
+    return allow_reverse;  // joins (or opens) the reverse phase
+  }
+  // Reverse phase: the head is moving down; only lower positions remain.
+  return allow_reverse && position < committed_head;
+}
+
+bool Sweep::InsertRequest(const Request& request, Position position,
+                          Position committed_head, bool allow_reverse) {
+  // A read already scheduled for this block satisfies the request for free.
+  for (auto& entry : forward_) {
+    if (entry.block == request.block) {
+      entry.requests.push_back(request);
+      return true;
+    }
+  }
+  for (auto& entry : reverse_) {
+    if (entry.block == request.block) {
+      entry.requests.push_back(request);
+      return true;
+    }
+  }
+  if (!IsAhead(position, committed_head, allow_reverse)) return false;
+
+  ServiceEntry entry{position, request.block, {request}};
+  if (phase() == Phase::kForward && position >= committed_head) {
+    auto it = std::lower_bound(
+        forward_.begin(), forward_.end(), position,
+        [](const ServiceEntry& e, Position p) { return e.position < p; });
+    TJ_CHECK(it == forward_.end() || it->position != position)
+        << "two blocks cannot share position" << position;
+    forward_.insert(it, std::move(entry));
+    return true;
+  }
+  // Reverse phase insertion (descending order).
+  auto it = std::lower_bound(
+      reverse_.begin(), reverse_.end(), position,
+      [](const ServiceEntry& e, Position p) { return e.position > p; });
+  TJ_CHECK(it == reverse_.end() || it->position != position)
+      << "two blocks cannot share position" << position;
+  reverse_.insert(it, std::move(entry));
+  return true;
+}
+
+std::vector<ServiceEntry> Sweep::Entries() const {
+  std::vector<ServiceEntry> all(forward_.begin(), forward_.end());
+  all.insert(all.end(), reverse_.begin(), reverse_.end());
+  return all;
+}
+
+const ServiceEntry* Sweep::FindBlock(BlockId block) const {
+  for (const auto& entry : forward_) {
+    if (entry.block == block) return &entry;
+  }
+  for (const auto& entry : reverse_) {
+    if (entry.block == block) return &entry;
+  }
+  return nullptr;
+}
+
+std::optional<ServiceEntry> Sweep::RemoveBlock(BlockId block) {
+  for (auto it = forward_.begin(); it != forward_.end(); ++it) {
+    if (it->block == block) {
+      ServiceEntry entry = std::move(*it);
+      forward_.erase(it);
+      return entry;
+    }
+  }
+  for (auto it = reverse_.begin(); it != reverse_.end(); ++it) {
+    if (it->block == block) {
+      ServiceEntry entry = std::move(*it);
+      reverse_.erase(it);
+      return entry;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Position> Sweep::Positions() const {
+  std::vector<Position> positions;
+  positions.reserve(size());
+  for (const auto& entry : forward_) positions.push_back(entry.position);
+  for (const auto& entry : reverse_) positions.push_back(entry.position);
+  return positions;
+}
+
+}  // namespace tapejuke

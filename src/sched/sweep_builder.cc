@@ -1,0 +1,46 @@
+#include "sched/sweep_builder.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+void ExtractSweepForTape(const Catalog& catalog, TapeId tape,
+                         Position start_head, int64_t block_size_mb,
+                         const Position* envelope_limit,
+                         std::deque<Request>* pending, Sweep* sweep) {
+  TJ_CHECK(pending != nullptr);
+  TJ_CHECK(sweep != nullptr);
+  TJ_CHECK(sweep->empty()) << "sweep must be drained before rebuilding";
+
+  std::map<Position, ServiceEntry> by_position;
+  std::deque<Request> keep;
+  for (const Request& request : *pending) {
+    const Replica* replica = catalog.ReplicaOn(request.block, tape);
+    const bool within =
+        replica != nullptr &&
+        (envelope_limit == nullptr ||
+         replica->position + block_size_mb <= *envelope_limit);
+    if (!within) {
+      keep.push_back(request);
+      continue;
+    }
+    ServiceEntry& entry = by_position[replica->position];
+    entry.position = replica->position;
+    entry.block = request.block;
+    entry.requests.push_back(request);
+  }
+  *pending = std::move(keep);
+
+  // Forward phase: ascending positions >= the start head.
+  for (const auto& [position, entry] : by_position) {
+    if (position >= start_head) sweep->AppendForward(entry);
+  }
+  // Reverse phase: descending positions below the start head.
+  for (auto it = by_position.rbegin(); it != by_position.rend(); ++it) {
+    if (it->first < start_head) sweep->AppendReverse(it->second);
+  }
+}
+
+}  // namespace tapejuke

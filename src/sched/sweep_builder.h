@@ -1,0 +1,31 @@
+// Shared sweep-construction helper: extract the requests a tape visit will
+// serve from a pending list and arrange them into a single sweep.
+//
+// Used by the single-drive Scheduler subclasses and by the multi-drive
+// simulator extension.
+
+#ifndef TAPEJUKE_SCHED_SWEEP_BUILDER_H_
+#define TAPEJUKE_SCHED_SWEEP_BUILDER_H_
+
+#include <deque>
+
+#include "layout/catalog.h"
+#include "sched/request.h"
+#include "sched/sweep.h"
+#include "tape/types.h"
+
+namespace tapejuke {
+
+/// Removes from `pending` every request with a replica on `tape` (when
+/// `envelope_limit` is non-null, only replicas whose block end is within
+/// it) and appends them to `sweep` as a single forward+reverse pass
+/// starting from `start_head`. Requests for the same block share one
+/// entry. `sweep` must be empty on entry.
+void ExtractSweepForTape(const Catalog& catalog, TapeId tape,
+                         Position start_head, int64_t block_size_mb,
+                         const Position* envelope_limit,
+                         std::deque<Request>* pending, Sweep* sweep);
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SCHED_SWEEP_BUILDER_H_

@@ -1,0 +1,93 @@
+#include "sched/theory.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+double HarmonicNumber(int64_t n) {
+  double h = 0;
+  for (int64_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+double ExtensionCost(const ExtensionProblem& problem,
+                     const std::vector<int>& choice) {
+  TJ_CHECK(problem.model != nullptr);
+  TJ_CHECK_EQ(choice.size(), problem.options.size());
+  const TimingModel& model = *problem.model;
+  const int64_t block_mb = problem.block_mb;
+
+  // Distinct positions visited per tape.
+  std::map<TapeId, std::set<Position>> visits;
+  for (size_t i = 0; i < choice.size(); ++i) {
+    const auto& opts = problem.options[i];
+    TJ_CHECK(choice[i] >= 0 &&
+             static_cast<size_t>(choice[i]) < opts.size());
+    const Replica& replica = opts[static_cast<size_t>(choice[i])];
+    const Position edge =
+        problem.initial_envelope[static_cast<size_t>(replica.tape)];
+    TJ_CHECK_GE(replica.position, edge)
+        << "extension options must lie outside the initial envelope";
+    visits[replica.tape].insert(replica.position);
+  }
+
+  double total = 0;
+  for (const auto& [tape, positions] : visits) {
+    const Position edge =
+        problem.initial_envelope[static_cast<size_t>(tape)];
+    if (edge == 0 && tape != problem.mounted) total += model.SwitchTime();
+    Position cursor = edge;
+    for (const Position p : positions) {  // ascending
+      total += model.LocateAndReadTime(cursor, p, block_mb);
+      cursor = p + block_mb;
+    }
+    total += model.LocateTime(cursor, edge);
+  }
+  return total;
+}
+
+double OptimalExtensionCost(const ExtensionProblem& problem) {
+  const size_t n = problem.options.size();
+  if (n == 0) return 0;
+  double combinations = 1;
+  for (const auto& opts : problem.options) {
+    TJ_CHECK(!opts.empty());
+    combinations *= static_cast<double>(opts.size());
+    TJ_CHECK_LE(combinations, 1e6)
+        << "instance too large for exhaustive search";
+  }
+  std::vector<int> choice(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    best = std::min(best, ExtensionCost(problem, choice));
+    // Odometer increment over the option product.
+    size_t i = 0;
+    while (i < n) {
+      if (static_cast<size_t>(++choice[i]) < problem.options[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return best;
+}
+
+double Theorem2Bound(const ExtensionProblem& problem, double optimal_cost,
+                     int64_t n) {
+  const TimingParams& p = problem.model->params();
+  const double h_n = HarmonicNumber(n);
+  const double c_s = p.fwd_short_startup;
+  const double c_r =
+      problem.model->ReadTime(problem.block_mb, LocateKind::kForward);
+  const double c_d = p.fwd_long_startup - p.fwd_short_startup;
+  return h_n * optimal_cost -
+         static_cast<double>(n) * (h_n - 1.0) * (c_s + c_r) +
+         static_cast<double>(n) * c_d;
+}
+
+}  // namespace tapejuke

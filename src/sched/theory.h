@@ -1,0 +1,68 @@
+// Formal-results machinery for paper §3.3 (Theorems 1 and 2).
+//
+// Theorem 1 states that extending the step-2 schedule S1 to cover the
+// remaining unscheduled requests at minimum extra cost is NP-hard. Theorem 2
+// bounds the envelope algorithm's extension: with n requests unscheduled at
+// the end of step 2,
+//
+//   C(S2) - C(S1) <= H_n * (C(S2_opt) - C(S1))
+//                    - n * (H_n - 1) * (C_s + C_r) + n * C_d
+//
+// where C_s is the short-forward-locate startup, C_r the block transfer
+// time, C_d the difference between the long and short forward-locate
+// startups, and H_n the n-th harmonic number.
+//
+// This header defines the extension-cost function C(S2) - C(S1) used on both
+// sides of the bound, plus a brute-force optimal extension for tiny
+// instances (the NP-hardness means brute force is the only exact oracle),
+// which the property tests use to validate the bound empirically.
+
+#ifndef TAPEJUKE_SCHED_THEORY_H_
+#define TAPEJUKE_SCHED_THEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/catalog.h"
+#include "tape/timing_model.h"
+#include "tape/types.h"
+
+namespace tapejuke {
+
+/// An instance of the schedule-extension problem: the envelope at the end
+/// of step 2 plus, for each still-unscheduled request, its replica options.
+struct ExtensionProblem {
+  const TimingModel* model = nullptr;
+  int64_t block_mb = 16;
+  TapeId mounted = kInvalidTape;
+  /// Per-tape envelope of S1 (block-aligned).
+  std::vector<Position> initial_envelope;
+  /// options[i] lists the replicas that could serve unscheduled request i;
+  /// every option position must lie outside the initial envelope.
+  std::vector<std::vector<Replica>> options;
+};
+
+/// n-th harmonic number H_n = sum_{i=1..n} 1/i (H_0 = 0).
+double HarmonicNumber(int64_t n);
+
+/// C(S2) - C(S1) for a concrete extension: `choice[i]` selects
+/// options[i][choice[i]]. Per tape, the extension visits the chosen
+/// positions beyond the envelope in one ascending pass and locates back to
+/// the envelope edge; a tape whose envelope is 0 and is not mounted adds
+/// the eject + robot + load surcharge. Duplicate positions (two requests
+/// choosing the same block) are read once.
+double ExtensionCost(const ExtensionProblem& problem,
+                     const std::vector<int>& choice);
+
+/// Minimum ExtensionCost over all replica choices (exhaustive; the option
+/// product must be <= ~1e6).
+double OptimalExtensionCost(const ExtensionProblem& problem);
+
+/// The Theorem-2 right-hand side for this problem given the optimal
+/// extension cost and n unscheduled requests.
+double Theorem2Bound(const ExtensionProblem& problem, double optimal_cost,
+                     int64_t n);
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SCHED_THEORY_H_

@@ -1,0 +1,90 @@
+#include "sched/validating_scheduler.h"
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+ValidatingScheduler::ValidatingScheduler(std::unique_ptr<Scheduler> inner,
+                                         const Jukebox* jukebox,
+                                         const Catalog* catalog)
+    : Scheduler(jukebox, catalog, SchedulerOptions{}),
+      inner_(std::move(inner)) {
+  TJ_CHECK(inner_ != nullptr);
+}
+
+std::string ValidatingScheduler::name() const {
+  return "validated " + inner_->name();
+}
+
+void ValidatingScheduler::OnArrival(const Request& request,
+                                    Position committed_head) {
+  TJ_CHECK(outstanding_.insert(request.id).second)
+      << "request" << request.id << "enqueued twice";
+  ++arrivals_seen_;
+  inner_->OnArrival(request, committed_head);
+}
+
+TapeId ValidatingScheduler::MajorReschedule() {
+  TJ_CHECK(inner_->sweep_empty())
+      << "major reschedule with a non-empty sweep";
+  const TapeId tape = inner_->MajorReschedule();
+  if (tape == kInvalidTape) {
+    TJ_CHECK(!inner_->HasWork())
+        << "scheduler declined to schedule while work was pending";
+    return tape;
+  }
+  TJ_CHECK(tape >= 0 && tape < jukebox_->num_tapes());
+  TJ_CHECK(!inner_->sweep_empty())
+      << "major rescheduler chose a tape but built no sweep";
+  sweep_tape_ = tape;
+  mount_head_ = (tape == jukebox_->mounted_tape()) ? jukebox_->head() : 0;
+  last_position_ = -1;
+  in_reverse_ = false;
+  return tape;
+}
+
+std::optional<ServiceEntry> ValidatingScheduler::PopNext() {
+  std::optional<ServiceEntry> entry = inner_->PopNext();
+  if (!entry.has_value()) return entry;
+  TJ_CHECK_NE(sweep_tape_, kInvalidTape)
+      << "entry popped before any major reschedule";
+
+  // The read must target a real replica of the block on the chosen tape.
+  const Replica* replica =
+      catalog_->ReplicaOn(entry->block, sweep_tape_);
+  TJ_CHECK(replica != nullptr)
+      << "block" << entry->block << "has no replica on tape" << sweep_tape_;
+  TJ_CHECK_EQ(replica->position, entry->position);
+
+  // Single-sweep order: ascending positions >= the mount head, then a
+  // descending reverse phase.
+  // A request arriving while a block is being read may legally trigger a
+  // second read of the same position (a one-block reverse locate), so the
+  // descent checks are <=, not <.
+  if (!in_reverse_) {
+    const bool forward_ok =
+        entry->position >= mount_head_ && entry->position > last_position_;
+    if (!forward_ok) {
+      in_reverse_ = true;  // the sweep turned around
+      TJ_CHECK(last_position_ == -1 || entry->position <= last_position_)
+          << "reverse phase must descend: " << entry->position << " after "
+          << last_position_;
+    }
+  } else {
+    TJ_CHECK_LE(entry->position, last_position_)
+        << "reverse phase must descend";
+  }
+  last_position_ = entry->position;
+
+  // Every satisfied request must be outstanding, exactly once.
+  TJ_CHECK(!entry->requests.empty()) << "service entry with no requests";
+  for (const Request& request : entry->requests) {
+    TJ_CHECK_EQ(request.block, entry->block);
+    TJ_CHECK(outstanding_.erase(request.id) == 1)
+        << "request" << request.id << "served twice or never enqueued";
+    ++requests_served_;
+  }
+  return entry;
+}
+
+}  // namespace tapejuke

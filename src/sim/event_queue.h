@@ -1,0 +1,78 @@
+// Discrete-event simulation core: a deterministic time-ordered event queue.
+//
+// Events with equal timestamps are delivered in insertion order (a strictly
+// increasing sequence number breaks ties), which keeps simulations
+// reproducible regardless of heap implementation details.
+
+#ifndef TAPEJUKE_SIM_EVENT_QUEUE_H_
+#define TAPEJUKE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+/// Min-heap of timestamped events carrying a payload of type T.
+template <typename T>
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Schedules `payload` at simulation time `time` (seconds). Times may not
+  /// be NaN; scheduling in the past relative to already-popped events is
+  /// the caller's responsibility to avoid.
+  void Schedule(double time, T payload) {
+    TJ_DCHECK(time == time) << "event time is NaN";
+    heap_.push(Node{time, next_seq_++, std::move(payload)});
+  }
+
+  /// Timestamp of the earliest event; queue must be non-empty.
+  double NextTime() const {
+    TJ_CHECK(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pops the earliest event; queue must be non-empty.
+  std::pair<double, T> Pop() {
+    TJ_CHECK(!heap_.empty());
+    // top() is const-qualified; moving the payload out just before pop()
+    // is safe because the node is removed without being read again (the
+    // heap ordering only touches `time` and `seq`, which stay valid).
+    Node node = std::move(const_cast<Node&>(heap_.top()));
+    heap_.pop();
+    return {node.time, std::move(node.payload)};
+  }
+
+  /// Pops the earliest event if its time is <= `time`.
+  std::optional<std::pair<double, T>> PopUntil(double time) {
+    if (heap_.empty() || heap_.top().time > time) return std::nullopt;
+    return Pop();
+  }
+
+ private:
+  struct Node {
+    double time;
+    uint64_t seq;
+    T payload;
+
+    bool operator>(const Node& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SIM_EVENT_QUEUE_H_

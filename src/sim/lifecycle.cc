@@ -1,0 +1,242 @@
+#include "sim/lifecycle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+Status LifecycleConfig::Validate() const {
+  if (fill_budget_seconds < 0) {
+    return Status::InvalidArgument("fill budget must be >= 0");
+  }
+  if (target_copies < 1) {
+    return Status::InvalidArgument("target_copies must be >= 1");
+  }
+  if (num_epochs < 1) {
+    return Status::InvalidArgument("need at least one epoch");
+  }
+  return Status::Ok();
+}
+
+LifecycleSimulator::LifecycleSimulator(Jukebox* jukebox, Catalog* catalog,
+                                       Scheduler* scheduler,
+                                       const SimulationConfig& sim,
+                                       const LifecycleConfig& lifecycle)
+    : jukebox_(jukebox),
+      catalog_(catalog),
+      scheduler_(scheduler),
+      sim_config_(sim),
+      lifecycle_(lifecycle),
+      workload_(catalog, sim.workload) {
+  Status status = sim.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  status = lifecycle.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK_LE(lifecycle.target_copies, jukebox->num_tapes());
+
+  const int32_t num_tapes = jukebox->num_tapes();
+  free_slots_.resize(static_cast<size_t>(num_tapes));
+  next_hot_.assign(static_cast<size_t>(num_tapes), 0);
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    const Tape& tape = jukebox->tape(t);
+    // Descending order: replicas land at the tape end first (§4.5).
+    for (int64_t s = tape.num_slots() - 1; s >= 0; --s) {
+      if (tape.BlockAtSlot(s) == kInvalidBlock) {
+        free_slots_[static_cast<size_t>(t)].push_back(s);
+      }
+    }
+  }
+  // Fill target: every hot block reaches target_copies copies (bounded by
+  // what distinct tapes allow).
+  for (BlockId b = 0; b < catalog->num_hot_blocks(); ++b) {
+    const auto have = static_cast<int64_t>(catalog->ReplicasOf(b).size());
+    fill_target_ += std::max<int64_t>(0, lifecycle.target_copies - have);
+  }
+}
+
+TapeId LifecycleSimulator::NeediestTape() const {
+  TapeId best = kInvalidTape;
+  int64_t best_need = 0;
+  for (TapeId t = 0; t < jukebox_->num_tapes(); ++t) {
+    if (free_slots_[static_cast<size_t>(t)].empty()) continue;
+    // Count hot blocks still missing a copy here (capped: exact counts are
+    // only needed to rank tapes).
+    int64_t missing = 0;
+    for (BlockId b = 0; b < catalog_->num_hot_blocks(); ++b) {
+      if (static_cast<int32_t>(catalog_->ReplicasOf(b).size()) >=
+          lifecycle_.target_copies) {
+        continue;
+      }
+      if (catalog_->ReplicaOn(b, t) == nullptr) ++missing;
+    }
+    const int64_t need = std::min(
+        missing,
+        static_cast<int64_t>(free_slots_[static_cast<size_t>(t)].size()));
+    if (need > best_need) {
+      best_need = need;
+      best = t;
+    }
+  }
+  return best;
+}
+
+double LifecycleSimulator::FillMountedTape(double budget_seconds) {
+  const TapeId tape_id = jukebox_->mounted_tape();
+  if (tape_id == kInvalidTape) return 0;
+  auto& free = free_slots_[static_cast<size_t>(tape_id)];
+  BlockId& cursor = next_hot_[static_cast<size_t>(tape_id)];
+  const int64_t hot = catalog_->num_hot_blocks();
+  if (hot == 0) return 0;
+
+  double elapsed = 0;
+  Drive& drive = jukebox_->drive();
+  Tape& tape = jukebox_->tape(tape_id);
+  while (!free.empty() && elapsed < budget_seconds) {
+    // Next hot block that still wants a copy and lacks one on this tape.
+    BlockId chosen = kInvalidBlock;
+    for (int64_t scanned = 0; scanned < hot; ++scanned) {
+      const BlockId candidate = cursor;
+      cursor = (cursor + 1) % hot;
+      if (static_cast<int32_t>(catalog_->ReplicasOf(candidate).size()) >=
+          lifecycle_.target_copies) {
+        continue;
+      }
+      if (catalog_->ReplicaOn(candidate, tape_id) == nullptr) {
+        chosen = candidate;
+        break;
+      }
+    }
+    if (chosen == kInvalidBlock) break;  // tape already has all it can take
+
+    const int64_t slot = free.front();
+    free.erase(free.begin());
+    const Position position = tape.PositionOfSlot(slot);
+    // The source data is read from the disk/memory tier (hot data is
+    // cached there per §2); only the tape-side locate + write costs time.
+    elapsed += drive.LocateTo(position);
+    elapsed += drive.Read(jukebox_->config().block_size_mb);  // write cost
+    const Status placed = tape.PlaceBlock(chosen, slot);
+    TJ_CHECK(placed.ok()) << placed.ToString();
+    catalog_->AddReplica(chosen, Replica{tape_id, slot, position});
+    ++replicas_written_;
+  }
+  return elapsed;
+}
+
+std::vector<EpochStats> LifecycleSimulator::Run() {
+  TJ_CHECK(!ran_) << "Run may be called once";
+  ran_ = true;
+  const bool closed = sim_config_.workload.model == QueuingModel::kClosed;
+  const double epoch_len =
+      sim_config_.duration_seconds / lifecycle_.num_epochs;
+
+  struct Accum {
+    int64_t completed = 0;
+    double delay_sum = 0;
+  };
+  std::vector<Accum> accums(static_cast<size_t>(lifecycle_.num_epochs));
+  auto record = [&](double arrival, double completion) {
+    auto epoch = static_cast<size_t>(completion / epoch_len);
+    epoch = std::min(epoch, accums.size() - 1);
+    ++accums[epoch].completed;
+    accums[epoch].delay_sum += completion - arrival;
+  };
+  std::vector<double> fill_at_epoch_end(
+      static_cast<size_t>(lifecycle_.num_epochs), 0);
+  auto note_fill = [&]() {
+    auto epoch = std::min(static_cast<size_t>(clock_ / epoch_len),
+                          fill_at_epoch_end.size() - 1);
+    const double fraction =
+        fill_target_ > 0 ? static_cast<double>(replicas_written_) /
+                               static_cast<double>(fill_target_)
+                         : 1.0;
+    for (size_t e = epoch; e < fill_at_epoch_end.size(); ++e) {
+      fill_at_epoch_end[e] = fraction;
+    }
+  };
+
+  if (closed) {
+    for (int64_t i = 0; i < sim_config_.workload.queue_length; ++i) {
+      scheduler_->OnArrival(workload_.NextRequest(0.0), jukebox_->head());
+    }
+  } else {
+    next_arrival_ = workload_.NextInterarrival();
+  }
+
+  auto deliver = [&](double until, Position committed_head) {
+    if (closed) return;
+    while (next_arrival_ <= until) {
+      scheduler_->OnArrival(workload_.NextRequest(next_arrival_),
+                            committed_head);
+      next_arrival_ += workload_.NextInterarrival();
+    }
+  };
+
+  while (clock_ < sim_config_.duration_seconds) {
+    if (scheduler_->sweep_empty()) {
+      if (!scheduler_->HasWork()) {
+        if (lifecycle_.fill_on_idle && replicas_written_ < fill_target_) {
+          TapeId tape = NeediestTape();
+          if (tape != kInvalidTape) {
+            clock_ += jukebox_->SwitchTo(tape);
+            clock_ += FillMountedTape(lifecycle_.fill_budget_seconds);
+            note_fill();
+            continue;
+          }
+        }
+        if (closed || next_arrival_ > sim_config_.duration_seconds) break;
+        clock_ = next_arrival_;
+        deliver(clock_, jukebox_->head());
+        continue;
+      }
+      const TapeId tape = scheduler_->MajorReschedule();
+      TJ_CHECK_NE(tape, kInvalidTape);
+      const double switch_seconds = jukebox_->SwitchTo(tape);
+      const double end = clock_ + switch_seconds;
+      deliver(end, jukebox_->head());
+      clock_ = end;
+      continue;
+    }
+
+    const std::optional<ServiceEntry> entry = scheduler_->PopNext();
+    const double op_seconds = jukebox_->ReadBlockAt(entry->position);
+    const double end = clock_ + op_seconds;
+    deliver(end, jukebox_->head());
+    clock_ = end;
+    for (const Request& request : entry->requests) {
+      record(request.arrival_time, clock_);
+      if (closed) {
+        scheduler_->OnArrival(workload_.NextRequest(clock_),
+                              jukebox_->head());
+      }
+    }
+
+    // Piggyback fill: the sweep drained and the drive is already here.
+    if (scheduler_->sweep_empty() && replicas_written_ < fill_target_) {
+      clock_ += FillMountedTape(lifecycle_.fill_budget_seconds);
+      note_fill();
+    }
+  }
+  note_fill();
+
+  std::vector<EpochStats> epochs;
+  for (size_t e = 0; e < accums.size(); ++e) {
+    EpochStats stats;
+    stats.start_seconds = static_cast<double>(e) * epoch_len;
+    stats.end_seconds = stats.start_seconds + epoch_len;
+    stats.completed_requests = accums[e].completed;
+    stats.requests_per_minute =
+        static_cast<double>(accums[e].completed) / (epoch_len / 60.0);
+    stats.mean_delay_minutes =
+        accums[e].completed > 0
+            ? accums[e].delay_sum / static_cast<double>(accums[e].completed) /
+                  60.0
+            : 0.0;
+    stats.fill_fraction = fill_at_epoch_end[e];
+    epochs.push_back(stats);
+  }
+  return epochs;
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,104 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+namespace {
+// Delay histogram range: 0 .. ~55 hours. Even FIFO at queue 140 (mean
+// delay ~10 hours) keeps its tail inside this range; 4000 buckets give
+// 50-second quantile resolution.
+constexpr double kDelayHistMax = 200000.0;
+constexpr int kDelayHistBuckets = 4000;
+}  // namespace
+
+MetricsCollector::MetricsCollector(double warmup_seconds,
+                                   int64_t block_size_mb)
+    : warmup_seconds_(warmup_seconds),
+      block_size_mb_(block_size_mb),
+      delay_histogram_(0.0, kDelayHistMax, kDelayHistBuckets) {
+  TJ_CHECK_GE(warmup_seconds, 0.0);
+  TJ_CHECK_GT(block_size_mb, 0);
+}
+
+void MetricsCollector::AccumulateOutstandingArea(double now) {
+  const double from = std::max(last_transition_, warmup_seconds_);
+  if (now > from) {
+    outstanding_area_ += static_cast<double>(outstanding_) * (now - from);
+  }
+  last_transition_ = std::max(last_transition_, now);
+}
+
+void MetricsCollector::OnArrival(double now) {
+  AccumulateOutstandingArea(now);
+  ++outstanding_;
+}
+
+void MetricsCollector::OnCompletion(double arrival, double now) {
+  TJ_CHECK_LE(arrival, now + 1e-9);
+  AccumulateOutstandingArea(now);
+  --outstanding_;
+  TJ_CHECK_GE(outstanding_, 0);
+  if (now <= warmup_seconds_) return;
+  ++completed_;
+  delay_.Add(now - arrival);
+  delay_histogram_.Add(now - arrival);
+}
+
+void MetricsCollector::MarkWarmupBoundary(const JukeboxCounters& counters) {
+  TJ_CHECK(!warmup_marked_) << "warm-up boundary already marked";
+  warmup_marked_ = true;
+  warmup_counters_ = counters;
+}
+
+SimulationResult MetricsCollector::Finalize(
+    double end_time, const JukeboxCounters& final_counters) const {
+  SimulationResult result;
+  result.simulated_seconds = end_time;
+  result.measured_seconds = std::max(0.0, end_time - warmup_seconds_);
+  result.completed_requests = completed_;
+
+  if (result.measured_seconds > 0) {
+    const double mb =
+        static_cast<double>(completed_ * block_size_mb_);
+    result.throughput_mb_per_s = mb / result.measured_seconds;
+    result.throughput_kb_per_s = result.throughput_mb_per_s * 1024.0;
+    result.requests_per_minute =
+        static_cast<double>(completed_) / (result.measured_seconds / 60.0);
+    result.mean_outstanding = outstanding_area_ / result.measured_seconds;
+  }
+
+  result.mean_delay_seconds = delay_.mean();
+  result.mean_delay_minutes = delay_.mean() / 60.0;
+  result.delay_stddev_seconds = delay_.stddev();
+  result.p50_delay_seconds = delay_histogram_.Quantile(0.50);
+  result.p95_delay_seconds = delay_histogram_.Quantile(0.95);
+  result.max_delay_seconds = delay_.max();
+
+  // Activity deltas over the measurement window.
+  const JukeboxCounters& base = warmup_counters_;
+  JukeboxCounters delta;
+  delta.tape_switches = final_counters.tape_switches - base.tape_switches;
+  delta.blocks_read = final_counters.blocks_read - base.blocks_read;
+  delta.mb_read = final_counters.mb_read - base.mb_read;
+  delta.rewind_seconds =
+      final_counters.rewind_seconds - base.rewind_seconds;
+  delta.switch_seconds =
+      final_counters.switch_seconds - base.switch_seconds;
+  delta.locate_seconds =
+      final_counters.locate_seconds - base.locate_seconds;
+  delta.read_seconds = final_counters.read_seconds - base.read_seconds;
+  result.counters = delta;
+  if (result.measured_seconds > 0) {
+    result.tape_switches_per_hour =
+        static_cast<double>(delta.tape_switches) /
+        (result.measured_seconds / 3600.0);
+  }
+  const double busy = delta.BusySeconds();
+  result.transfer_utilization = busy > 0 ? delta.read_seconds / busy : 0.0;
+  return result;
+}
+
+}  // namespace tapejuke

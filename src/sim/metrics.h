@@ -1,0 +1,88 @@
+// Simulation metrics: throughput, response delay, and activity accounting.
+//
+// All statistics exclude a configurable warm-up period so steady-state
+// numbers are not polluted by the empty-system start (the paper's runs are
+// long enough — 10M simulated seconds — that warm-up hardly matters there;
+// ours are shorter, so we trim it explicitly).
+
+#ifndef TAPEJUKE_SIM_METRICS_H_
+#define TAPEJUKE_SIM_METRICS_H_
+
+#include <cstdint>
+
+#include "tape/jukebox.h"
+#include "util/stats.h"
+
+namespace tapejuke {
+
+/// Steady-state results of one simulation run.
+struct SimulationResult {
+  double simulated_seconds = 0;  ///< total, including warm-up
+  double measured_seconds = 0;   ///< the post-warm-up window
+  int64_t completed_requests = 0;
+
+  double throughput_mb_per_s = 0;
+  double throughput_kb_per_s = 0;  ///< the unit of paper Fig. 3
+  double requests_per_minute = 0;
+
+  double mean_delay_seconds = 0;
+  double mean_delay_minutes = 0;
+  double delay_stddev_seconds = 0;
+  double p50_delay_seconds = 0;
+  double p95_delay_seconds = 0;
+  double max_delay_seconds = 0;
+
+  /// Time-averaged number of outstanding requests (arrived, not complete).
+  double mean_outstanding = 0;
+
+  /// Jukebox activity during the measurement window.
+  JukeboxCounters counters;
+  double tape_switches_per_hour = 0;
+  /// Fraction of busy time spent transferring data (vs positioning).
+  double transfer_utilization = 0;
+};
+
+/// Accumulates completions and outstanding-population area during a run.
+class MetricsCollector {
+ public:
+  /// Statistics cover completions at times > `warmup_seconds`.
+  MetricsCollector(double warmup_seconds, int64_t block_size_mb);
+
+  /// Records a request arrival at time `now`.
+  void OnArrival(double now);
+
+  /// Records a completed request that arrived at `arrival` and finished at
+  /// `now`.
+  void OnCompletion(double arrival, double now);
+
+  /// Snapshot of the jukebox counters at the warm-up boundary; call once
+  /// when the clock first passes the warm-up time.
+  void MarkWarmupBoundary(const JukeboxCounters& counters);
+
+  /// Finalizes the run at `end_time` with the final jukebox counters.
+  SimulationResult Finalize(double end_time,
+                            const JukeboxCounters& final_counters) const;
+
+  double warmup_seconds() const { return warmup_seconds_; }
+
+ private:
+  void AccumulateOutstandingArea(double now);
+
+  double warmup_seconds_;
+  int64_t block_size_mb_;
+
+  RunningStat delay_;
+  Histogram delay_histogram_;
+  int64_t completed_ = 0;
+
+  int64_t outstanding_ = 0;
+  double last_transition_ = 0;
+  double outstanding_area_ = 0;  ///< integral of outstanding dt post warm-up
+
+  bool warmup_marked_ = false;
+  JukeboxCounters warmup_counters_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SIM_METRICS_H_

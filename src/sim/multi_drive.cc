@@ -1,0 +1,220 @@
+#include "sim/multi_drive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/sweep_builder.h"
+#include "util/check.h"
+
+namespace tapejuke {
+
+Status MultiDriveConfig::Validate() const {
+  if (num_drives < 1) {
+    return Status::InvalidArgument("need at least one drive");
+  }
+  return Status::Ok();
+}
+
+MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
+                                         const Catalog* catalog,
+                                         const MultiDriveConfig& drives,
+                                         const SimulationConfig& sim)
+    : jukebox_(jukebox),
+      catalog_(catalog),
+      drives_config_(drives),
+      sim_config_(sim),
+      workload_(catalog, sim.workload),
+      metrics_(sim.warmup_seconds, jukebox->config().block_size_mb),
+      cost_(&jukebox->model(), jukebox->config().block_size_mb) {
+  TJ_CHECK(jukebox != nullptr);
+  TJ_CHECK(catalog != nullptr);
+  Status status = drives.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK_LE(drives.num_drives, jukebox->num_tapes())
+      << "more drives than tapes is pointless";
+  status = sim.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  drives_.reserve(static_cast<size_t>(drives.num_drives));
+  for (int32_t d = 0; d < drives.num_drives; ++d) {
+    drives_.emplace_back(&jukebox->model());
+  }
+}
+
+bool MultiDriveSimulator::ClaimedElsewhere(TapeId tape, int self) const {
+  for (size_t d = 0; d < drives_.size(); ++d) {
+    if (static_cast<int>(d) != self && drives_[d].claim == tape) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MultiDriveSimulator::BeginNextRead(int d, double now) {
+  DriveState& ds = drives_[static_cast<size_t>(d)];
+  std::optional<ServiceEntry> entry = ds.sweep.Pop();
+  TJ_CHECK(entry.has_value());
+  const double locate = ds.unit.LocateTo(entry->position);
+  counters_.locate_seconds += locate;
+  const double read = ds.unit.Read(jukebox_->config().block_size_mb);
+  counters_.read_seconds += read;
+  ++counters_.blocks_read;
+  counters_.mb_read += jukebox_->config().block_size_mb;
+  ds.committed_head = ds.unit.head();
+  ds.in_flight = std::move(entry);
+  ds.busy = true;
+  events_.Schedule(now + locate + read, d);
+}
+
+void MultiDriveSimulator::Dispatch(int d, double now) {
+  DriveState& ds = drives_[static_cast<size_t>(d)];
+  if (ds.busy) return;
+  if (!ds.sweep.empty()) {
+    BeginNextRead(d, now);
+    return;
+  }
+  if (pending_.empty()) return;
+
+  // Candidates over unclaimed tapes only.
+  const int32_t num_tapes = jukebox_->num_tapes();
+  std::vector<TapeCandidate> candidates(static_cast<size_t>(num_tapes));
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    candidates[static_cast<size_t>(t)].tape = t;
+  }
+  bool saw_claimed_work = false;
+  const RequestId oldest = pending_.front().id;
+  for (const Request& request : pending_) {
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (ClaimedElsewhere(replica.tape, d)) {
+        saw_claimed_work = true;
+        continue;
+      }
+      TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
+      ++c.num_requests;
+      c.positions.push_back(replica.position);
+      if (request.id == oldest) c.serves_oldest = true;
+    }
+  }
+  const TapeId mounted = ds.unit.loaded_tape();
+  const TapeId tape = SelectTape(drives_config_.policy, candidates, mounted,
+                                 ds.unit.head(), num_tapes, cost_);
+  if (tape == kInvalidTape) {
+    // Work exists but only on tapes other drives hold: idle until a claim
+    // releases (WakeIdleDrives retries after every event).
+    if (saw_claimed_work) ++stats_.claim_conflicts;
+    return;
+  }
+
+  const Position start_head = (tape == mounted) ? ds.unit.head() : 0;
+  ExtractSweepForTape(*catalog_, tape, start_head,
+                      jukebox_->config().block_size_mb,
+                      /*envelope_limit=*/nullptr, &pending_, &ds.sweep);
+  TJ_CHECK(!ds.sweep.empty());
+  ds.claim = tape;
+
+  if (tape == mounted) {
+    ds.committed_head = ds.unit.head();
+    BeginNextRead(d, now);
+    return;
+  }
+
+  // Tape switch: drive-local rewind + eject run in parallel with other
+  // drives; the robot arm swap is serialized; the load is drive-local.
+  double local_done = now;
+  if (ds.unit.has_tape()) {
+    const double rewind = ds.unit.Rewind();
+    counters_.rewind_seconds += rewind;
+    const double eject = ds.unit.Eject();
+    counters_.switch_seconds += eject;
+    local_done += rewind + eject;
+  }
+  const double robot_start = std::max(local_done, robot_free_at_);
+  stats_.robot_wait_seconds += robot_start - local_done;
+  const double robot_seconds = jukebox_->model().params().robot_seconds;
+  robot_free_at_ = robot_start + robot_seconds;
+  counters_.switch_seconds += robot_seconds;
+  const double load = ds.unit.Load(tape);
+  counters_.switch_seconds += load;
+  ++counters_.tape_switches;
+  ds.committed_head = 0;
+  ds.busy = true;
+  events_.Schedule(robot_free_at_ + load, d);
+}
+
+void MultiDriveSimulator::Arrive(const Request& request, double now) {
+  metrics_.OnArrival(now);
+  if (drives_config_.dynamic_insertion) {
+    for (DriveState& ds : drives_) {
+      if (ds.sweep.empty() || ds.claim == kInvalidTape) continue;
+      const Replica* replica = catalog_->ReplicaOn(request.block, ds.claim);
+      if (replica != nullptr &&
+          ds.sweep.InsertRequest(request, replica->position,
+                                 ds.committed_head,
+                                 drives_config_.options
+                                     .allow_reverse_phase)) {
+        return;
+      }
+    }
+  }
+  pending_.push_back(request);
+}
+
+void MultiDriveSimulator::WakeIdleDrives(double now) {
+  for (size_t d = 0; d < drives_.size(); ++d) {
+    if (!drives_[d].busy) Dispatch(static_cast<int>(d), now);
+  }
+}
+
+SimulationResult MultiDriveSimulator::Run() {
+  TJ_CHECK(!ran_) << "Run may be called once";
+  ran_ = true;
+  const bool closed = sim_config_.workload.model == QueuingModel::kClosed;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (closed) {
+    for (int64_t i = 0; i < sim_config_.workload.queue_length; ++i) {
+      Arrive(workload_.NextRequest(0.0), 0.0);
+    }
+  } else {
+    next_arrival_ = workload_.NextInterarrival();
+  }
+  WakeIdleDrives(0.0);
+  if (sim_config_.warmup_seconds == 0) {
+    warmup_marked_ = true;
+    metrics_.MarkWarmupBoundary(counters_);
+  }
+
+  while (clock_ < sim_config_.duration_seconds) {
+    const double event_time = events_.empty() ? kInf : events_.NextTime();
+    const double arrival_time = closed ? kInf : next_arrival_;
+    const double next = std::min(event_time, arrival_time);
+    if (next == kInf || next > sim_config_.duration_seconds) break;
+    clock_ = next;
+
+    if (arrival_time <= event_time) {
+      Arrive(workload_.NextRequest(clock_), clock_);
+      next_arrival_ = clock_ + workload_.NextInterarrival();
+    } else {
+      const auto [time, d] = events_.Pop();
+      DriveState& ds = drives_[static_cast<size_t>(d)];
+      ds.busy = false;
+      if (ds.in_flight.has_value()) {
+        const ServiceEntry entry = std::move(*ds.in_flight);
+        ds.in_flight.reset();
+        for (const Request& request : entry.requests) {
+          metrics_.OnCompletion(request.arrival_time, clock_);
+          if (closed) Arrive(workload_.NextRequest(clock_), clock_);
+        }
+      }
+      Dispatch(d, clock_);
+    }
+    WakeIdleDrives(clock_);
+    if (!warmup_marked_ && clock_ >= sim_config_.warmup_seconds) {
+      warmup_marked_ = true;
+      metrics_.MarkWarmupBoundary(counters_);
+    }
+  }
+  if (!warmup_marked_) metrics_.MarkWarmupBoundary(counters_);
+  return metrics_.Finalize(clock_, counters_);
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,126 @@
+// Multi-drive jukebox simulation (extension; paper §2 names multi-drive
+// scheduling as future work).
+//
+// One cabinet holds D drives, one robotic arm, and the shared tape pool.
+// Drives serve a common pending list: when a drive's service list empties,
+// a per-drive major reschedule picks a tape *not claimed by any other
+// drive* with the usual tape-selection policies and extracts that tape's
+// requests into the drive's sweep. Drive-local mechanics (rewind, eject,
+// locate, read, load) proceed in parallel across drives, but the robot arm
+// is a serialized resource: concurrent tape swaps queue on it. The dynamic
+// incremental scheduler inserts arrivals into whichever drive's running
+// sweep can still satisfy them.
+//
+// Scaling is sub-linear for three reasons the bench quantifies: robot
+// contention, tape-claim conflicts (two drives cannot mount one tape), and
+// the fragmentation of each tape's batch across more frequent visits.
+
+#ifndef TAPEJUKE_SIM_MULTI_DRIVE_H_
+#define TAPEJUKE_SIM_MULTI_DRIVE_H_
+
+#include <deque>
+#include <vector>
+
+#include "layout/catalog.h"
+#include "sched/schedule_cost.h"
+#include "sched/scheduler.h"
+#include "sched/sweep.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "tape/drive.h"
+#include "tape/jukebox.h"
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Multi-drive extension parameters.
+struct MultiDriveConfig {
+  int32_t num_drives = 2;
+  TapePolicy policy = TapePolicy::kMaxBandwidth;
+  /// Insert arrivals into running sweeps (the dynamic incremental rule).
+  bool dynamic_insertion = true;
+  SchedulerOptions options;
+
+  Status Validate() const;
+};
+
+/// Extra observability for the multi-drive run.
+struct MultiDriveStats {
+  /// Seconds tape swaps spent queued waiting for the robot arm.
+  double robot_wait_seconds = 0;
+  /// Reschedule attempts that found work only on tapes claimed by other
+  /// drives (the drive idled despite a non-empty pending list).
+  int64_t claim_conflicts = 0;
+};
+
+/// Simulates D drives over one jukebox's tape pool.
+class MultiDriveSimulator {
+ public:
+  /// `jukebox` supplies the tape pool, timing model, and layout geometry
+  /// (its built-in single drive is unused). All pointers must outlive the
+  /// simulator.
+  MultiDriveSimulator(Jukebox* jukebox, const Catalog* catalog,
+                      const MultiDriveConfig& drives,
+                      const SimulationConfig& sim);
+
+  /// Runs to completion; call once.
+  SimulationResult Run();
+
+  const MultiDriveStats& stats() const { return stats_; }
+
+ private:
+  struct DriveState {
+    explicit DriveState(const TimingModel* model) : unit(model) {}
+    Drive unit;
+    Sweep sweep;
+    /// Tape this drive has claimed (mounted or switching to).
+    TapeId claim = kInvalidTape;
+    /// Head position after the in-flight operation completes.
+    Position committed_head = 0;
+    /// In-flight service entry (completions fire when the op ends).
+    std::optional<ServiceEntry> in_flight;
+    bool busy = false;
+  };
+
+  /// True if `tape` is claimed by any drive other than `self`.
+  bool ClaimedElsewhere(TapeId tape, int self) const;
+
+  /// Attempts to give idle drive `d` work at time `now`; schedules its
+  /// next completion event if successful.
+  void Dispatch(int d, double now);
+
+  /// Starts the next sweep entry on drive `d` (sweep must be non-empty).
+  void BeginNextRead(int d, double now);
+
+  /// Routes one arrival through the incremental rule.
+  void Arrive(const Request& request, double now);
+
+  /// Wakes every idle drive (called after arrivals and completions).
+  void WakeIdleDrives(double now);
+
+  Jukebox* jukebox_;
+  const Catalog* catalog_;
+  MultiDriveConfig drives_config_;
+  SimulationConfig sim_config_;
+  WorkloadGenerator workload_;
+  MetricsCollector metrics_;
+  ScheduleCost cost_;
+
+  std::vector<DriveState> drives_;
+  std::deque<Request> pending_;
+  EventQueue<int> events_;  ///< payload: drive index
+  double robot_free_at_ = 0;
+  double clock_ = 0;
+  double next_arrival_ = 0;
+  bool warmup_marked_ = false;
+  bool ran_ = false;
+
+  JukeboxCounters counters_;
+  MultiDriveStats stats_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SIM_MULTI_DRIVE_H_

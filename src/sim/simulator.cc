@@ -1,0 +1,170 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+Status SimulationConfig::Validate() const {
+  if (duration_seconds <= 0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+  if (warmup_seconds < 0 || warmup_seconds >= duration_seconds) {
+    return Status::InvalidArgument(
+        "warmup must be in [0, duration_seconds)");
+  }
+  return workload.Validate();
+}
+
+Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
+                     Scheduler* scheduler, const SimulationConfig& config)
+    : jukebox_(jukebox),
+      catalog_(catalog),
+      scheduler_(scheduler),
+      config_(config),
+      workload_(catalog, config.workload),
+      metrics_(config.warmup_seconds, jukebox->config().block_size_mb) {
+  TJ_CHECK(jukebox != nullptr);
+  TJ_CHECK(catalog != nullptr);
+  TJ_CHECK(scheduler != nullptr);
+  const Status status = config.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+}
+
+Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
+                     Scheduler* scheduler, const SimulationConfig& config,
+                     std::vector<Request> trace)
+    : Simulator(jukebox, catalog, scheduler, config) {
+  trace_mode_ = true;
+  trace_ = std::move(trace);
+  RequestId next_id = 0;
+  double previous = 0;
+  for (Request& request : trace_) {
+    TJ_CHECK_GE(request.arrival_time, previous)
+        << "trace arrivals must be time-ordered";
+    previous = request.arrival_time;
+    TJ_CHECK(request.block >= 0 && request.block < catalog->num_blocks())
+        << "trace references unknown block" << request.block;
+    request.id = next_id++;
+  }
+}
+
+void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
+  // Closed-model think-time expirations: the process issues its next
+  // request when its think period ends.
+  while (auto expired = thinking_.PopUntil(until)) {
+    const Request request = workload_.NextRequest(expired->first);
+    metrics_.OnArrival(expired->first);
+    scheduler_->OnArrival(request, committed_head);
+  }
+  if (trace_mode_) {
+    while (trace_pos_ < trace_.size() &&
+           trace_[trace_pos_].arrival_time <= until) {
+      const Request& request = trace_[trace_pos_++];
+      metrics_.OnArrival(request.arrival_time);
+      scheduler_->OnArrival(request, committed_head);
+    }
+    next_arrival_ = trace_pos_ < trace_.size()
+                        ? trace_[trace_pos_].arrival_time
+                        : config_.duration_seconds + 1;
+    return;
+  }
+  if (config_.workload.model != QueuingModel::kOpen) return;
+  while (next_arrival_ <= until) {
+    const Request request = workload_.NextRequest(next_arrival_);
+    metrics_.OnArrival(next_arrival_);
+    scheduler_->OnArrival(request, committed_head);
+    next_arrival_ += workload_.NextInterarrival();
+  }
+}
+
+void Simulator::MaybeMarkWarmup() {
+  if (!warmup_marked_ && clock_ >= config_.warmup_seconds) {
+    warmup_marked_ = true;
+    metrics_.MarkWarmupBoundary(jukebox_->counters());
+  }
+}
+
+SimulationResult Simulator::Run() {
+  TJ_CHECK(!ran_) << "Simulator::Run may be called once";
+  ran_ = true;
+
+  const bool closed =
+      !trace_mode_ && config_.workload.model == QueuingModel::kClosed;
+  if (trace_mode_) {
+    next_arrival_ = trace_.empty() ? config_.duration_seconds + 1
+                                   : trace_.front().arrival_time;
+  } else if (closed) {
+    // A fixed population of I/O-bound processes, all requesting at t = 0.
+    for (int64_t i = 0; i < config_.workload.queue_length; ++i) {
+      const Request request = workload_.NextRequest(0.0);
+      metrics_.OnArrival(0.0);
+      scheduler_->OnArrival(request, jukebox_->head());
+    }
+  } else {
+    next_arrival_ = workload_.NextInterarrival();
+  }
+  MaybeMarkWarmup();
+
+  while (clock_ < config_.duration_seconds) {
+    if (scheduler_->sweep_empty()) {
+      if (!scheduler_->HasWork()) {
+        // Step 4: wait for an arrival (or a thinking process to wake).
+        if (closed) {
+          if (thinking_.empty() ||
+              thinking_.NextTime() > config_.duration_seconds) {
+            break;
+          }
+          clock_ = thinking_.NextTime();
+          DeliverArrivalsUpTo(clock_, jukebox_->head());
+          MaybeMarkWarmup();
+          continue;
+        }
+        if (next_arrival_ > config_.duration_seconds) break;
+        clock_ = next_arrival_;
+        DeliverArrivalsUpTo(clock_, jukebox_->head());
+        MaybeMarkWarmup();
+        continue;
+      }
+      // Step 1: major reschedule; step 2: switch if needed.
+      const TapeId tape = scheduler_->MajorReschedule();
+      TJ_CHECK_NE(tape, kInvalidTape)
+          << "scheduler reported work but produced no schedule";
+      const double switch_seconds = jukebox_->SwitchTo(tape);
+      const double end = clock_ + switch_seconds;
+      // During the switch the committed head is the post-load position.
+      DeliverArrivalsUpTo(end, jukebox_->head());
+      clock_ = end;
+      MaybeMarkWarmup();
+      continue;
+    }
+
+    // Step 3: execute the next service-list entry.
+    const std::optional<ServiceEntry> entry = scheduler_->PopNext();
+    TJ_CHECK(entry.has_value());
+    const double op_seconds = jukebox_->ReadBlockAt(entry->position);
+    const double end = clock_ + op_seconds;
+    // Arrivals during the operation see the head the drive is committed to.
+    DeliverArrivalsUpTo(end, jukebox_->head());
+    clock_ = end;
+    MaybeMarkWarmup();
+
+    for (const Request& request : entry->requests) {
+      metrics_.OnCompletion(request.arrival_time, clock_);
+      if (closed) {
+        // The completing process issues its next request, immediately
+        // (the paper's I/O-bound processes) or after a think period.
+        if (config_.workload.think_time_seconds > 0) {
+          thinking_.Schedule(clock_ + workload_.NextThinkTime(), 0);
+        } else {
+          const Request next = workload_.NextRequest(clock_);
+          metrics_.OnArrival(clock_);
+          scheduler_->OnArrival(next, jukebox_->head());
+        }
+      }
+    }
+  }
+  MaybeMarkWarmup();
+  return metrics_.Finalize(clock_, jukebox_->counters());
+}
+
+}  // namespace tapejuke

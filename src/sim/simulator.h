@@ -1,0 +1,92 @@
+// The jukebox simulator: drives a Scheduler through the paper's four-step
+// service model (§2.2) under a closed- or open-queuing workload.
+//
+//   1. When the service list is empty, invoke the major rescheduler, which
+//      picks a tape and builds the retrieval sweep from the pending list.
+//   2. Switch to the selected tape if it is not already mounted.
+//   3. Execute the service list entry by entry; requests arriving during
+//      execution go to the incremental scheduler, which may insert them
+//      into the running sweep or defer them. The head stays where the last
+//      block finished; the next major reschedule decides about rewinds.
+//   4. When nothing is pending, wait for an arrival (open model).
+//
+// Arrivals that occur while a locate/read/switch is in flight are delivered
+// at their exact timestamps with the *committed head* — the head position
+// the drive will have when the in-flight operation completes — so the
+// incremental scheduler can only insert work that is still genuinely ahead.
+
+#ifndef TAPEJUKE_SIM_SIMULATOR_H_
+#define TAPEJUKE_SIM_SIMULATOR_H_
+
+#include "layout/catalog.h"
+#include "sched/scheduler.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+#include "tape/jukebox.h"
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Run-level simulation parameters.
+struct SimulationConfig {
+  /// Simulated wall-clock length of the run, seconds. (The paper uses 10M
+  /// seconds; 2M gives the same curve shapes with tight enough confidence.)
+  double duration_seconds = 2'000'000;
+  /// Leading window excluded from all statistics.
+  double warmup_seconds = 100'000;
+  WorkloadConfig workload;
+
+  Status Validate() const;
+};
+
+/// Single-jukebox, single-drive discrete-event simulator.
+class Simulator {
+ public:
+  /// All pointers must outlive the simulator. The jukebox must already hold
+  /// the layout the catalog describes.
+  Simulator(Jukebox* jukebox, const Catalog* catalog, Scheduler* scheduler,
+            const SimulationConfig& config);
+
+  /// Trace-replay constructor: arrivals come verbatim from `trace`
+  /// (ascending arrival times; request ids are reassigned sequentially)
+  /// instead of the configured arrival process. The workload model is
+  /// treated as open queuing.
+  Simulator(Jukebox* jukebox, const Catalog* catalog, Scheduler* scheduler,
+            const SimulationConfig& config, std::vector<Request> trace);
+
+  /// Runs the simulation to completion and returns steady-state metrics.
+  /// Call at most once per Simulator instance.
+  SimulationResult Run();
+
+ private:
+  /// Delivers every open-model arrival with timestamp <= `until` to the
+  /// incremental scheduler.
+  void DeliverArrivalsUpTo(double until, Position committed_head);
+
+  /// Marks the metrics warm-up boundary the first time the clock passes it.
+  void MaybeMarkWarmup();
+
+  Jukebox* jukebox_;
+  const Catalog* catalog_;
+  Scheduler* scheduler_;
+  SimulationConfig config_;
+  WorkloadGenerator workload_;
+  MetricsCollector metrics_;
+
+  double clock_ = 0;
+  double next_arrival_ = 0;  ///< open model only
+  bool warmup_marked_ = false;
+  bool ran_ = false;
+
+  bool trace_mode_ = false;
+  std::vector<Request> trace_;
+  size_t trace_pos_ = 0;
+
+  /// Closed model with think time: pending regeneration instants.
+  EventQueue<char> thinking_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SIM_SIMULATOR_H_

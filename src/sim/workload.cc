@@ -1,0 +1,83 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+Status WorkloadConfig::Validate() const {
+  if (model == QueuingModel::kClosed && queue_length <= 0) {
+    return Status::InvalidArgument("closed model needs queue_length >= 1");
+  }
+  if (model == QueuingModel::kOpen && mean_interarrival_seconds <= 0) {
+    return Status::InvalidArgument(
+        "open model needs a positive mean interarrival time");
+  }
+  if (hot_request_fraction < 0 || hot_request_fraction > 1) {
+    return Status::InvalidArgument("hot_request_fraction must be in [0, 1]");
+  }
+  if (think_time_seconds < 0) {
+    return Status::InvalidArgument("think time must be >= 0");
+  }
+  if (zipf_theta < 0) {
+    return Status::InvalidArgument("zipf_theta must be >= 0");
+  }
+  return Status::Ok();
+}
+
+WorkloadGenerator::WorkloadGenerator(const Catalog* catalog,
+                                     const WorkloadConfig& config)
+    : catalog_(catalog), config_(config), rng_(config.seed) {
+  TJ_CHECK(catalog != nullptr);
+  const Status status = config.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK_GT(catalog->num_blocks(), 0);
+  if (config.skew == SkewModel::kZipf) {
+    // Popularity of rank r (0-based) proportional to 1 / (r+1)^theta.
+    zipf_cdf_.reserve(static_cast<size_t>(catalog->num_blocks()));
+    double cumulative = 0;
+    for (BlockId r = 0; r < catalog->num_blocks(); ++r) {
+      cumulative += 1.0 / std::pow(static_cast<double>(r + 1),
+                                   config.zipf_theta);
+      zipf_cdf_.push_back(cumulative);
+    }
+    for (double& value : zipf_cdf_) value /= cumulative;
+  }
+}
+
+BlockId WorkloadGenerator::NextBlock() {
+  if (config_.skew == SkewModel::kZipf) {
+    const double u = rng_.UniformDouble();
+    const auto it =
+        std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<BlockId>(it - zipf_cdf_.begin());
+  }
+  const int64_t hot = catalog_->num_hot_blocks();
+  const int64_t cold = catalog_->num_cold_blocks();
+  bool pick_hot = rng_.Bernoulli(config_.hot_request_fraction);
+  if (hot == 0) pick_hot = false;
+  if (cold == 0) pick_hot = true;
+  if (pick_hot) {
+    return static_cast<BlockId>(
+        rng_.UniformUint64(static_cast<uint64_t>(hot)));
+  }
+  return hot + static_cast<BlockId>(
+                   rng_.UniformUint64(static_cast<uint64_t>(cold)));
+}
+
+Request WorkloadGenerator::NextRequest(double arrival_time) {
+  return Request{next_id_++, NextBlock(), arrival_time};
+}
+
+double WorkloadGenerator::NextInterarrival() {
+  return rng_.Exponential(config_.mean_interarrival_seconds);
+}
+
+double WorkloadGenerator::NextThinkTime() {
+  if (config_.think_time_seconds <= 0) return 0.0;
+  return rng_.Exponential(config_.think_time_seconds);
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,99 @@
+// Workload generation: hot/cold skewed block selection and the two request
+// arrival processes of the paper (§4).
+//
+// The skew model has two parameters: PH, the fraction of tape-resident data
+// that is hot (a property of the Catalog), and RH, the fraction of requests
+// directed to hot data. A hot request picks a hot block uniformly; a cold
+// request picks a cold block uniformly. Requested blocks are independent.
+//
+// Two arrival scenarios: *closed queuing* models a fixed number of
+// I/O-bound processes — a constant population of outstanding requests where
+// each completion immediately spawns a new request; *open queuing* models a
+// large client pool — a Poisson arrival process whose rate is independent
+// of the service rate.
+
+#ifndef TAPEJUKE_SIM_WORKLOAD_H_
+#define TAPEJUKE_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/catalog.h"
+#include "sched/request.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Which arrival process drives the simulation.
+enum class QueuingModel {
+  kClosed,  ///< constant outstanding-request population
+  kOpen,    ///< Poisson arrivals, rate independent of service
+};
+
+/// How request popularity is distributed over blocks.
+enum class SkewModel {
+  /// The paper's two-level model: RH of requests uniformly over the hot
+  /// blocks, the rest uniformly over the cold blocks.
+  kHotCold,
+  /// Zipf(theta) over block rank (block id == popularity rank; the layout
+  /// already places the lowest ids — the catalog's "hot" set — in the hot
+  /// region, so placement studies carry over). theta = 0 is uniform;
+  /// higher theta is more skewed.
+  kZipf,
+};
+
+/// Workload parameters.
+struct WorkloadConfig {
+  QueuingModel model = QueuingModel::kClosed;
+  /// Closed model: the constant population of outstanding requests.
+  int64_t queue_length = 60;
+  /// Closed model: mean think time between a completion and the process's
+  /// next request, seconds (exponential; 0 = the paper's I/O-bound
+  /// processes that re-request immediately).
+  double think_time_seconds = 0.0;
+  /// Open model: mean interarrival time, seconds.
+  double mean_interarrival_seconds = 60.0;
+  SkewModel skew = SkewModel::kHotCold;
+  /// RH: fraction of requests directed to hot blocks (kHotCold).
+  double hot_request_fraction = 0.40;
+  /// Zipf exponent (kZipf).
+  double zipf_theta = 0.8;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+/// Draws skewed block ids and mints sequential request ids.
+class WorkloadGenerator {
+ public:
+  /// `catalog` must outlive the generator. If the catalog has no hot (or no
+  /// cold) blocks, all requests go to the other class.
+  WorkloadGenerator(const Catalog* catalog, const WorkloadConfig& config);
+
+  /// Draws the next requested block id.
+  BlockId NextBlock();
+
+  /// Mints the next request at `arrival_time`.
+  Request NextRequest(double arrival_time);
+
+  /// Open model: sample the next interarrival gap (seconds).
+  double NextInterarrival();
+
+  /// Closed model: sample a think-time gap (0 when think time is 0).
+  double NextThinkTime();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  const Catalog* catalog_;
+  WorkloadConfig config_;
+  Rng rng_;
+  RequestId next_id_ = 0;
+  /// kZipf: cumulative popularity by block rank.
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SIM_WORKLOAD_H_

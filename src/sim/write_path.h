@@ -1,0 +1,122 @@
+// Write path: disk-resident delta staging with piggybacked tape writeback
+// (extension; paper §4 assumes "writes would be directed to disk-resident
+// delta files, occasionally written to tape during idle time or piggybacked
+// on the read schedule" — this module implements that machinery and lets
+// the bench quantify its interference with reads).
+//
+// Writes complete instantly from the client's view: they land in a bounded
+// disk buffer and dirty every tape position holding a replica of the
+// written block. Dirty data reaches tape three ways:
+//
+//   * piggyback flush — when a read sweep on tape t finishes, the drive is
+//     already positioned there: append a write pass over t's dirty
+//     positions before the next reschedule;
+//   * idle flush — when no reads are pending (open queuing), mount and
+//     clean the dirtiest tape;
+//   * forced flush — when the buffer exceeds its capacity, reads wait
+//     while the dirtiest tapes are cleaned (the interference the buffer is
+//     meant to avoid).
+
+#ifndef TAPEJUKE_SIM_WRITE_PATH_H_
+#define TAPEJUKE_SIM_WRITE_PATH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "layout/catalog.h"
+#include "sched/scheduler.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+#include "tape/jukebox.h"
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Write-path parameters.
+struct WritePathConfig {
+  /// Mean interarrival time of write operations (Poisson, independent of
+  /// the read stream). <= 0 disables writes.
+  double mean_write_interarrival_seconds = 120.0;
+  /// Fraction of writes directed to hot blocks (usually matches RH).
+  double hot_write_fraction = 0.40;
+  /// Disk staging capacity, in dirty tape-block updates. Exceeding it
+  /// triggers forced flushes.
+  int64_t buffer_capacity_blocks = 256;
+  /// Enable appending a write pass to the end of read sweeps.
+  bool piggyback = true;
+  /// Piggyback only when the mounted tape has at least this many dirty
+  /// updates — smaller batches are not worth the extra locates; they wait
+  /// for more dirt or for an idle/forced flush.
+  int64_t piggyback_min_blocks = 8;
+  /// Enable cleaning during idle periods (open queuing only).
+  bool idle_flush = true;
+
+  Status Validate() const;
+};
+
+/// Observability for the write path.
+struct WritePathStats {
+  int64_t writes_accepted = 0;
+  int64_t dirty_updates_created = 0;  ///< replica positions dirtied
+  int64_t blocks_flushed = 0;
+  int64_t piggyback_flushes = 0;  ///< flush passes appended to read sweeps
+  int64_t idle_flushes = 0;
+  int64_t forced_flushes = 0;
+  int64_t max_buffer_occupancy = 0;
+  double write_seconds = 0;  ///< drive time spent locating + writing
+};
+
+/// Single-drive simulator with a read scheduler plus the delta write path.
+class WritebackSimulator {
+ public:
+  /// All pointers must outlive the simulator; `scheduler` handles reads.
+  WritebackSimulator(Jukebox* jukebox, const Catalog* catalog,
+                     Scheduler* scheduler, const SimulationConfig& sim,
+                     const WritePathConfig& writes);
+
+  /// Runs to completion; call once. The returned metrics cover *reads*
+  /// (write latency is ~0 by construction); write-path behaviour is in
+  /// stats().
+  SimulationResult Run();
+
+  const WritePathStats& stats() const { return stats_; }
+
+  /// Dirty updates currently staged (for tests).
+  int64_t buffer_occupancy() const { return buffer_occupancy_; }
+
+ private:
+  /// Stages a write to `block` at time `now`.
+  void AcceptWrite(BlockId block, double now);
+
+  /// Writes out all dirty positions of `tape` (drive must be mounted on
+  /// it); returns elapsed seconds.
+  double FlushTape(TapeId tape);
+
+  /// Tape with the most dirty updates, or kInvalidTape.
+  TapeId DirtiestTape() const;
+
+  Jukebox* jukebox_;
+  const Catalog* catalog_;
+  Scheduler* scheduler_;
+  SimulationConfig sim_config_;
+  WritePathConfig write_config_;
+  WorkloadGenerator read_workload_;
+  Rng write_rng_;
+  MetricsCollector metrics_;
+
+  std::map<TapeId, std::set<Position>> dirty_;
+  int64_t buffer_occupancy_ = 0;
+  WritePathStats stats_;
+
+  double clock_ = 0;
+  double next_read_arrival_ = 0;
+  double next_write_arrival_ = 0;
+  bool warmup_marked_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_SIM_WRITE_PATH_H_

@@ -1,0 +1,88 @@
+#include "tape/physical_drive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+double RandomWalkResult::LocateErrorPct() const {
+  if (predicted_locate_seconds <= 0) return 0;
+  return 100.0 *
+         std::abs(measured_locate_seconds - predicted_locate_seconds) /
+         predicted_locate_seconds;
+}
+
+double RandomWalkResult::ReadErrorPct() const {
+  if (predicted_read_seconds <= 0) return 0;
+  return 100.0 * std::abs(measured_read_seconds - predicted_read_seconds) /
+         predicted_read_seconds;
+}
+
+PhysicalDrive::PhysicalDrive(const TimingModel* model,
+                             const DriveNoiseParams& noise, uint64_t seed)
+    : model_(model), noise_(noise), rng_(seed) {
+  TJ_CHECK(model != nullptr);
+  TJ_CHECK_GE(noise.locate_rel_stddev, 0.0);
+  TJ_CHECK_GE(noise.read_rel_stddev, 0.0);
+  TJ_CHECK_GE(noise.locate_bias_stddev, 0.0);
+  TJ_CHECK_GE(noise.read_bias_stddev, 0.0);
+}
+
+double PhysicalDrive::Noisy(double nominal, double bias,
+                            double rel_stddev) {
+  if (nominal <= 0) return nominal;
+  double factor = bias;
+  if (rel_stddev > 0) factor *= rng_.Normal(1.0, rel_stddev);
+  // A physical operation cannot take (near-)zero or negative time no matter
+  // the noise draw; clamp to a sane floor.
+  return nominal * std::max(factor, 0.2);
+}
+
+void PhysicalDrive::ResampleSessionBias() {
+  locate_bias_ = noise_.locate_bias_stddev > 0
+                     ? std::max(rng_.Normal(1.0, noise_.locate_bias_stddev),
+                                0.2)
+                     : 1.0;
+  read_bias_ = noise_.read_bias_stddev > 0
+                   ? std::max(rng_.Normal(1.0, noise_.read_bias_stddev), 0.2)
+                   : 1.0;
+}
+
+double PhysicalDrive::MeasureLocate(Position from, Position to) {
+  return Noisy(model_->LocateTime(from, to), locate_bias_,
+               noise_.locate_rel_stddev);
+}
+
+double PhysicalDrive::MeasureRead(int64_t mb, LocateKind preceding) {
+  return Noisy(model_->ReadTime(mb, preceding), read_bias_,
+               noise_.read_rel_stddev);
+}
+
+RandomWalkResult PhysicalDrive::RandomWalk(int steps, int64_t read_mb) {
+  TJ_CHECK_GT(steps, 0);
+  TJ_CHECK_GT(read_mb, 0);
+  const int64_t capacity = model_->params().tape_capacity_mb;
+  TJ_CHECK_GE(capacity, read_mb);
+  ResampleSessionBias();
+  RandomWalkResult result;
+  Position head = 0;
+  for (int i = 0; i < steps; ++i) {
+    // Choose a random block start so the read stays on the tape.
+    const Position target =
+        static_cast<Position>(rng_.UniformUint64(
+            static_cast<uint64_t>(capacity - read_mb + 1)));
+    LocateKind kind = LocateKind::kNone;
+    if (target > head) kind = LocateKind::kForward;
+    if (target < head) kind = LocateKind::kReverse;
+    result.predicted_locate_seconds += model_->LocateTime(head, target);
+    result.measured_locate_seconds += MeasureLocate(head, target);
+    result.predicted_read_seconds += model_->ReadTime(read_mb, kind);
+    result.measured_read_seconds += MeasureRead(read_mb, kind);
+    head = target + read_mb;
+  }
+  return result;
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,67 @@
+#include "tape/tape.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+Tape::Tape(TapeId id, int64_t capacity_mb, int64_t block_size_mb)
+    : id_(id), capacity_mb_(capacity_mb), block_size_mb_(block_size_mb) {
+  TJ_CHECK_GT(capacity_mb, 0);
+  TJ_CHECK_GT(block_size_mb, 0);
+  TJ_CHECK_LE(block_size_mb, capacity_mb);
+  slots_.assign(static_cast<size_t>(capacity_mb / block_size_mb),
+                kInvalidBlock);
+}
+
+Status Tape::PlaceBlock(BlockId block, int64_t slot) {
+  if (block < 0) {
+    return Status::InvalidArgument("block id must be non-negative");
+  }
+  if (slot < 0 || slot >= num_slots()) {
+    return Status::OutOfRange("slot " + std::to_string(slot) +
+                              " out of range on tape " + std::to_string(id_));
+  }
+  if (slots_[static_cast<size_t>(slot)] != kInvalidBlock) {
+    return Status::CapacityExceeded("slot " + std::to_string(slot) +
+                                    " already occupied on tape " +
+                                    std::to_string(id_));
+  }
+  if (slot_of_.contains(block)) {
+    return Status::InvalidArgument(
+        "block " + std::to_string(block) +
+        " already has a copy on tape " + std::to_string(id_) +
+        " (at most one copy per tape)");
+  }
+  slots_[static_cast<size_t>(slot)] = block;
+  slot_of_.emplace(block, slot);
+  return Status::Ok();
+}
+
+void Tape::ClearSlot(int64_t slot) {
+  TJ_CHECK(slot >= 0 && slot < num_slots());
+  const BlockId block = slots_[static_cast<size_t>(slot)];
+  if (block != kInvalidBlock) {
+    slot_of_.erase(block);
+    slots_[static_cast<size_t>(slot)] = kInvalidBlock;
+  }
+}
+
+BlockId Tape::BlockAtSlot(int64_t slot) const {
+  TJ_CHECK(slot >= 0 && slot < num_slots());
+  return slots_[static_cast<size_t>(slot)];
+}
+
+std::optional<int64_t> Tape::SlotOf(BlockId block) const {
+  auto it = slot_of_.find(block);
+  if (it == slot_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+int64_t Tape::SlotOfPosition(Position position) const {
+  TJ_CHECK_EQ(position % block_size_mb_, 0);
+  return position / block_size_mb_;
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,44 @@
+// Fundamental identifier and unit types for the tape subsystem.
+//
+// Positions and distances are measured in megabytes from the physical
+// beginning of tape (BOT). The paper's timing model is calibrated in units of
+// 1 MB logical blocks, so 1 position unit == 1 MB.
+
+#ifndef TAPEJUKE_TAPE_TYPES_H_
+#define TAPEJUKE_TAPE_TYPES_H_
+
+#include <cstdint>
+
+namespace tapejuke {
+
+/// Index of a tape within a jukebox (0-based "jukebox order").
+using TapeId = int32_t;
+
+/// Logical data block identifier (location-independent).
+using BlockId = int64_t;
+
+/// Physical position on a tape, in MB from the beginning of tape.
+using Position = int64_t;
+
+/// Sentinel for "no block".
+inline constexpr BlockId kInvalidBlock = -1;
+
+/// Sentinel for "no tape".
+inline constexpr TapeId kInvalidTape = -1;
+
+/// Tape motion direction induced by the position numbering.
+enum class Direction {
+  kForward,  ///< toward higher positions ("up")
+  kReverse,  ///< toward lower positions ("down")
+};
+
+/// What kind of head repositioning preceded a read (affects read startup).
+enum class LocateKind {
+  kNone,     ///< head already at the block: streaming continuation
+  kForward,  ///< read follows a forward locate
+  kReverse,  ///< read follows a reverse locate
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_TAPE_TYPES_H_

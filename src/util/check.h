@@ -1,0 +1,72 @@
+// Lightweight assertion macros in the spirit of glog's CHECK family.
+//
+// The library does not use exceptions; internal invariant violations are
+// programming errors and abort the process with a source location and a
+// user-supplied message streamed via operator<<.
+
+#ifndef TAPEJUKE_UTIL_CHECK_H_
+#define TAPEJUKE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tapejuke {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts when destroyed.
+///
+/// Usage is only via the CHECK macros below: the temporary collects streamed
+/// operands and fires in its destructor so the macro can appear in expression
+/// position.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace tapejuke
+
+/// Aborts with a diagnostic if `condition` is false. Always enabled.
+#define TJ_CHECK(condition)                                             \
+  while (!(condition))                                                  \
+  ::tapejuke::internal_check::CheckFailureStream("TJ_CHECK", __FILE__, \
+                                                 __LINE__, #condition)
+
+#define TJ_CHECK_OP(op, a, b) TJ_CHECK((a)op(b))
+#define TJ_CHECK_EQ(a, b) TJ_CHECK_OP(==, a, b)
+#define TJ_CHECK_NE(a, b) TJ_CHECK_OP(!=, a, b)
+#define TJ_CHECK_LT(a, b) TJ_CHECK_OP(<, a, b)
+#define TJ_CHECK_LE(a, b) TJ_CHECK_OP(<=, a, b)
+#define TJ_CHECK_GT(a, b) TJ_CHECK_OP(>, a, b)
+#define TJ_CHECK_GE(a, b) TJ_CHECK_OP(>=, a, b)
+
+/// Debug-only variant of TJ_CHECK; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define TJ_DCHECK(condition) TJ_CHECK(true || (condition))
+#else
+#define TJ_DCHECK(condition) TJ_CHECK(condition)
+#endif
+
+#endif  // TAPEJUKE_UTIL_CHECK_H_

@@ -1,0 +1,64 @@
+// A tiny command-line flag parser for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name /
+// --no-name. Unrecognized flags are an error so typos fail loudly.
+
+#ifndef TAPEJUKE_UTIL_FLAGS_H_
+#define TAPEJUKE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Declarative flag set: register flags bound to caller-owned storage, then
+/// Parse(argc, argv).
+class FlagSet {
+ public:
+  /// `program_summary` is shown by --help.
+  explicit FlagSet(std::string program_summary);
+
+  /// Registers flags. `help` is shown by --help; the bound pointer must
+  /// outlive Parse and holds the default value on entry.
+  void AddInt64(const std::string& name, int64_t* target,
+                const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Parses argv. On --help prints usage and returns a NotFound status the
+  /// caller should treat as "exit 0". Positional arguments are collected in
+  /// positional().
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text (also printed by --help).
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_text;
+  };
+
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::string summary_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_FLAGS_H_

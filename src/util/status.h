@@ -1,0 +1,127 @@
+// Minimal Status / StatusOr error-reporting types.
+//
+// Library entry points that can fail due to caller input (bad configuration,
+// impossible layouts) return Status or StatusOr<T>; internal invariants use
+// TJ_CHECK. No exceptions are thrown on library paths.
+
+#ifndef TAPEJUKE_UTIL_STATUS_H_
+#define TAPEJUKE_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kCapacityExceeded,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a diagnostic message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Access to the value of a
+/// non-OK StatusOr is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    TJ_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TJ_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TJ_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TJ_CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Returns early from the enclosing function if `expr` is a non-OK Status.
+#define TJ_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::tapejuke::Status tj_status__ = (expr);  \
+    if (!tj_status__.ok()) return tj_status__; \
+  } while (false)
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_STATUS_H_

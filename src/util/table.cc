@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TJ_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<Cell> row) {
+  TJ_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Format(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<int64_t>(&cell)) return std::to_string(*i);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision_)
+      << std::get<double>(cell);
+  return out.str();
+}
+
+void Table::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      formatted.push_back(Format(row[c]));
+      widths[c] = std::max(widths[c], formatted.back().size());
+    }
+    cells.push_back(std::move(formatted));
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : cells) print_row(row);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << CsvEscape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << CsvEscape(Format(row[c]));
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,48 @@
+// Table rendering for benchmark output: aligned text and CSV.
+//
+// Every figure bench prints one Table per paper graph: the same series the
+// paper plots, both human-readable and machine-parseable.
+
+#ifndef TAPEJUKE_UTIL_TABLE_H_
+#define TAPEJUKE_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tapejuke {
+
+/// A column-aligned table with typed cells.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, int64_t>;
+
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets the number of decimal places used for double cells (default 3).
+  void set_precision(int digits) { precision_ = digits; }
+
+  /// Appends one row; its length must match the header count.
+  void AddRow(std::vector<Cell> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes the table as aligned, padded text.
+  void PrintText(std::ostream& os) const;
+
+  /// Writes the table as CSV (RFC-4180 quoting for strings that need it).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::string Format(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_TABLE_H_

@@ -1,0 +1,54 @@
+// Unit tests for the replica catalog.
+
+#include "layout/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace tapejuke {
+namespace {
+
+TEST(Catalog, BasicAccessors) {
+  std::vector<std::vector<Replica>> replicas = {
+      {{0, 0, 0}},            // block 0 (hot): one copy on tape 0
+      {{1, 2, 32}, {2, 5, 80}},  // block 1 (cold? no: ids < num_hot are hot)
+      {{0, 1, 16}},
+  };
+  Catalog catalog(std::move(replicas), /*num_hot=*/2);
+  EXPECT_EQ(catalog.num_blocks(), 3);
+  EXPECT_EQ(catalog.num_hot_blocks(), 2);
+  EXPECT_EQ(catalog.num_cold_blocks(), 1);
+  EXPECT_TRUE(catalog.IsHot(0));
+  EXPECT_TRUE(catalog.IsHot(1));
+  EXPECT_FALSE(catalog.IsHot(2));
+  EXPECT_EQ(catalog.TotalCopies(), 4);
+  EXPECT_EQ(catalog.ReplicasOf(1).size(), 2u);
+}
+
+TEST(Catalog, ReplicaOnFindsByTape) {
+  std::vector<std::vector<Replica>> replicas = {
+      {{0, 0, 0}, {3, 7, 112}},
+  };
+  Catalog catalog(std::move(replicas), 1);
+  const Replica* on3 = catalog.ReplicaOn(0, 3);
+  ASSERT_NE(on3, nullptr);
+  EXPECT_EQ(on3->position, 112);
+  EXPECT_EQ(catalog.ReplicaOn(0, 1), nullptr);
+}
+
+TEST(CatalogDeathTest, RejectsEmptyReplicaList) {
+  std::vector<std::vector<Replica>> replicas = {{}};
+  EXPECT_DEATH(Catalog(std::move(replicas), 0), "at least one replica");
+}
+
+TEST(CatalogDeathTest, RejectsDuplicateTapes) {
+  std::vector<std::vector<Replica>> replicas = {{{0, 0, 0}, {0, 5, 80}}};
+  EXPECT_DEATH(Catalog(std::move(replicas), 0), "duplicate replica tape");
+}
+
+TEST(CatalogDeathTest, RejectsBadHotCount) {
+  std::vector<std::vector<Replica>> replicas = {{{0, 0, 0}}};
+  EXPECT_DEATH(Catalog(std::move(replicas), 2), "");
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,64 @@
+// Tests for the TJ_CHECK assertion macros.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace tapejuke {
+namespace {
+
+TEST(Check, PassingConditionsDoNothing) {
+  TJ_CHECK(true);
+  TJ_CHECK_EQ(1, 1);
+  TJ_CHECK_NE(1, 2);
+  TJ_CHECK_LT(1, 2);
+  TJ_CHECK_LE(2, 2);
+  TJ_CHECK_GT(3, 2);
+  TJ_CHECK_GE(3, 3);
+  TJ_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailureAbortsWithLocationAndCondition) {
+  EXPECT_DEATH(TJ_CHECK(1 == 2), "TJ_CHECK failed at .*check_test.cc");
+  EXPECT_DEATH(TJ_CHECK_EQ(3, 4), "\\(3\\)==\\(4\\)");
+}
+
+TEST(CheckDeathTest, StreamedOperandsAppearInMessage) {
+  const int value = 42;
+  EXPECT_DEATH(TJ_CHECK(false) << "bad value" << value, "bad value 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacros) {
+  EXPECT_DEATH(TJ_CHECK_LT(5, 5), "");
+  EXPECT_DEATH(TJ_CHECK_GT(5, 5), "");
+  EXPECT_DEATH(TJ_CHECK_NE(7, 7), "");
+}
+
+TEST(Check, ConditionNotReevaluated) {
+  // The while-loop formulation must evaluate a passing condition once.
+  int evaluations = 0;
+  TJ_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifdef NDEBUG
+TEST(Check, DcheckCompiledOutInRelease) {
+  int evaluations = 0;
+  TJ_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }());
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH(TJ_DCHECK(false), "TJ_CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,76 @@
+// Tests for the envelope scheduler's behaviour counters, including the
+// structural finding documented in EXPERIMENTS.md: with full replication
+// at the tape ends, shrink and the multi-replica tie-break cannot fire.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "sched/envelope_scheduler.h"
+
+namespace tapejuke {
+namespace {
+
+SimulationResult RunWithCounters(
+    int32_t num_replicas, double start_position,
+    EnvelopeScheduler::EnvelopeCounters* counters) {
+  JukeboxConfig jukebox_config;
+  Jukebox jukebox(jukebox_config);
+  LayoutSpec layout;
+  layout.num_replicas = num_replicas;
+  layout.start_position = start_position;
+  const Catalog catalog = LayoutBuilder::Build(&jukebox, layout).value();
+  EnvelopeScheduler scheduler(&jukebox, &catalog,
+                              TapePolicy::kMaxBandwidth);
+  SimulationConfig sim_config;
+  sim_config.duration_seconds = 400'000;
+  sim_config.warmup_seconds = 40'000;
+  sim_config.workload.queue_length = 60;
+  sim_config.workload.seed = 21;
+  Simulator sim(&jukebox, &catalog, &scheduler, sim_config);
+  const SimulationResult result = sim.Run();
+  *counters = scheduler.counters();
+  return result;
+}
+
+TEST(EnvelopeCounters, FullReplicationAtEndsNeverShrinks) {
+  EnvelopeScheduler::EnvelopeCounters counters;
+  RunWithCounters(9, 1.0, &counters);
+  EXPECT_GT(counters.major_reschedules, 100);
+  EXPECT_GT(counters.extension_rounds, 100);
+  EXPECT_GT(counters.incremental_inserts, 100);
+  // The structural finding: cold-pinned envelopes never enclose two
+  // replicas of one block when hot data sits at the tape ends.
+  EXPECT_EQ(counters.shrink_moves, 0);
+  EXPECT_EQ(counters.multi_replica_choices, 0);
+  EXPECT_EQ(counters.sweep_trims, 0);
+}
+
+TEST(EnvelopeCounters, PartialReplicationAtEndsShrinks) {
+  EnvelopeScheduler::EnvelopeCounters counters;
+  RunWithCounters(3, 1.0, &counters);
+  EXPECT_GT(counters.shrink_moves, 0);
+  EXPECT_GT(counters.sweep_trims, 0);
+}
+
+TEST(EnvelopeCounters, ReplicationAtFrontAbsorbsInsteadOfExtending) {
+  EnvelopeScheduler::EnvelopeCounters counters;
+  RunWithCounters(9, 0.0, &counters);
+  // Hot replicas in the cold-pinned prefix: step 2 absorbs them (facing
+  // real multi-replica choices), so steps 3-5 have nothing to do.
+  EXPECT_GT(counters.multi_replica_choices, 100);
+  EXPECT_EQ(counters.extension_rounds, 0);
+}
+
+TEST(EnvelopeCounters, NoReplicationNeverExtendsOrChooses) {
+  EnvelopeScheduler::EnvelopeCounters counters;
+  RunWithCounters(0, 0.0, &counters);
+  // Single-copy blocks: the initial envelope covers everything; the
+  // algorithm degenerates to the dynamic scheduler (no global machinery).
+  EXPECT_EQ(counters.extension_rounds, 0);
+  EXPECT_EQ(counters.shrink_moves, 0);
+  EXPECT_EQ(counters.multi_replica_choices, 0);
+  EXPECT_GT(counters.incremental_inserts, 0);
+}
+
+}  // namespace
+}  // namespace tapejuke

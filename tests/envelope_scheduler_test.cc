@@ -1,0 +1,190 @@
+// Unit tests for the envelope-extension scheduler (paper §3.2), including
+// the paper's Figure 2 worked example.
+
+#include "sched/envelope_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tapejuke {
+namespace {
+
+Request Req(RequestId id, BlockId block) {
+  return Request{id, block, static_cast<double>(id)};
+}
+
+// The paper's Figure 2: blocks A, B requested near the start of tape 1 (the
+// mounted tape), C near the start of tape 0, and D replicated — far out on
+// tape 1 but right after C on tape 0. A greedy scheduler runs to the end of
+// tape 1 for D; the envelope algorithm fetches D's copy behind C instead.
+class Figure2Test : public ::testing::Test {
+ protected:
+  static constexpr BlockId kA = 0, kB = 1, kC = 2, kD = 3;
+
+  Figure2Test() : rig_(2) {
+    rig_.Place(kA, 1, 0);
+    rig_.Place(kB, 1, 1);
+    rig_.Place(kD, 1, 9);  // far replica
+    rig_.Place(kC, 0, 1);
+    rig_.Place(kD, 0, 2);  // copy that follows C
+    catalog_ = rig_.BuildCatalog();
+    rig_.jukebox().SwitchTo(1);  // head at the beginning of tape 1
+  }
+
+  TinyRig rig_;
+  std::optional<Catalog> catalog_;
+};
+
+TEST_F(Figure2Test, UpperEnvelopeRetrievesDFromTapeZero) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  const std::vector<Request> requests = {Req(1, kA), Req(2, kB), Req(3, kC),
+                                         Req(4, kD)};
+  const auto result = sched.ComputeUpperEnvelope(requests);
+
+  // Initial envelope: tape 1 up to the end of B, tape 0 up to the end of C.
+  ASSERT_EQ(result.initial_envelope.size(), 2u);
+  EXPECT_EQ(result.initial_envelope[1], 32);
+  EXPECT_EQ(result.initial_envelope[0], 32);
+  // D was the only request unscheduled after step 2.
+  ASSERT_EQ(result.initially_unscheduled.size(), 1u);
+  EXPECT_EQ(result.initially_unscheduled[0].block, kD);
+
+  // The extension encloses D's cheap copy on tape 0, not the far one.
+  ASSERT_TRUE(result.assignment.contains(4));
+  EXPECT_EQ(result.assignment.at(4).tape, 0);
+  EXPECT_EQ(result.assignment.at(4).position, 32);
+  EXPECT_EQ(result.envelope[0], 48);
+  EXPECT_EQ(result.envelope[1], 32);  // tape 1 never extends to slot 9
+}
+
+TEST_F(Figure2Test, MajorRescheduleNeverVisitsTapeOneEnd) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  for (const Request& r :
+       {Req(1, kA), Req(2, kB), Req(3, kC), Req(4, kD)}) {
+    sched.OnArrival(r, 0);
+  }
+  // First sweep: the mounted tape (A, B) wins the max-requests tie.
+  const TapeId first = sched.MajorReschedule();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  Position max_position = 0;
+  while (auto entry = sched.PopNext()) {
+    max_position = std::max(max_position, entry->position);
+  }
+  EXPECT_LE(max_position, 16);  // B, not the D copy at 144
+
+  // Second sweep: tape 0 serves C and D.
+  rig_.jukebox().SwitchTo(first);
+  const TapeId second = sched.MajorReschedule();
+  EXPECT_EQ(second, 0);
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  EXPECT_EQ(sched.PopNext()->block, kC);
+  EXPECT_EQ(sched.PopNext()->block, kD);
+  EXPECT_FALSE(sched.HasWork());
+}
+
+TEST_F(Figure2Test, Name) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxBandwidth);
+  EXPECT_EQ(sched.name(), "max-bandwidth envelope");
+}
+
+// Incremental-scheduler behaviour.
+class EnvelopeIncrementalTest : public ::testing::Test {
+ protected:
+  // Tape 0: P (block 0) at slot 0; X (block 1) at slot 5, replicated on
+  // tape 1 slot 8. Tape 1: Q (block 2) at slot 1; Y (block 3) at slot 9.
+  EnvelopeIncrementalTest() : rig_(2) {
+    rig_.Place(0, 0, 0);
+    rig_.Place(1, 0, 5);
+    rig_.Place(1, 1, 8);
+    rig_.Place(2, 1, 1);
+    rig_.Place(3, 1, 9);
+    catalog_ = rig_.BuildCatalog();
+    rig_.jukebox().SwitchTo(0);
+  }
+
+  TinyRig rig_;
+  std::optional<Catalog> catalog_;
+};
+
+TEST_F(EnvelopeIncrementalTest, ArrivalInsideEnvelopeJoinsSweep) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  sched.OnArrival(Req(1, 0), 0);
+  sched.OnArrival(Req(2, 1), 0);
+  ASSERT_EQ(sched.MajorReschedule(), 0);
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  // envelope on tape 0 reaches the end of X (96); a second request for P
+  // (inside, ahead of head 0) inserts.
+  sched.OnArrival(Req(3, 0), /*committed_head=*/0);
+  EXPECT_EQ(sched.sweep_size(), 2u);  // joined P's existing entry
+  EXPECT_EQ(sched.pending_size(), 0u);
+}
+
+TEST_F(EnvelopeIncrementalTest, ExtensionShrinksActiveSweep) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  sched.OnArrival(Req(1, 0), 0);  // P pins tape 0
+  sched.OnArrival(Req(2, 1), 0);  // X: replicated, both copies outside
+  sched.OnArrival(Req(3, 2), 0);  // Q pins tape 1
+  ASSERT_EQ(sched.MajorReschedule(), 0);
+  // Sweep on tape 0: P and X (X's tape-0 extension is cheaper than its
+  // far tape-1 copy).
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  ASSERT_EQ(sched.current_envelope().size(), 2u);
+  EXPECT_EQ(sched.current_envelope()[0], 96);   // end of X on tape 0
+  EXPECT_EQ(sched.current_envelope()[1], 32);   // end of Q
+
+  // Y arrives: only on tape 1 at slot 9 (position 144). Extending tape 1's
+  // envelope to 160 encloses X's tape-1 copy (128..144), so X becomes
+  // redundant on tape 0: step 5 trims it from the active sweep.
+  sched.OnArrival(Req(4, 3), /*committed_head=*/0);
+  EXPECT_EQ(sched.sweep_size(), 1u);               // only P remains
+  EXPECT_EQ(sched.current_envelope()[0], 16);      // shrunk to end of P
+  EXPECT_EQ(sched.current_envelope()[1], 160);     // extended for Y
+  EXPECT_EQ(sched.pending_size(), 3u);             // Q + re-deferred X + Y
+  // Re-deferred requests keep arrival (id) order: X (id 2) before Q (3).
+  EXPECT_EQ(sched.pending().front().id, 2);
+
+  // The next visit to tape 1 serves Q, X, and Y in one pass.
+  while (sched.PopNext()) {
+  }
+  rig_.jukebox().SwitchTo(0);
+  EXPECT_EQ(sched.MajorReschedule(), 1);
+  EXPECT_EQ(sched.sweep_size(), 3u);  // Q (16), X (128), Y (144)
+}
+
+TEST_F(EnvelopeIncrementalTest, ShrinkAblationKeepsSweepIntact) {
+  SchedulerOptions options;
+  options.envelope_shrink = false;
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests, options);
+  sched.OnArrival(Req(1, 0), 0);
+  sched.OnArrival(Req(2, 1), 0);
+  sched.OnArrival(Req(3, 2), 0);
+  ASSERT_EQ(sched.MajorReschedule(), 0);
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  sched.OnArrival(Req(4, 3), 0);
+  EXPECT_EQ(sched.sweep_size(), 2u);  // X stays scheduled on tape 0
+}
+
+TEST_F(EnvelopeIncrementalTest, ArrivalWhileIdleIsDeferred) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  sched.OnArrival(Req(1, 0), 0);
+  EXPECT_EQ(sched.pending_size(), 1u);
+  EXPECT_TRUE(sched.sweep_empty());
+}
+
+TEST_F(EnvelopeIncrementalTest, NoPendingWorkReturnsInvalidTape) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  EXPECT_EQ(sched.MajorReschedule(), kInvalidTape);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,69 @@
+// Unit tests for the DES event queue.
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tapejuke {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.Schedule(3.0, 30);
+  q.Schedule(1.0, 10);
+  q.Schedule(2.0, 20);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 1.0);
+  EXPECT_EQ(q.Pop().second, 10);
+  EXPECT_EQ(q.Pop().second, 20);
+  EXPECT_EQ(q.Pop().second, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EqualTimesPreserveInsertionOrder) {
+  EventQueue<std::string> q;
+  q.Schedule(5.0, "first");
+  q.Schedule(5.0, "second");
+  q.Schedule(5.0, "third");
+  EXPECT_EQ(q.Pop().second, "first");
+  EXPECT_EQ(q.Pop().second, "second");
+  EXPECT_EQ(q.Pop().second, "third");
+}
+
+TEST(EventQueue, PopUntilRespectsDeadline) {
+  EventQueue<int> q;
+  q.Schedule(1.0, 1);
+  q.Schedule(2.0, 2);
+  q.Schedule(10.0, 3);
+  EXPECT_TRUE(q.PopUntil(5.0).has_value());
+  EXPECT_TRUE(q.PopUntil(5.0).has_value());
+  EXPECT_FALSE(q.PopUntil(5.0).has_value());
+  EXPECT_EQ(q.size(), 1u);
+  const auto last = q.PopUntil(10.0);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->second, 3);
+}
+
+TEST(EventQueue, PopUntilOnEmptyQueue) {
+  EventQueue<int> q;
+  EXPECT_FALSE(q.PopUntil(100.0).has_value());
+}
+
+TEST(EventQueue, MovesPayload) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.Schedule(1.0, std::make_unique<int>(7));
+  auto [time, payload] = q.Pop();
+  EXPECT_DOUBLE_EQ(time, 1.0);
+  EXPECT_EQ(*payload, 7);
+}
+
+TEST(EventQueueDeathTest, PopEmptyAborts) {
+  EventQueue<int> q;
+  EXPECT_DEATH(q.Pop(), "");
+  EXPECT_DEATH(q.NextTime(), "");
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,98 @@
+// Tests for the jukebox-farm simulator.
+
+#include "core/farm.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tapejuke {
+namespace {
+
+FarmConfig BaseFarm(int32_t boxes, int64_t total_queue) {
+  FarmConfig config;
+  config.num_jukeboxes = boxes;
+  config.per_jukebox.algorithm =
+      AlgorithmSpec::Parse("dynamic-max-bandwidth").value();
+  config.per_jukebox.sim.duration_seconds = 400'000;
+  config.per_jukebox.sim.warmup_seconds = 40'000;
+  config.per_jukebox.sim.workload.queue_length = total_queue;
+  config.per_jukebox.sim.workload.seed = 77;
+  return config;
+}
+
+TEST(FarmConfig, Validation) {
+  FarmConfig config = BaseFarm(2, 60);
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_jukeboxes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Farm, SingleBoxMatchesPlainSimulator) {
+  FarmConfig config = BaseFarm(1, 60);
+  const FarmResult farm = FarmSimulator(config).Run();
+  const ExperimentResult plain =
+      ExperimentRunner::Run(config.per_jukebox).value();
+  // One box, same seed structure but a different request stream (the farm
+  // interleaves a router draw); expect statistical agreement.
+  EXPECT_NEAR(farm.aggregate.requests_per_minute /
+                  plain.sim.requests_per_minute,
+              1.0, 0.05);
+}
+
+TEST(Farm, ThroughputScalesWithBoxes) {
+  // Fixed per-box load: total population scales with the farm.
+  const FarmResult one = FarmSimulator(BaseFarm(1, 60)).Run();
+  const FarmResult three = FarmSimulator(BaseFarm(3, 180)).Run();
+  EXPECT_NEAR(three.aggregate.requests_per_minute /
+                  one.aggregate.requests_per_minute,
+              3.0, 0.25);
+}
+
+TEST(Farm, PopulationSplitsEvenly) {
+  const FarmResult result = FarmSimulator(BaseFarm(4, 120)).Run();
+  ASSERT_EQ(result.mean_outstanding_per_jukebox.size(), 4u);
+  const double total = std::accumulate(
+      result.mean_outstanding_per_jukebox.begin(),
+      result.mean_outstanding_per_jukebox.end(), 0.0);
+  EXPECT_NEAR(total, 120.0, 1.0);
+  for (const double outstanding : result.mean_outstanding_per_jukebox) {
+    EXPECT_NEAR(outstanding, 30.0, 4.0);  // migration noise, not pinned
+  }
+  // Work is shared: every box completed a fair share.
+  for (const int64_t completions : result.completions_per_jukebox) {
+    EXPECT_GT(completions,
+              result.aggregate.completed_requests / 8);
+  }
+}
+
+TEST(Farm, FixedSplitApproximationIsClose) {
+  // §4.8 assumes a farm of n boxes at total population Q behaves like one
+  // box at Q/n. Compare a real 3-box farm (population 180) against a
+  // single box at queue 60.
+  const FarmResult farm = FarmSimulator(BaseFarm(3, 180)).Run();
+  FarmConfig single = BaseFarm(1, 60);
+  const FarmResult approx = FarmSimulator(single).Run();
+  const double per_box_thr = farm.aggregate.requests_per_minute / 3.0;
+  EXPECT_NEAR(per_box_thr / approx.aggregate.requests_per_minute, 1.0,
+              0.10);
+}
+
+TEST(Farm, OpenModelRoutesPoissonStream) {
+  FarmConfig config = BaseFarm(2, 60);
+  config.per_jukebox.sim.workload.model = QueuingModel::kOpen;
+  config.per_jukebox.sim.workload.mean_interarrival_seconds = 40;
+  const FarmResult result = FarmSimulator(config).Run();
+  // Two boxes absorb a 1.5/min farm-wide stream.
+  EXPECT_NEAR(result.aggregate.requests_per_minute, 1.5, 0.3);
+}
+
+TEST(Farm, Deterministic) {
+  const FarmResult a = FarmSimulator(BaseFarm(2, 80)).Run();
+  const FarmResult b = FarmSimulator(BaseFarm(2, 80)).Run();
+  EXPECT_EQ(a.aggregate.completed_requests, b.aggregate.completed_requests);
+  EXPECT_EQ(a.completions_per_jukebox, b.completions_per_jukebox);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,189 @@
+// Unit tests for the FIFO, static, and dynamic greedy schedulers.
+
+#include "sched/greedy_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/fifo_scheduler.h"
+#include "test_util.h"
+
+namespace tapejuke {
+namespace {
+
+Request Req(RequestId id, BlockId block) {
+  return Request{id, block, static_cast<double>(id)};
+}
+
+class GreedySchedulerTest : public ::testing::Test {
+ protected:
+  // Two tapes x 10 slots. Tape 0: blocks 0..3 at slots 0..3.
+  // Tape 1: blocks 4..5 at slots 0..1. Block 6 on both tapes (replicated).
+  GreedySchedulerTest() : rig_(2) {
+    rig_.Place(0, 0, 0);
+    rig_.Place(1, 0, 1);
+    rig_.Place(2, 0, 2);
+    rig_.Place(3, 0, 3);
+    rig_.Place(4, 1, 0);
+    rig_.Place(5, 1, 1);
+    rig_.Place(6, 0, 8);
+    rig_.Place(6, 1, 8);
+    catalog_ = rig_.BuildCatalog(/*num_hot=*/0);
+  }
+
+  TinyRig rig_;
+  std::optional<Catalog> catalog_;
+};
+
+TEST_F(GreedySchedulerTest, StaticExtractsAllRequestsForChosenTape) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/false);
+  sched.OnArrival(Req(1, 4), 0);
+  sched.OnArrival(Req(2, 0), 0);
+  sched.OnArrival(Req(3, 2), 0);
+  sched.OnArrival(Req(4, 1), 0);
+  EXPECT_EQ(sched.pending_size(), 4u);
+  const TapeId tape = sched.MajorReschedule();
+  EXPECT_EQ(tape, 0);  // three requests on tape 0 vs one on tape 1
+  EXPECT_EQ(sched.sweep_size(), 3u);
+  EXPECT_EQ(sched.pending_size(), 1u);  // block 4 deferred
+  // Sweep sorted by position ascending.
+  EXPECT_EQ(sched.PopNext()->position, 0);
+  EXPECT_EQ(sched.PopNext()->position, 16);
+  EXPECT_EQ(sched.PopNext()->position, 32);
+}
+
+TEST_F(GreedySchedulerTest, StaticDefersArrivalsEvenForMountedTape) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/false);
+  sched.OnArrival(Req(1, 0), 0);
+  rig_.jukebox().SwitchTo(sched.MajorReschedule());
+  EXPECT_EQ(sched.sweep_size(), 1u);
+  // New request for the mounted tape, ahead of the head: still deferred.
+  sched.OnArrival(Req(2, 3), 0);
+  EXPECT_EQ(sched.sweep_size(), 1u);
+  EXPECT_EQ(sched.pending_size(), 1u);
+}
+
+TEST_F(GreedySchedulerTest, DynamicInsertsAheadOnMountedTape) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/true);
+  sched.OnArrival(Req(1, 0), 0);
+  sched.OnArrival(Req(2, 2), 0);
+  rig_.jukebox().SwitchTo(sched.MajorReschedule());
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  // Block 1 (slot 1, position 16) is ahead of head 0: inserted on the fly.
+  sched.OnArrival(Req(3, 1), /*committed_head=*/0);
+  EXPECT_EQ(sched.sweep_size(), 3u);
+  EXPECT_EQ(sched.pending_size(), 0u);
+  EXPECT_EQ(sched.PopNext()->position, 0);
+  EXPECT_EQ(sched.PopNext()->position, 16);
+  EXPECT_EQ(sched.PopNext()->position, 32);
+}
+
+TEST_F(GreedySchedulerTest, DynamicDefersOtherTapeArrivals) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/true);
+  sched.OnArrival(Req(1, 0), 0);
+  rig_.jukebox().SwitchTo(sched.MajorReschedule());
+  sched.OnArrival(Req(2, 4), 0);  // tape 1 only
+  EXPECT_EQ(sched.sweep_size(), 1u);
+  EXPECT_EQ(sched.pending_size(), 1u);
+}
+
+TEST_F(GreedySchedulerTest, DynamicBehindHeadUsesReversePhase) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/true);
+  sched.OnArrival(Req(1, 3), 0);  // slot 3, position 48
+  rig_.jukebox().SwitchTo(sched.MajorReschedule());
+  // Committed head is 64 (past block 0 at position 0): goes to the
+  // reverse phase by default.
+  sched.OnArrival(Req(2, 0), /*committed_head=*/64);
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  EXPECT_EQ(sched.PopNext()->position, 48);
+  EXPECT_EQ(sched.PopNext()->position, 0);
+}
+
+TEST_F(GreedySchedulerTest, ReversePhaseAblationDefersInstead) {
+  SchedulerOptions options;
+  options.allow_reverse_phase = false;
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/true, options);
+  sched.OnArrival(Req(1, 3), 0);
+  rig_.jukebox().SwitchTo(sched.MajorReschedule());
+  sched.OnArrival(Req(2, 0), /*committed_head=*/64);
+  EXPECT_EQ(sched.sweep_size(), 1u);
+  EXPECT_EQ(sched.pending_size(), 1u);
+}
+
+TEST_F(GreedySchedulerTest, DuplicateBlockRequestsShareOneRead) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/false);
+  sched.OnArrival(Req(1, 2), 0);
+  sched.OnArrival(Req(2, 2), 0);
+  sched.MajorReschedule();
+  ASSERT_EQ(sched.sweep_size(), 1u);
+  EXPECT_EQ(sched.PopNext()->requests.size(), 2u);
+}
+
+TEST_F(GreedySchedulerTest, ReplicatedBlockServedFromChosenTape) {
+  GreedyScheduler sched(&rig_.jukebox(), &*catalog_,
+                        TapePolicy::kMaxRequests, /*dynamic=*/false);
+  sched.OnArrival(Req(1, 6), 0);  // replicated on both tapes
+  sched.OnArrival(Req(2, 4), 0);  // tape 1
+  const TapeId tape = sched.MajorReschedule();
+  EXPECT_EQ(tape, 1);  // tape 1 satisfies both requests
+  EXPECT_EQ(sched.sweep_size(), 2u);
+  EXPECT_EQ(sched.pending_size(), 0u);
+}
+
+TEST_F(GreedySchedulerTest, Names) {
+  EXPECT_EQ(GreedyScheduler(&rig_.jukebox(), &*catalog_,
+                            TapePolicy::kMaxBandwidth, false)
+                .name(),
+            "static max-bandwidth");
+  EXPECT_EQ(GreedyScheduler(&rig_.jukebox(), &*catalog_,
+                            TapePolicy::kRoundRobin, true)
+                .name(),
+            "dynamic round-robin");
+}
+
+TEST_F(GreedySchedulerTest, FifoServesInArrivalOrder) {
+  FifoScheduler sched(&rig_.jukebox(), &*catalog_);
+  sched.OnArrival(Req(1, 3), 0);
+  sched.OnArrival(Req(2, 4), 0);
+  sched.OnArrival(Req(3, 0), 0);
+  EXPECT_EQ(sched.name(), "fifo");
+
+  EXPECT_EQ(sched.MajorReschedule(), 0);
+  EXPECT_EQ(sched.sweep_size(), 1u);
+  EXPECT_EQ(sched.PopNext()->block, 3);
+
+  EXPECT_EQ(sched.MajorReschedule(), 1);
+  EXPECT_EQ(sched.PopNext()->block, 4);
+
+  EXPECT_EQ(sched.MajorReschedule(), 0);
+  EXPECT_EQ(sched.PopNext()->block, 0);
+  EXPECT_FALSE(sched.HasWork());
+}
+
+TEST_F(GreedySchedulerTest, FifoPrefersMountedReplicaForReplicatedBlock) {
+  FifoScheduler sched(&rig_.jukebox(), &*catalog_);
+  rig_.jukebox().SwitchTo(1);
+  sched.OnArrival(Req(1, 6), 0);
+  EXPECT_EQ(sched.MajorReschedule(), 1);
+}
+
+TEST_F(GreedySchedulerTest, FifoAbsorbsDuplicateBlockRequests) {
+  FifoScheduler sched(&rig_.jukebox(), &*catalog_);
+  sched.OnArrival(Req(1, 2), 0);
+  sched.OnArrival(Req(2, 0), 0);
+  sched.OnArrival(Req(3, 2), 0);
+  sched.MajorReschedule();
+  const ServiceEntry entry = *sched.PopNext();
+  EXPECT_EQ(entry.block, 2);
+  EXPECT_EQ(entry.requests.size(), 2u);  // requests 1 and 3
+  EXPECT_EQ(sched.pending_size(), 1u);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,145 @@
+// Tests for the gradual-fill replica lifecycle (§4.8).
+
+#include "sim/lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include "layout/placement.h"
+#include "sched/envelope_scheduler.h"
+
+namespace tapejuke {
+namespace {
+
+JukeboxConfig PaperJukebox() {
+  JukeboxConfig config;
+  config.num_tapes = 10;
+  config.block_size_mb = 16;
+  return config;
+}
+
+// Spare-capacity starting layout per the paper's recommendation: hot data
+// on a dedicated tape, the other tapes only part-filled with cold data
+// (spread, not packed), leaving free space at every tape's end for the
+// replicas to come.
+LayoutSpec SpareLayout(Jukebox* probe) {
+  LayoutSpec replicated;
+  replicated.layout = HotLayout::kVertical;
+  replicated.num_replicas = 9;
+  replicated.start_position = 1.0;
+  LayoutSpec spare;
+  spare.layout = HotLayout::kVertical;
+  spare.logical_blocks_override =
+      LayoutBuilder::MaxLogicalBlocks(*probe, replicated);
+  return spare;
+}
+
+struct Rig {
+  Rig() : jukebox(PaperJukebox()) {
+    catalog.emplace(
+        LayoutBuilder::Build(&jukebox, SpareLayout(&jukebox)).value());
+    scheduler.emplace(&jukebox, &*catalog, TapePolicy::kMaxBandwidth);
+  }
+  Jukebox jukebox;
+  std::optional<Catalog> catalog;
+  std::optional<EnvelopeScheduler> scheduler;
+};
+
+SimulationConfig LongSim() {
+  SimulationConfig config;
+  config.duration_seconds = 1'500'000;
+  config.warmup_seconds = 0;  // epochs cover the whole run
+  config.workload.queue_length = 60;
+  config.workload.seed = 51;
+  return config;
+}
+
+TEST(LifecycleConfig, Validation) {
+  LifecycleConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.fill_budget_seconds = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = LifecycleConfig{};
+  config.target_copies = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = LifecycleConfig{};
+  config.num_epochs = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Lifecycle, ReplicasFillAndPerformanceImproves) {
+  Rig rig;
+  LifecycleConfig lifecycle;
+  lifecycle.num_epochs = 6;
+  lifecycle.fill_budget_seconds = 240;
+  LifecycleSimulator sim(&rig.jukebox, &*rig.catalog, &*rig.scheduler,
+                         LongSim(), lifecycle);
+  const std::vector<EpochStats> epochs = sim.Run();
+  ASSERT_EQ(epochs.size(), 6u);
+
+  // The fill fraction is monotone and reaches (near) completion.
+  for (size_t e = 1; e < epochs.size(); ++e) {
+    EXPECT_GE(epochs[e].fill_fraction, epochs[e - 1].fill_fraction);
+  }
+  EXPECT_GT(epochs.back().fill_fraction, 0.95);
+  EXPECT_EQ(sim.replicas_written(), sim.fill_target());
+
+  // Throughput in the final (fully replicated) epoch beats the first.
+  EXPECT_GT(epochs.back().requests_per_minute,
+            epochs.front().requests_per_minute);
+}
+
+TEST(Lifecycle, CatalogAndTapesStayConsistent) {
+  Rig rig;
+  LifecycleConfig lifecycle;
+  lifecycle.fill_budget_seconds = 240;
+  LifecycleSimulator sim(&rig.jukebox, &*rig.catalog, &*rig.scheduler,
+                         LongSim(), lifecycle);
+  sim.Run();
+  // Every catalog replica matches the tape contents.
+  for (BlockId b = 0; b < rig.catalog->num_blocks(); ++b) {
+    for (const Replica& replica : rig.catalog->ReplicasOf(b)) {
+      EXPECT_EQ(rig.jukebox.tape(replica.tape).BlockAtSlot(replica.slot), b);
+    }
+  }
+  // Hot blocks reached the target copy count.
+  for (BlockId b = 0; b < rig.catalog->num_hot_blocks(); ++b) {
+    EXPECT_EQ(rig.catalog->ReplicasOf(b).size(), 10u);
+  }
+  // Cold blocks were never replicated.
+  for (BlockId b = rig.catalog->num_hot_blocks();
+       b < rig.catalog->num_blocks(); ++b) {
+    EXPECT_EQ(rig.catalog->ReplicasOf(b).size(), 1u);
+  }
+}
+
+TEST(Lifecycle, ZeroBudgetWritesNothingViaPiggyback) {
+  Rig rig;
+  LifecycleConfig lifecycle;
+  lifecycle.fill_budget_seconds = 0;
+  lifecycle.fill_on_idle = false;
+  SimulationConfig sim_config = LongSim();
+  sim_config.duration_seconds = 200'000;
+  LifecycleSimulator sim(&rig.jukebox, &*rig.catalog, &*rig.scheduler,
+                         sim_config, lifecycle);
+  sim.Run();
+  EXPECT_EQ(sim.replicas_written(), 0);
+}
+
+TEST(Catalog, AddReplicaExtendsBlock) {
+  std::vector<std::vector<Replica>> replicas = {{{0, 0, 0}}};
+  Catalog catalog(std::move(replicas), 1);
+  catalog.AddReplica(0, Replica{1, 3, 48});
+  EXPECT_EQ(catalog.ReplicasOf(0).size(), 2u);
+  EXPECT_EQ(catalog.TotalCopies(), 2);
+  ASSERT_NE(catalog.ReplicaOn(0, 1), nullptr);
+  EXPECT_EQ(catalog.ReplicaOn(0, 1)->position, 48);
+}
+
+TEST(CatalogDeathTest, AddReplicaRejectsDuplicateTape) {
+  std::vector<std::vector<Replica>> replicas = {{{0, 0, 0}}};
+  Catalog catalog(std::move(replicas), 1);
+  EXPECT_DEATH(catalog.AddReplica(0, Replica{0, 5, 80}), "already has");
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,94 @@
+// Unit tests for the metrics collector.
+
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tapejuke {
+namespace {
+
+TEST(Metrics, ThroughputAndDelay) {
+  MetricsCollector metrics(/*warmup_seconds=*/0, /*block_size_mb=*/16);
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  metrics.OnArrival(0.0);
+  metrics.OnArrival(0.0);
+  metrics.OnCompletion(0.0, 100.0);
+  metrics.OnCompletion(0.0, 200.0);
+  const SimulationResult result =
+      metrics.Finalize(200.0, JukeboxCounters{});
+  EXPECT_EQ(result.completed_requests, 2);
+  EXPECT_DOUBLE_EQ(result.throughput_mb_per_s, 32.0 / 200.0);
+  EXPECT_DOUBLE_EQ(result.throughput_kb_per_s, 32.0 * 1024 / 200.0);
+  EXPECT_DOUBLE_EQ(result.requests_per_minute, 2.0 / (200.0 / 60.0));
+  EXPECT_DOUBLE_EQ(result.mean_delay_seconds, 150.0);
+  EXPECT_DOUBLE_EQ(result.max_delay_seconds, 200.0);
+}
+
+TEST(Metrics, WarmupExcludesEarlyCompletions) {
+  MetricsCollector metrics(/*warmup_seconds=*/100, 16);
+  metrics.OnArrival(0.0);
+  metrics.OnCompletion(0.0, 50.0);  // inside warm-up: ignored
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  metrics.OnArrival(90.0);
+  metrics.OnCompletion(90.0, 150.0);  // counted
+  const SimulationResult result =
+      metrics.Finalize(200.0, JukeboxCounters{});
+  EXPECT_EQ(result.completed_requests, 1);
+  EXPECT_DOUBLE_EQ(result.measured_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(result.mean_delay_seconds, 60.0);
+}
+
+TEST(Metrics, CounterDeltasAgainstWarmupSnapshot) {
+  MetricsCollector metrics(/*warmup_seconds=*/10, 16);
+  JukeboxCounters at_warmup;
+  at_warmup.tape_switches = 5;
+  at_warmup.read_seconds = 100;
+  at_warmup.locate_seconds = 50;
+  metrics.MarkWarmupBoundary(at_warmup);
+  JukeboxCounters final_counters;
+  final_counters.tape_switches = 15;
+  final_counters.read_seconds = 300;
+  final_counters.locate_seconds = 150;
+  const SimulationResult result = metrics.Finalize(3610.0, final_counters);
+  EXPECT_EQ(result.counters.tape_switches, 10);
+  EXPECT_DOUBLE_EQ(result.counters.read_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(result.tape_switches_per_hour, 10.0);
+  EXPECT_DOUBLE_EQ(result.transfer_utilization, 200.0 / 300.0);
+}
+
+TEST(Metrics, MeanOutstandingIsTimeAverage) {
+  MetricsCollector metrics(/*warmup_seconds=*/0, 16);
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  metrics.OnArrival(0.0);           // 1 outstanding over [0, 50)
+  metrics.OnArrival(50.0);          // 2 outstanding over [50, 100)
+  metrics.OnCompletion(0.0, 100.0);  // 1 outstanding over [100, 200)
+  metrics.OnCompletion(50.0, 200.0);
+  const SimulationResult result =
+      metrics.Finalize(200.0, JukeboxCounters{});
+  // (1*50 + 2*50 + 1*100) / 200 = 1.25
+  EXPECT_DOUBLE_EQ(result.mean_outstanding, 1.25);
+}
+
+TEST(Metrics, PercentilesFromHistogram) {
+  MetricsCollector metrics(0, 16);
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  for (int i = 1; i <= 100; ++i) {
+    metrics.OnArrival(0.0);
+    metrics.OnCompletion(0.0, static_cast<double>(i * 10));
+  }
+  const SimulationResult result =
+      metrics.Finalize(1000.0, JukeboxCounters{});
+  EXPECT_NEAR(result.p50_delay_seconds, 500.0, 20.0);
+  EXPECT_NEAR(result.p95_delay_seconds, 950.0, 20.0);
+}
+
+TEST(Metrics, EmptyRunIsAllZero) {
+  MetricsCollector metrics(0, 16);
+  const SimulationResult result = metrics.Finalize(0.0, JukeboxCounters{});
+  EXPECT_EQ(result.completed_requests, 0);
+  EXPECT_DOUBLE_EQ(result.throughput_mb_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_delay_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,103 @@
+// Additional multi-drive tests: policies, insertion toggle, and edge
+// geometries.
+
+#include <gtest/gtest.h>
+
+#include "layout/placement.h"
+#include "sim/multi_drive.h"
+
+namespace tapejuke {
+namespace {
+
+JukeboxConfig PaperJukebox() {
+  JukeboxConfig config;
+  config.num_tapes = 10;
+  config.block_size_mb = 16;
+  return config;
+}
+
+SimulationConfig ShortSim(int64_t queue) {
+  SimulationConfig config;
+  config.duration_seconds = 250'000;
+  config.warmup_seconds = 25'000;
+  config.workload.queue_length = queue;
+  config.workload.seed = 123;
+  return config;
+}
+
+SimulationResult RunWith(const MultiDriveConfig& drives, int64_t queue,
+                         const LayoutSpec& layout = LayoutSpec{}) {
+  Jukebox jukebox(PaperJukebox());
+  const Catalog catalog = LayoutBuilder::Build(&jukebox, layout).value();
+  MultiDriveSimulator sim(&jukebox, &catalog, drives, ShortSim(queue));
+  return sim.Run();
+}
+
+TEST(MultiDriveOptions, DynamicInsertionHelps) {
+  MultiDriveConfig with;
+  with.num_drives = 2;
+  with.dynamic_insertion = true;
+  MultiDriveConfig without = with;
+  without.dynamic_insertion = false;
+  const SimulationResult a = RunWith(with, 120);
+  const SimulationResult b = RunWith(without, 120);
+  EXPECT_GT(a.requests_per_minute, b.requests_per_minute);
+}
+
+TEST(MultiDriveOptions, AllPoliciesMakeProgress) {
+  for (const TapePolicy policy :
+       {TapePolicy::kRoundRobin, TapePolicy::kMaxRequests,
+        TapePolicy::kMaxBandwidth, TapePolicy::kOldestMaxRequests,
+        TapePolicy::kOldestMaxBandwidth}) {
+    MultiDriveConfig drives;
+    drives.num_drives = 2;
+    drives.policy = policy;
+    const SimulationResult result = RunWith(drives, 60);
+    EXPECT_GT(result.completed_requests, 500)
+        << TapePolicyName(policy);
+  }
+}
+
+TEST(MultiDriveOptions, AsManyDrivesAsTapesStillWorks) {
+  JukeboxConfig config = PaperJukebox();
+  config.num_tapes = 3;
+  Jukebox jukebox(config);
+  const Catalog catalog =
+      LayoutBuilder::Build(&jukebox, LayoutSpec{}).value();
+  MultiDriveConfig drives;
+  drives.num_drives = 3;
+  MultiDriveSimulator sim(&jukebox, &catalog, drives, ShortSim(30));
+  const SimulationResult result = sim.Run();
+  EXPECT_GT(result.completed_requests, 200);
+}
+
+TEST(MultiDriveOptions, TinyPopulationDoesNotDeadlock) {
+  MultiDriveConfig drives;
+  drives.num_drives = 4;
+  const SimulationResult result = RunWith(drives, /*queue=*/2);
+  // Fewer requests than drives: some drives idle, the rest serve.
+  EXPECT_GT(result.completed_requests, 100);
+  EXPECT_NEAR(result.mean_outstanding, 2.0, 0.1);
+}
+
+TEST(MultiDriveOptions, CountersAreConsistent) {
+  MultiDriveConfig drives;
+  drives.num_drives = 3;
+  Jukebox jukebox(PaperJukebox());
+  const Catalog catalog =
+      LayoutBuilder::Build(&jukebox, LayoutSpec{}).value();
+  MultiDriveSimulator sim(&jukebox, &catalog, drives, ShortSim(60));
+  const SimulationResult result = sim.Run();
+  EXPECT_EQ(result.counters.mb_read, result.counters.blocks_read * 16);
+  // One read can satisfy several requests for the same block, so blocks
+  // read is at most (and normally close to) the completion count.
+  EXPECT_LE(result.counters.blocks_read, result.completed_requests);
+  EXPECT_GT(result.counters.blocks_read,
+            result.completed_requests * 9 / 10);
+  // Three drives can be busy concurrently: accounted busy time may exceed
+  // the wall clock of the measurement window.
+  EXPECT_GT(result.counters.BusySeconds(), result.measured_seconds);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,94 @@
+// Reproduces the §2.1 model-validation protocol: ten random walks of 100
+// locate+read steps against a noisy "physical" drive, comparing predicted
+// and measured totals. The paper reports locate error max 0.6% / mean 0.5%
+// and read error max 4.6% / mean 2.6%.
+
+#include "tape/physical_drive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tapejuke {
+namespace {
+
+class PhysicalDriveTest : public ::testing::Test {
+ protected:
+  TimingModel model_{TimingParams::Exabyte8505XL()};
+};
+
+TEST_F(PhysicalDriveTest, ZeroNoiseMatchesModelExactly) {
+  DriveNoiseParams noise;
+  noise.locate_rel_stddev = 0;
+  noise.read_rel_stddev = 0;
+  noise.locate_bias_stddev = 0;
+  noise.read_bias_stddev = 0;
+  PhysicalDrive drive(&model_, noise, /*seed=*/1);
+  EXPECT_DOUBLE_EQ(drive.MeasureLocate(0, 100), model_.LocateTime(0, 100));
+  EXPECT_DOUBLE_EQ(drive.MeasureRead(16, LocateKind::kForward),
+                   model_.ReadTime(16, LocateKind::kForward));
+  const RandomWalkResult walk = drive.RandomWalk(100, 16);
+  EXPECT_DOUBLE_EQ(walk.LocateErrorPct(), 0.0);
+  EXPECT_DOUBLE_EQ(walk.ReadErrorPct(), 0.0);
+}
+
+TEST_F(PhysicalDriveTest, MeasurementsArePositive) {
+  PhysicalDrive drive(&model_, DriveNoiseParams{}, 2);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GT(drive.MeasureLocate(0, 500), 0.0);
+    ASSERT_GT(drive.MeasureRead(16, LocateKind::kForward), 0.0);
+  }
+}
+
+TEST_F(PhysicalDriveTest, TenRandomWalksMatchPaperErrorMagnitudes) {
+  PhysicalDrive drive(&model_, DriveNoiseParams{}, 3);
+  double max_locate_err = 0;
+  double mean_locate_err = 0;
+  double max_read_err = 0;
+  double mean_read_err = 0;
+  const int kWalks = 10;
+  for (int i = 0; i < kWalks; ++i) {
+    const RandomWalkResult walk = drive.RandomWalk(100, 16);
+    max_locate_err = std::max(max_locate_err, walk.LocateErrorPct());
+    mean_locate_err += walk.LocateErrorPct() / kWalks;
+    max_read_err = std::max(max_read_err, walk.ReadErrorPct());
+    mean_read_err += walk.ReadErrorPct() / kWalks;
+  }
+  // The paper's magnitudes: locate totals accurate to well under ~2%; read
+  // totals noticeably noisier (the paper saw mean 2.6%, max 4.6%).
+  EXPECT_LT(max_locate_err, 2.5);
+  EXPECT_LT(mean_locate_err, 1.0);
+  EXPECT_LT(max_read_err, 12.0);
+  EXPECT_GT(max_read_err, 0.5);
+  EXPECT_LT(mean_read_err, 6.0);
+  EXPECT_GT(mean_read_err, 0.3);
+}
+
+TEST_F(PhysicalDriveTest, WalkTotalsScaleWithSteps) {
+  PhysicalDrive drive(&model_, DriveNoiseParams{}, 4);
+  const RandomWalkResult small = drive.RandomWalk(10, 16);
+  const RandomWalkResult large = drive.RandomWalk(1000, 16);
+  EXPECT_GT(large.predicted_locate_seconds,
+            small.predicted_locate_seconds * 10);
+  EXPECT_NEAR(large.predicted_read_seconds / 1000,
+              small.predicted_read_seconds / 10,
+              1.0);
+}
+
+TEST_F(PhysicalDriveTest, SameSeedIsDeterministic) {
+  PhysicalDrive a(&model_, DriveNoiseParams{}, 7);
+  PhysicalDrive b(&model_, DriveNoiseParams{}, 7);
+  const RandomWalkResult wa = a.RandomWalk(50, 16);
+  const RandomWalkResult wb = b.RandomWalk(50, 16);
+  EXPECT_DOUBLE_EQ(wa.measured_locate_seconds, wb.measured_locate_seconds);
+  EXPECT_DOUBLE_EQ(wa.measured_read_seconds, wb.measured_read_seconds);
+}
+
+TEST(RandomWalkResult, ErrorPctHandlesZeroPrediction) {
+  RandomWalkResult r;
+  EXPECT_DOUBLE_EQ(r.LocateErrorPct(), 0.0);
+  EXPECT_DOUBLE_EQ(r.ReadErrorPct(), 0.0);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,122 @@
+// Unit tests for the tape-selection policies (paper §3.1).
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace tapejuke {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  TapeCandidate Cand(TapeId tape, int64_t requests,
+                     std::vector<Position> positions,
+                     bool serves_oldest = false) {
+    return TapeCandidate{tape, requests, std::move(positions), serves_oldest};
+  }
+
+  TimingModel model_{TimingParams::Exabyte8505XL()};
+  ScheduleCost cost_{&model_, 16};
+  static constexpr int32_t kTapes = 4;
+};
+
+TEST_F(PolicyTest, NoWorkReturnsInvalid) {
+  std::vector<TapeCandidate> tapes = {Cand(0, 0, {}), Cand(1, 0, {})};
+  EXPECT_EQ(SelectTape(TapePolicy::kMaxRequests, tapes, 0, 0, kTapes, cost_),
+            kInvalidTape);
+}
+
+TEST_F(PolicyTest, RoundRobinPicksNextAfterMounted) {
+  std::vector<TapeCandidate> tapes = {Cand(0, 1, {0}), Cand(1, 5, {0}),
+                                      Cand(2, 0, {}), Cand(3, 2, {0})};
+  // Mounted 1: next in order with work is 3 (2 has none), not 0 or 1.
+  EXPECT_EQ(SelectTape(TapePolicy::kRoundRobin, tapes, 1, 0, kTapes, cost_),
+            3);
+}
+
+TEST_F(PolicyTest, RoundRobinWrapsAndVisitsMountedLast) {
+  std::vector<TapeCandidate> tapes = {Cand(0, 0, {}), Cand(1, 5, {0}),
+                                      Cand(2, 0, {}), Cand(3, 0, {})};
+  // Only the mounted tape has work: it is chosen (last resort).
+  EXPECT_EQ(SelectTape(TapePolicy::kRoundRobin, tapes, 1, 0, kTapes, cost_),
+            1);
+}
+
+TEST_F(PolicyTest, MaxRequestsPicksLargestQueue) {
+  std::vector<TapeCandidate> tapes = {Cand(0, 2, {0, 16}),
+                                      Cand(1, 7, {0, 16, 32}),
+                                      Cand(2, 3, {0})};
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxRequests, tapes, 2, 0, kTapes, cost_), 1);
+}
+
+TEST_F(PolicyTest, MaxRequestsTieBreaksInScanOrderFromMounted) {
+  std::vector<TapeCandidate> tapes = {Cand(0, 3, {0}), Cand(1, 0, {}),
+                                      Cand(2, 3, {0}), Cand(3, 3, {0})};
+  // Mounted 2: scan order 2,3,0,1 -> tape 2 wins the tie.
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxRequests, tapes, 2, 0, kTapes, cost_), 2);
+  // Mounted 3: scan order 3,0,1,2 -> tape 3 wins.
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxRequests, tapes, 3, 0, kTapes, cost_), 3);
+}
+
+TEST_F(PolicyTest, MaxBandwidthPrefersMountedTapeNoSwitchCost) {
+  // Same request sets; the mounted tape avoids the 81 s switch.
+  std::vector<TapeCandidate> tapes = {Cand(0, 2, {100, 200}),
+                                      Cand(1, 2, {100, 200})};
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxBandwidth, tapes, 0, 0, kTapes, cost_), 0);
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxBandwidth, tapes, 1, 0, kTapes, cost_), 1);
+}
+
+TEST_F(PolicyTest, MaxBandwidthPrefersClusteredRequests) {
+  // Tape 1's requests are clustered near the start: higher bandwidth than
+  // tape 2's scattered ones, despite equal counts. (Neither is mounted.)
+  std::vector<TapeCandidate> tapes = {
+      Cand(1, 3, {0, 16, 32}), Cand(2, 3, {0, 3200, 6400})};
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxBandwidth, tapes, 0, 0, kTapes, cost_), 1);
+}
+
+TEST_F(PolicyTest, MaxBandwidthCanBeatMaxRequests) {
+  // Five scattered requests vs three clustered ones.
+  std::vector<TapeCandidate> tapes = {
+      Cand(1, 5, {0, 1600, 3200, 4800, 6400}), Cand(2, 3, {0, 16, 32})};
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxRequests, tapes, 0, 0, kTapes, cost_), 1);
+  EXPECT_EQ(
+      SelectTape(TapePolicy::kMaxBandwidth, tapes, 0, 0, kTapes, cost_), 2);
+}
+
+TEST_F(PolicyTest, OldestRestrictsEligibleTapes) {
+  std::vector<TapeCandidate> tapes = {
+      Cand(0, 9, {0}, false), Cand(1, 2, {0}, true), Cand(2, 1, {0}, true)};
+  EXPECT_EQ(SelectTape(TapePolicy::kOldestMaxRequests, tapes, 0, 0, kTapes,
+                       cost_),
+            1);
+}
+
+TEST_F(PolicyTest, OldestMaxBandwidthUsesBandwidthAmongEligible) {
+  std::vector<TapeCandidate> tapes = {
+      Cand(0, 9, {0}, false),
+      Cand(1, 2, {0, 6400}, true),
+      Cand(2, 2, {0, 16}, true)};
+  EXPECT_EQ(SelectTape(TapePolicy::kOldestMaxBandwidth, tapes, 3, 0, kTapes,
+                       cost_),
+            2);
+}
+
+TEST_F(PolicyTest, PolicyNames) {
+  EXPECT_STREQ(TapePolicyName(TapePolicy::kRoundRobin), "round-robin");
+  EXPECT_STREQ(TapePolicyName(TapePolicy::kMaxRequests), "max-requests");
+  EXPECT_STREQ(TapePolicyName(TapePolicy::kMaxBandwidth), "max-bandwidth");
+  EXPECT_STREQ(TapePolicyName(TapePolicy::kOldestMaxRequests),
+               "oldest-max-requests");
+  EXPECT_STREQ(TapePolicyName(TapePolicy::kOldestMaxBandwidth),
+               "oldest-max-bandwidth");
+}
+
+}  // namespace
+}  // namespace tapejuke

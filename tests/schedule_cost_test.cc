@@ -1,0 +1,105 @@
+// Unit tests for the schedule cost / effective bandwidth evaluator.
+
+#include "sched/schedule_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace tapejuke {
+namespace {
+
+class ScheduleCostTest : public ::testing::Test {
+ protected:
+  TimingModel model_{TimingParams::Exabyte8505XL()};
+  ScheduleCost cost_{&model_, 16};
+};
+
+TEST_F(ScheduleCostTest, EmptyScheduleIsFree) {
+  EXPECT_DOUBLE_EQ(cost_.ExecutionSeconds(0, {}), 0.0);
+  const SweepCostBreakdown visit = cost_.EstimateVisit(0, 0, 0, {});
+  EXPECT_DOUBLE_EQ(visit.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(visit.BandwidthMBps(), 0.0);
+}
+
+TEST_F(ScheduleCostTest, SingleReadFromHead) {
+  // Locate 0 -> 320 (long forward), read 16 MB with forward startup.
+  const double expected =
+      (14.342 + 0.028 * 320) + (0.38 + 1.77 * 16);
+  EXPECT_DOUBLE_EQ(cost_.ExecutionSeconds(0, {320}), expected);
+}
+
+TEST_F(ScheduleCostTest, ConsecutiveBlocksStream) {
+  // Two adjacent blocks: the second read needs no locate and no startup.
+  const double expected = (14.342 + 0.028 * 320) + (0.38 + 1.77 * 16) +
+                          (1.77 * 16);
+  EXPECT_DOUBLE_EQ(cost_.ExecutionSeconds(0, {320, 336}), expected);
+}
+
+TEST_F(ScheduleCostTest, SweepOrderSplitsAroundHead) {
+  const std::vector<Position> order =
+      ScheduleCost::SweepOrder(100, {320, 16, 48, 100, 240});
+  // Forward ascending from 100, then reverse descending below 100.
+  const std::vector<Position> expected = {100, 240, 320, 48, 16};
+  EXPECT_EQ(order, expected);
+}
+
+TEST_F(ScheduleCostTest, SweepOrderDeduplicates) {
+  const std::vector<Position> order =
+      ScheduleCost::SweepOrder(0, {32, 32, 16, 16});
+  const std::vector<Position> expected = {16, 32};
+  EXPECT_EQ(order, expected);
+}
+
+TEST_F(ScheduleCostTest, EstimateVisitSameTapeUsesHead) {
+  const SweepCostBreakdown visit =
+      cost_.EstimateVisit(/*target=*/2, /*mounted=*/2, /*head=*/100,
+                          {100, 340});
+  EXPECT_DOUBLE_EQ(visit.switch_seconds, 0.0);
+  EXPECT_EQ(visit.blocks, 2);
+  EXPECT_EQ(visit.bytes_mb, 32);
+  // First block is at the head: read with no locate, no startup.
+  const double expected = 1.77 * 16 +                    // read at 100
+                          (14.342 + 0.028 * (340 - 116))  // locate
+                          + (0.38 + 1.77 * 16);           // read at 340
+  EXPECT_DOUBLE_EQ(visit.execution_seconds, expected);
+}
+
+TEST_F(ScheduleCostTest, EstimateVisitOtherTapePaysFullSwitch) {
+  const SweepCostBreakdown visit =
+      cost_.EstimateVisit(/*target=*/1, /*mounted=*/0, /*head=*/500, {64});
+  EXPECT_DOUBLE_EQ(visit.switch_seconds, model_.FullSwitchTime(500));
+  // Sweep starts from position 0 after the load.
+  EXPECT_DOUBLE_EQ(visit.execution_seconds,
+                   cost_.ExecutionSeconds(0, {64}));
+}
+
+TEST_F(ScheduleCostTest, EstimateVisitNoMountedTape) {
+  const SweepCostBreakdown visit =
+      cost_.EstimateVisit(1, kInvalidTape, 0, {64});
+  EXPECT_DOUBLE_EQ(visit.switch_seconds, model_.SwitchTime());
+}
+
+TEST_F(ScheduleCostTest, BandwidthImprovesWithBatchSize) {
+  // Amortization: servicing more blocks in one visit raises the effective
+  // bandwidth (same switch overhead, shared locates).
+  std::vector<Position> few = {1000};
+  std::vector<Position> many;
+  for (Position p = 1000; p < 1000 + 16 * 20; p += 16) many.push_back(p);
+  const double bw_few =
+      cost_.EstimateVisit(1, 0, 0, few).BandwidthMBps();
+  const double bw_many =
+      cost_.EstimateVisit(1, 0, 0, many).BandwidthMBps();
+  EXPECT_GT(bw_many, bw_few);
+}
+
+TEST_F(ScheduleCostTest, NearbyBlocksBeatScatteredBlocks) {
+  std::vector<Position> clustered = {1000, 1016, 1032, 1048};
+  std::vector<Position> scattered = {0, 2000, 4000, 6000};
+  const double bw_clustered =
+      cost_.EstimateVisit(1, 0, 0, clustered).BandwidthMBps();
+  const double bw_scattered =
+      cost_.EstimateVisit(1, 0, 0, scattered).BandwidthMBps();
+  EXPECT_GT(bw_clustered, bw_scattered);
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,154 @@
+// Unit tests for the serpentine locate model (extension).
+
+#include "tape/serpentine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tapejuke {
+namespace {
+
+SerpentineParams SmallParams() {
+  SerpentineParams p;
+  p.num_tracks = 4;
+  p.tape_capacity_mb = 400;  // 100 MB per track
+  return p;
+}
+
+TEST(SerpentineParams, Validate) {
+  EXPECT_TRUE(SerpentineParams{}.Validate().ok());
+  SerpentineParams p = SmallParams();
+  p.num_tracks = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SmallParams();
+  p.tape_capacity_mb = 401;  // not divisible by 4 tracks
+  EXPECT_FALSE(p.Validate().ok());
+  p = SmallParams();
+  p.read_per_mb = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(SerpentineModel, TrackGeometry) {
+  SerpentineModel model(SmallParams());
+  EXPECT_EQ(model.TrackLengthMb(), 100);
+  EXPECT_EQ(model.TrackOf(0), 0);
+  EXPECT_EQ(model.TrackOf(99), 0);
+  EXPECT_EQ(model.TrackOf(100), 1);
+  EXPECT_EQ(model.TrackOf(399), 3);
+}
+
+TEST(SerpentineModel, LongitudinalOffsetAlternatesDirection) {
+  SerpentineModel model(SmallParams());
+  // Even track: offset increases with position.
+  EXPECT_EQ(model.LongitudinalOffset(0), 0);
+  EXPECT_EQ(model.LongitudinalOffset(99), 99);
+  // Odd track runs backward: position 100 is at the far end.
+  EXPECT_EQ(model.LongitudinalOffset(100), 99);
+  EXPECT_EQ(model.LongitudinalOffset(199), 0);
+  // Track 2 forward again.
+  EXPECT_EQ(model.LongitudinalOffset(200), 0);
+}
+
+TEST(SerpentineModel, AdjacentTrackNeighborsAreCheapDespiteLogicalDistance) {
+  // Default geometry: 64 tracks x 112 MB.
+  SerpentineModel model{SerpentineParams{}};
+  const int64_t track = model.TrackLengthMb();
+  // Positions track-1 and track are logically adjacent AND longitudinally
+  // adjacent (the serpentine turn-around), so the locate is near-minimal.
+  const double turnaround = model.LocateTime(track - 1, track);
+  // Positions 0 and 2*track-1 are logically far apart but longitudinally 0
+  // apart (same end, adjacent tracks): also cheap on serpentine.
+  const double stacked = model.LocateTime(0, 2 * track - 1);
+  // Position 0 to track-1 is a full-track longitudinal traverse: expensive.
+  const double full_track = model.LocateTime(0, track - 1);
+  EXPECT_LT(turnaround, full_track);
+  EXPECT_LT(stacked, full_track);
+}
+
+TEST(SerpentineModel, LocateCostsComposeFromParams) {
+  const SerpentineParams p = SmallParams();
+  SerpentineModel model(p);
+  EXPECT_DOUBLE_EQ(model.LocateTime(0, 0), 0.0);
+  // Same track, 50 MB longitudinal travel.
+  EXPECT_DOUBLE_EQ(model.LocateTime(0, 50),
+                   p.startup_seconds + p.travel_per_mb * 50);
+  // Cross-track adds the switch penalty.
+  EXPECT_DOUBLE_EQ(model.LocateTime(0, 199),
+                   p.startup_seconds + p.track_switch_seconds);
+}
+
+TEST(SerpentineModel, ReadTimeLinear) {
+  SerpentineModel model(SmallParams());
+  EXPECT_DOUBLE_EQ(model.ReadTime(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.ReadTime(16), 16 * SmallParams().read_per_mb);
+}
+
+TEST(SerpentineModel, LocateIsSymmetric) {
+  SerpentineModel model(SmallParams());
+  for (Position a : {0, 37, 150, 321}) {
+    for (Position b : {5, 120, 250, 399}) {
+      EXPECT_DOUBLE_EQ(model.LocateTime(a, b), model.LocateTime(b, a));
+    }
+  }
+}
+
+TEST(SerpentineModel, TourLocateSecondsSumsLegs) {
+  SerpentineModel model(SmallParams());
+  const std::vector<Position> tour = {50, 120, 10};
+  EXPECT_DOUBLE_EQ(model.TourLocateSeconds(0, tour),
+                   model.LocateTime(0, 50) + model.LocateTime(50, 120) +
+                       model.LocateTime(120, 10));
+  EXPECT_DOUBLE_EQ(model.TourLocateSeconds(0, {}), 0.0);
+}
+
+TEST(SerpentineNearestNeighbor, VisitsEveryPositionOnce) {
+  SerpentineModel model{SerpentineParams{}};
+  std::vector<Position> positions = {16, 3200, 480, 6400, 1024, 48};
+  const std::vector<Position> tour =
+      SerpentineNearestNeighborTour(model, 0, positions);
+  ASSERT_EQ(tour.size(), positions.size());
+  std::sort(positions.begin(), positions.end());
+  std::vector<Position> sorted_tour = tour;
+  std::sort(sorted_tour.begin(), sorted_tour.end());
+  EXPECT_EQ(sorted_tour, positions);
+}
+
+TEST(SerpentineNearestNeighbor, BeatsSortedOrderOnAverage) {
+  // The point of the serpentine "modification": sorted logical order is a
+  // poor tour on serpentine geometry; nearest-neighbor over the serpentine
+  // metric does strictly better on average.
+  SerpentineModel model{SerpentineParams{}};
+  Rng rng(97);
+  double sorted_total = 0;
+  double nn_total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Position> positions;
+    for (int i = 0; i < 12; ++i) {
+      positions.push_back(static_cast<Position>(
+          rng.UniformUint64(static_cast<uint64_t>(
+              SerpentineParams{}.tape_capacity_mb))));
+    }
+    std::vector<Position> sorted = positions;
+    std::sort(sorted.begin(), sorted.end());
+    sorted_total += model.TourLocateSeconds(0, sorted);
+    nn_total += model.TourLocateSeconds(
+        0, SerpentineNearestNeighborTour(model, 0, positions));
+  }
+  EXPECT_LT(nn_total, 0.8 * sorted_total);
+}
+
+TEST(SerpentineNearestNeighbor, FirstHopIsTheCheapest) {
+  SerpentineModel model{SerpentineParams{}};
+  const std::vector<Position> positions = {5000, 100, 2500};
+  const std::vector<Position> tour =
+      SerpentineNearestNeighborTour(model, 0, positions);
+  for (const Position p : positions) {
+    EXPECT_LE(model.LocateTime(0, tour.front()), model.LocateTime(0, p));
+  }
+}
+
+}  // namespace
+}  // namespace tapejuke

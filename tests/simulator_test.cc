@@ -1,0 +1,163 @@
+// Integration tests for the Simulator against small configurations.
+
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "layout/placement.h"
+#include "sched/fifo_scheduler.h"
+#include "sched/greedy_scheduler.h"
+
+namespace tapejuke {
+namespace {
+
+struct Rig {
+  explicit Rig(const JukeboxConfig& jb_config, const LayoutSpec& layout)
+      : jukebox(jb_config),
+        catalog(LayoutBuilder::Build(&jukebox, layout).value()) {}
+
+  Jukebox jukebox;
+  Catalog catalog;
+};
+
+JukeboxConfig PaperJukebox() {
+  JukeboxConfig config;
+  config.num_tapes = 10;
+  config.block_size_mb = 16;
+  return config;
+}
+
+SimulationConfig ShortSim(QueuingModel model) {
+  SimulationConfig config;
+  config.duration_seconds = 200'000;
+  config.warmup_seconds = 20'000;
+  config.workload.model = model;
+  config.workload.queue_length = 40;
+  config.workload.mean_interarrival_seconds = 120;
+  config.workload.seed = 17;
+  return config;
+}
+
+TEST(SimulationConfig, Validation) {
+  SimulationConfig config = ShortSim(QueuingModel::kClosed);
+  EXPECT_TRUE(config.Validate().ok());
+  config.duration_seconds = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ShortSim(QueuingModel::kClosed);
+  config.warmup_seconds = config.duration_seconds;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(Simulator, ClosedModelProducesSteadyThroughput) {
+  Rig rig(PaperJukebox(), LayoutSpec{});
+  GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                        TapePolicy::kMaxBandwidth, /*dynamic=*/true);
+  Simulator sim(&rig.jukebox, &rig.catalog, &sched,
+                ShortSim(QueuingModel::kClosed));
+  const SimulationResult result = sim.Run();
+  EXPECT_GT(result.completed_requests, 100);
+  EXPECT_GT(result.throughput_mb_per_s, 0.05);
+  EXPECT_GT(result.mean_delay_seconds, 0.0);
+  // Closed model: outstanding population is pinned at the queue length.
+  EXPECT_NEAR(result.mean_outstanding, 40.0, 0.5);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = []() {
+    Rig rig(PaperJukebox(), LayoutSpec{});
+    GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                          TapePolicy::kMaxBandwidth, true);
+    Simulator sim(&rig.jukebox, &rig.catalog, &sched,
+                  ShortSim(QueuingModel::kClosed));
+    return sim.Run();
+  };
+  const SimulationResult a = run();
+  const SimulationResult b = run();
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_DOUBLE_EQ(a.throughput_mb_per_s, b.throughput_mb_per_s);
+  EXPECT_DOUBLE_EQ(a.mean_delay_seconds, b.mean_delay_seconds);
+  EXPECT_EQ(a.counters.tape_switches, b.counters.tape_switches);
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  auto run = [](uint64_t seed) {
+    Rig rig(PaperJukebox(), LayoutSpec{});
+    GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                          TapePolicy::kMaxBandwidth, true);
+    SimulationConfig config = ShortSim(QueuingModel::kClosed);
+    config.workload.seed = seed;
+    Simulator sim(&rig.jukebox, &rig.catalog, &sched, config);
+    return sim.Run();
+  };
+  EXPECT_NE(run(1).mean_delay_seconds, run(2).mean_delay_seconds);
+}
+
+TEST(Simulator, OpenModelLightLoadKeepsQueueShort) {
+  Rig rig(PaperJukebox(), LayoutSpec{});
+  GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                        TapePolicy::kMaxBandwidth, true);
+  // Mean interarrival 600 s >> ~100 s service: nearly idle system.
+  SimulationConfig config = ShortSim(QueuingModel::kOpen);
+  config.workload.mean_interarrival_seconds = 600;
+  Simulator sim(&rig.jukebox, &rig.catalog, &sched, config);
+  const SimulationResult result = sim.Run();
+  EXPECT_GT(result.completed_requests, 50);
+  EXPECT_LT(result.mean_outstanding, 3.0);
+  // Arrival rate caps throughput: ~0.1 req/min.
+  EXPECT_NEAR(result.requests_per_minute, 0.1, 0.03);
+}
+
+TEST(Simulator, OpenModelOverloadGrowsQueue) {
+  Rig rig(PaperJukebox(), LayoutSpec{});
+  GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                        TapePolicy::kMaxBandwidth, true);
+  // Mean interarrival 20 s << service time: the queue must accumulate.
+  SimulationConfig config = ShortSim(QueuingModel::kOpen);
+  config.workload.mean_interarrival_seconds = 20;
+  Simulator sim(&rig.jukebox, &rig.catalog, &sched, config);
+  const SimulationResult result = sim.Run();
+  EXPECT_GT(result.mean_outstanding, 100.0);
+}
+
+TEST(Simulator, BusyTimeAccountingIsConsistent) {
+  Rig rig(PaperJukebox(), LayoutSpec{});
+  GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                        TapePolicy::kMaxBandwidth, true);
+  SimulationConfig config = ShortSim(QueuingModel::kClosed);
+  config.warmup_seconds = 0;
+  Simulator sim(&rig.jukebox, &rig.catalog, &sched, config);
+  const SimulationResult result = sim.Run();
+  // A saturated closed system: the drive is busy almost the whole run (it
+  // may overshoot slightly because the last operation completes past the
+  // nominal duration).
+  EXPECT_NEAR(result.counters.BusySeconds(), result.simulated_seconds,
+              result.simulated_seconds * 0.01);
+  // Bytes read match blocks read.
+  EXPECT_EQ(result.counters.mb_read, result.counters.blocks_read * 16);
+}
+
+TEST(Simulator, FifoMakesProgressToo) {
+  Rig rig(PaperJukebox(), LayoutSpec{});
+  FifoScheduler sched(&rig.jukebox, &rig.catalog);
+  Simulator sim(&rig.jukebox, &rig.catalog, &sched,
+                ShortSim(QueuingModel::kClosed));
+  const SimulationResult result = sim.Run();
+  EXPECT_GT(result.completed_requests, 100);
+}
+
+TEST(SimulatorDeathTest, RunTwiceAborts) {
+  Rig rig(PaperJukebox(), LayoutSpec{});
+  GreedyScheduler sched(&rig.jukebox, &rig.catalog,
+                        TapePolicy::kMaxBandwidth, true);
+  SimulationConfig config = ShortSim(QueuingModel::kClosed);
+  config.duration_seconds = 5000;
+  config.warmup_seconds = 0;
+  Simulator sim(&rig.jukebox, &rig.catalog, &sched, config);
+  sim.Run();
+  EXPECT_DEATH(sim.Run(), "once");
+}
+
+}  // namespace
+}  // namespace tapejuke

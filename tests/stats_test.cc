@@ -1,0 +1,116 @@
+// Unit tests for RunningStat and Histogram.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tapejuke {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 1.5);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  Rng rng(6);
+  RunningStat small;
+  RunningStat large;
+  for (int i = 0; i < 100; ++i) small.Add(rng.UniformDouble());
+  for (int i = 0; i < 10000; ++i) large.Add(rng.UniformDouble());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(0.0);
+  h.Add(5.5);
+  h.Add(9.999);
+  h.Add(10.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.UniformDouble());
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(h.Quantile(0.05), 0.05, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeMass) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.Add(-5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.1), 0.0);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBucket) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace tapejuke

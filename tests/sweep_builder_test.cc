@@ -1,0 +1,114 @@
+// Tests for the shared sweep-construction helper.
+
+#include "sched/sweep_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tapejuke {
+namespace {
+
+Request Req(RequestId id, BlockId block) {
+  return Request{id, block, static_cast<double>(id)};
+}
+
+class SweepBuilderTest : public ::testing::Test {
+ protected:
+  // Tape 0: blocks 0..4 at slots 0..4; block 5 at slot 8.
+  // Tape 1: block 6 at slot 0; block 5 replicated at slot 2.
+  SweepBuilderTest() : rig_(2) {
+    for (BlockId b = 0; b < 5; ++b) rig_.Place(b, 0, b);
+    rig_.Place(5, 0, 8);
+    rig_.Place(6, 1, 0);
+    rig_.Place(5, 1, 2);
+    catalog_ = rig_.BuildCatalog();
+  }
+
+  TinyRig rig_;
+  std::optional<Catalog> catalog_;
+};
+
+TEST_F(SweepBuilderTest, ExtractsOnlyChosenTape) {
+  std::deque<Request> pending = {Req(1, 0), Req(2, 6), Req(3, 3)};
+  Sweep sweep;
+  ExtractSweepForTape(*catalog_, /*tape=*/0, /*start_head=*/0,
+                      rig_.block_mb(), nullptr, &pending, &sweep);
+  EXPECT_EQ(sweep.size(), 2u);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending.front().block, 6);
+}
+
+TEST_F(SweepBuilderTest, SplitsAroundStartHead) {
+  std::deque<Request> pending = {Req(1, 0), Req(2, 4), Req(3, 2)};
+  Sweep sweep;
+  // Head at position 48 (slot 3): slot 4 forward; slots 0 and 2 reverse.
+  ExtractSweepForTape(*catalog_, 0, /*start_head=*/48, rig_.block_mb(),
+                      nullptr, &pending, &sweep);
+  EXPECT_EQ(sweep.Pop()->position, 64);  // forward phase
+  EXPECT_EQ(sweep.Pop()->position, 32);  // reverse, descending
+  EXPECT_EQ(sweep.Pop()->position, 0);
+}
+
+TEST_F(SweepBuilderTest, EnvelopeLimitFilters) {
+  std::deque<Request> pending = {Req(1, 0), Req(2, 5)};
+  Sweep sweep;
+  const Position limit = 64;  // covers slots 0..3 only
+  ExtractSweepForTape(*catalog_, 0, 0, rig_.block_mb(), &limit, &pending,
+                      &sweep);
+  EXPECT_EQ(sweep.size(), 1u);   // block 0 only
+  EXPECT_EQ(pending.size(), 1u);  // block 5 at slot 8 is outside
+}
+
+TEST_F(SweepBuilderTest, GroupsDuplicateBlocks) {
+  std::deque<Request> pending = {Req(1, 2), Req(2, 2), Req(3, 2)};
+  Sweep sweep;
+  ExtractSweepForTape(*catalog_, 0, 0, rig_.block_mb(), nullptr, &pending,
+                      &sweep);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep.Pop()->requests.size(), 3u);
+}
+
+TEST_F(SweepBuilderTest, EmptyPendingYieldsEmptySweep) {
+  std::deque<Request> pending;
+  Sweep sweep;
+  ExtractSweepForTape(*catalog_, 0, 0, rig_.block_mb(), nullptr, &pending,
+                      &sweep);
+  EXPECT_TRUE(sweep.empty());
+}
+
+TEST_F(SweepBuilderTest, ReplicatedBlockUsesChosenTapePosition) {
+  std::deque<Request> pending = {Req(1, 5)};
+  Sweep sweep;
+  ExtractSweepForTape(*catalog_, 1, 0, rig_.block_mb(), nullptr, &pending,
+                      &sweep);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep.Pop()->position, 32);  // tape 1 copy at slot 2
+}
+
+TEST_F(SweepBuilderTest, PreservesPendingOrderOfLeftovers) {
+  std::deque<Request> pending = {Req(3, 6), Req(1, 0), Req(2, 6)};
+  Sweep sweep;
+  ExtractSweepForTape(*catalog_, 0, 0, rig_.block_mb(), nullptr, &pending,
+                      &sweep);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].id, 3);
+  EXPECT_EQ(pending[1].id, 2);
+}
+
+TEST(SweepBuilderDeathTest, RequiresEmptySweep) {
+  TinyRig rig(1);
+  rig.Place(0, 0, 0);
+  const Catalog catalog = rig.BuildCatalog();
+  std::deque<Request> pending = {Req(1, 0)};
+  Sweep sweep;
+  ExtractSweepForTape(catalog, 0, 0, rig.block_mb(), nullptr, &pending,
+                      &sweep);
+  std::deque<Request> more = {Req(2, 0)};
+  EXPECT_DEATH(ExtractSweepForTape(catalog, 0, 0, rig.block_mb(), nullptr,
+                                   &more, &sweep),
+               "drained");
+}
+
+}  // namespace
+}  // namespace tapejuke

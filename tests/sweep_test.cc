@@ -1,0 +1,154 @@
+// Unit tests for the Sweep service list (forward + reverse phases).
+
+#include "sched/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace tapejuke {
+namespace {
+
+Request Req(RequestId id, BlockId block) { return Request{id, block, 0.0}; }
+
+ServiceEntry Entry(Position position, BlockId block, RequestId request) {
+  return ServiceEntry{position, block, {Req(request, block)}};
+}
+
+TEST(Sweep, StartsEmpty) {
+  Sweep sweep;
+  EXPECT_TRUE(sweep.empty());
+  EXPECT_EQ(sweep.size(), 0u);
+  EXPECT_FALSE(sweep.Pop().has_value());
+}
+
+TEST(Sweep, PopsForwardThenReverse) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  sweep.AppendForward(Entry(200, 2, 2));
+  sweep.AppendReverse(Entry(80, 3, 3));
+  sweep.AppendReverse(Entry(40, 4, 4));
+  EXPECT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep.phase(), Sweep::Phase::kForward);
+  EXPECT_EQ(sweep.Pop()->position, 100);
+  EXPECT_EQ(sweep.Pop()->position, 200);
+  EXPECT_EQ(sweep.phase(), Sweep::Phase::kReverse);
+  EXPECT_EQ(sweep.Pop()->position, 80);
+  EXPECT_EQ(sweep.Pop()->position, 40);
+  EXPECT_TRUE(sweep.empty());
+}
+
+TEST(SweepDeathTest, ForwardAppendMustAscend) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  EXPECT_DEATH(sweep.AppendForward(Entry(50, 2, 2)), "ascending");
+}
+
+TEST(SweepDeathTest, ReverseAppendMustDescend) {
+  Sweep sweep;
+  sweep.AppendReverse(Entry(100, 1, 1));
+  EXPECT_DEATH(sweep.AppendReverse(Entry(200, 2, 2)), "descending");
+}
+
+TEST(Sweep, InsertAheadInForwardPhase) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  sweep.AppendForward(Entry(300, 3, 3));
+  // Head at 50: 200 is ahead, inserts between the two entries.
+  EXPECT_TRUE(sweep.InsertRequest(Req(9, 9), 200, 50, true));
+  EXPECT_EQ(sweep.Pop()->position, 100);
+  EXPECT_EQ(sweep.Pop()->position, 200);
+  EXPECT_EQ(sweep.Pop()->position, 300);
+}
+
+TEST(Sweep, InsertBehindHeadGoesToReversePhase) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(200, 1, 1));
+  EXPECT_TRUE(sweep.InsertRequest(Req(9, 9), 100, 150, true));
+  EXPECT_EQ(sweep.Pop()->position, 200);  // forward first
+  EXPECT_EQ(sweep.Pop()->position, 100);  // then back down
+}
+
+TEST(Sweep, InsertBehindHeadRejectedWithoutReversePhase) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(200, 1, 1));
+  EXPECT_FALSE(sweep.InsertRequest(Req(9, 9), 100, 150, false));
+  EXPECT_EQ(sweep.size(), 1u);
+}
+
+TEST(Sweep, InsertDuringReversePhaseOnlyBelowHead) {
+  Sweep sweep;
+  sweep.AppendReverse(Entry(300, 1, 1));
+  sweep.AppendReverse(Entry(100, 2, 2));
+  // Head at 400 moving down: 200 fits between, 350... also below head.
+  EXPECT_TRUE(sweep.InsertRequest(Req(9, 9), 200, 400, true));
+  // 500 is above the head: rejected in the reverse phase.
+  EXPECT_FALSE(sweep.InsertRequest(Req(10, 10), 500, 400, true));
+  EXPECT_EQ(sweep.Pop()->position, 300);
+  EXPECT_EQ(sweep.Pop()->position, 200);
+  EXPECT_EQ(sweep.Pop()->position, 100);
+}
+
+TEST(Sweep, InsertJoinsExistingBlockEntry) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 7, 1));
+  // A second request for block 7 joins the same read, even if the position
+  // test would fail (the read is already scheduled).
+  EXPECT_TRUE(sweep.InsertRequest(Req(2, 7), 100, 150, false));
+  const ServiceEntry entry = *sweep.Pop();
+  EXPECT_EQ(entry.requests.size(), 2u);
+}
+
+TEST(Sweep, IsAheadMirrorsInsertability) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(200, 1, 1));
+  EXPECT_TRUE(sweep.IsAhead(250, 100, true));
+  EXPECT_TRUE(sweep.IsAhead(50, 100, true));
+  EXPECT_FALSE(sweep.IsAhead(50, 100, false));
+  Sweep empty;
+  EXPECT_FALSE(empty.IsAhead(50, 0, true));
+}
+
+TEST(Sweep, RemoveBlock) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  sweep.AppendForward(Entry(200, 2, 2));
+  sweep.AppendReverse(Entry(50, 3, 3));
+  const auto removed = sweep.RemoveBlock(2);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->position, 200);
+  EXPECT_EQ(sweep.size(), 2u);
+  EXPECT_FALSE(sweep.RemoveBlock(99).has_value());
+  EXPECT_TRUE(sweep.RemoveBlock(3).has_value());
+}
+
+TEST(Sweep, FindBlockSearchesBothPhases) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  sweep.AppendReverse(Entry(50, 2, 2));
+  ASSERT_NE(sweep.FindBlock(1), nullptr);
+  ASSERT_NE(sweep.FindBlock(2), nullptr);
+  EXPECT_EQ(sweep.FindBlock(3), nullptr);
+}
+
+TEST(Sweep, EntriesAndPositionsInExecutionOrder) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  sweep.AppendForward(Entry(200, 2, 2));
+  sweep.AppendReverse(Entry(50, 3, 3));
+  const std::vector<Position> positions = sweep.Positions();
+  ASSERT_EQ(positions.size(), 3u);
+  EXPECT_EQ(positions[0], 100);
+  EXPECT_EQ(positions[1], 200);
+  EXPECT_EQ(positions[2], 50);
+  EXPECT_EQ(sweep.Entries().size(), 3u);
+}
+
+TEST(Sweep, ClearEmptiesBothPhases) {
+  Sweep sweep;
+  sweep.AppendForward(Entry(100, 1, 1));
+  sweep.AppendReverse(Entry(50, 2, 2));
+  sweep.Clear();
+  EXPECT_TRUE(sweep.empty());
+}
+
+}  // namespace
+}  // namespace tapejuke

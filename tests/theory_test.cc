@@ -1,0 +1,175 @@
+// Property tests for the §3.3 formal results: the envelope algorithm's
+// extension cost is (a) never below the brute-force optimum and (b) within
+// the Theorem 2 harmonic bound, across randomized small instances.
+
+#include "sched/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/envelope_scheduler.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace tapejuke {
+namespace {
+
+TEST(HarmonicNumber, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicNumber(0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicNumber(2), 1.5);
+  EXPECT_NEAR(HarmonicNumber(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(ExtensionCost, SingleTapeRoundTrip) {
+  TimingModel model{TimingParams::Exabyte8505XL()};
+  ExtensionProblem problem;
+  problem.model = &model;
+  problem.block_mb = 16;
+  problem.mounted = 0;
+  problem.initial_envelope = {32, 0};
+  problem.options = {{Replica{0, 5, 80}}};
+  const double cost = ExtensionCost(problem, {0});
+  // Locate 32 -> 80, read, locate back 96 -> 32; no surcharge (mounted).
+  const double expected = model.LocateAndReadTime(32, 80, 16) +
+                          model.LocateTime(96, 32);
+  EXPECT_DOUBLE_EQ(cost, expected);
+}
+
+TEST(ExtensionCost, UntouchedTapePaysSwitchSurcharge) {
+  TimingModel model{TimingParams::Exabyte8505XL()};
+  ExtensionProblem problem;
+  problem.model = &model;
+  problem.block_mb = 16;
+  problem.mounted = 0;
+  problem.initial_envelope = {32, 0};
+  problem.options = {{Replica{1, 0, 0}}};
+  const double cost = ExtensionCost(problem, {0});
+  const double expected = model.SwitchTime() +
+                          model.LocateAndReadTime(0, 0, 16) +
+                          model.LocateTime(16, 0);
+  EXPECT_DOUBLE_EQ(cost, expected);
+}
+
+TEST(ExtensionCost, DuplicatePositionsReadOnce) {
+  TimingModel model{TimingParams::Exabyte8505XL()};
+  ExtensionProblem problem;
+  problem.model = &model;
+  problem.block_mb = 16;
+  problem.mounted = 0;
+  problem.initial_envelope = {0};
+  problem.options = {{Replica{0, 2, 32}}, {Replica{0, 2, 32}}};
+  EXPECT_DOUBLE_EQ(ExtensionCost(problem, {0, 0}),
+                   ExtensionCost({problem.model, 16, 0, {0},
+                                  {{Replica{0, 2, 32}}}},
+                                 {0}));
+}
+
+TEST(OptimalExtensionCost, PicksTheCheaperReplica) {
+  TimingModel model{TimingParams::Exabyte8505XL()};
+  ExtensionProblem problem;
+  problem.model = &model;
+  problem.block_mb = 16;
+  problem.mounted = 0;
+  problem.initial_envelope = {32, 32};
+  // Near copy on the mounted tape vs far copy on tape 1.
+  problem.options = {{Replica{0, 2, 32}, Replica{1, 9, 144}}};
+  const double optimal = OptimalExtensionCost(problem);
+  EXPECT_DOUBLE_EQ(optimal, ExtensionCost(problem, {0}));
+  EXPECT_LT(optimal, ExtensionCost(problem, {1}));
+}
+
+TEST(OptimalExtensionCost, EmptyProblemIsFree) {
+  TimingModel model{TimingParams::Exabyte8505XL()};
+  ExtensionProblem problem;
+  problem.model = &model;
+  EXPECT_DOUBLE_EQ(OptimalExtensionCost(problem), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized Theorem-2 property check.
+// ---------------------------------------------------------------------------
+
+class Theorem2Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem2Property, EnvelopeWithinHarmonicBoundOfOptimal) {
+  Rng rng(GetParam());
+  // Random instance: 3 tapes x 20 slots; two non-replicated anchor blocks
+  // pin the initial envelope; 3-5 replicated blocks remain unscheduled.
+  TinyRig rig(3, /*capacity_mb=*/320, /*block_size_mb=*/16);
+  std::set<std::pair<TapeId, int64_t>> used;
+  auto place_random = [&](BlockId block, TapeId tape, int64_t lo,
+                          int64_t hi) {
+    for (;;) {
+      const int64_t slot =
+          lo + static_cast<int64_t>(
+                   rng.UniformUint64(static_cast<uint64_t>(hi - lo)));
+      if (used.insert({tape, slot}).second) {
+        rig.Place(block, tape, slot);
+        return;
+      }
+    }
+  };
+  BlockId next_block = 0;
+  // Anchors (non-replicated, requested) near the start of tapes 0 and 1
+  // keep the initial envelope small so the replicated blocks stay outside.
+  place_random(next_block++, 0, 0, 4);
+  place_random(next_block++, 1, 0, 4);
+  // Replicated blocks: 2-3 copies on distinct random tapes, farther out.
+  const int num_replicated = 3 + static_cast<int>(rng.UniformUint64(3));
+  for (int i = 0; i < num_replicated; ++i) {
+    const int copies = 2 + static_cast<int>(rng.UniformUint64(2));
+    std::set<TapeId> tapes;
+    while (static_cast<int>(tapes.size()) < copies) {
+      tapes.insert(static_cast<TapeId>(rng.UniformUint64(3)));
+    }
+    for (const TapeId t : tapes) place_random(next_block, t, 4, 20);
+    ++next_block;
+  }
+  const Catalog catalog = rig.BuildCatalog();
+  rig.jukebox().SwitchTo(0);
+
+  EnvelopeScheduler sched(&rig.jukebox(), &catalog,
+                          TapePolicy::kMaxRequests);
+  std::vector<Request> requests;
+  for (BlockId b = 0; b < next_block; ++b) {
+    requests.push_back(Request{b, b, 0.0});
+  }
+  const auto result = sched.ComputeUpperEnvelope(requests);
+  const auto n = static_cast<int64_t>(result.initially_unscheduled.size());
+  if (n == 0) GTEST_SKIP() << "everything absorbed by the initial envelope";
+
+  // Build the extension problem (S1 plus the remaining requests).
+  ExtensionProblem problem;
+  problem.model = &rig.model();
+  problem.block_mb = rig.block_mb();
+  problem.mounted = 0;
+  problem.initial_envelope = result.initial_envelope;
+  std::vector<int> envelope_choice;
+  for (const Request& request : result.initially_unscheduled) {
+    problem.options.push_back(catalog.ReplicasOf(request.block));
+    const Replica& chosen = result.assignment.at(request.id);
+    int index = -1;
+    for (size_t i = 0; i < problem.options.back().size(); ++i) {
+      if (problem.options.back()[i] == chosen) {
+        index = static_cast<int>(i);
+      }
+    }
+    ASSERT_GE(index, 0) << "assignment must be one of the block's replicas";
+    envelope_choice.push_back(index);
+  }
+
+  const double achieved = ExtensionCost(problem, envelope_choice);
+  const double optimal = OptimalExtensionCost(problem);
+  EXPECT_GE(achieved, optimal - 1e-9);
+  const double bound = Theorem2Bound(problem, optimal, n);
+  EXPECT_LE(achieved, bound + 1e-6)
+      << "n=" << n << " optimal=" << optimal << " achieved=" << achieved;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Theorem2Property,
+                         ::testing::Range<uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace tapejuke

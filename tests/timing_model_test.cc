@@ -1,0 +1,109 @@
+// Unit tests for the §2.1 tape timing model.
+
+#include "tape/timing_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tapejuke {
+namespace {
+
+TEST(TimingParams, DefaultsMatchPaperConstants) {
+  const TimingParams p = TimingParams::Exabyte8505XL();
+  EXPECT_DOUBLE_EQ(p.fwd_short_startup, 4.834);
+  EXPECT_DOUBLE_EQ(p.fwd_short_per_mb, 0.378);
+  EXPECT_DOUBLE_EQ(p.fwd_long_startup, 14.342);
+  EXPECT_DOUBLE_EQ(p.fwd_long_per_mb, 0.028);
+  EXPECT_DOUBLE_EQ(p.rev_short_startup, 4.99);
+  EXPECT_DOUBLE_EQ(p.rev_short_per_mb, 0.328);
+  EXPECT_DOUBLE_EQ(p.rev_long_startup, 13.74);
+  EXPECT_DOUBLE_EQ(p.rev_long_per_mb, 0.0286);
+  EXPECT_DOUBLE_EQ(p.bot_extra_seconds, 21.0);
+  EXPECT_DOUBLE_EQ(p.read_fwd_startup, 0.38);
+  EXPECT_DOUBLE_EQ(p.read_per_mb, 1.77);
+  // Tape switch total: 19 + 20 + 42 = 81 seconds.
+  EXPECT_DOUBLE_EQ(p.eject_seconds + p.robot_seconds + p.load_seconds, 81.0);
+  EXPECT_EQ(p.tape_capacity_mb, 7168);
+}
+
+TEST(TimingModel, ForwardLocateUsesShortAndLongRegimes) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  EXPECT_DOUBLE_EQ(model.ForwardLocateTime(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.ForwardLocateTime(1), 4.834 + 0.378);
+  EXPECT_DOUBLE_EQ(model.ForwardLocateTime(28), 4.834 + 0.378 * 28);
+  EXPECT_DOUBLE_EQ(model.ForwardLocateTime(29), 14.342 + 0.028 * 29);
+  EXPECT_DOUBLE_EQ(model.ForwardLocateTime(1000), 14.342 + 0.028 * 1000);
+}
+
+TEST(TimingModel, ReverseLocateUsesShortAndLongRegimes) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  EXPECT_DOUBLE_EQ(model.ReverseLocateTime(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.ReverseLocateTime(28), 4.99 + 0.328 * 28);
+  EXPECT_DOUBLE_EQ(model.ReverseLocateTime(29), 13.74 + 0.0286 * 29);
+}
+
+TEST(TimingModel, LocateToBeginningAddsRewindOverhead) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  EXPECT_DOUBLE_EQ(model.LocateTime(1000, 0),
+                   13.74 + 0.0286 * 1000 + 21.0);
+  // No surcharge when already at 0.
+  EXPECT_DOUBLE_EQ(model.LocateTime(0, 0), 0.0);
+}
+
+TEST(TimingModel, ReadStartupDependsOnPrecedingLocate) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  EXPECT_DOUBLE_EQ(model.ReadTime(16, LocateKind::kForward),
+                   0.38 + 1.77 * 16);
+  EXPECT_DOUBLE_EQ(model.ReadTime(16, LocateKind::kReverse), 1.77 * 16);
+  EXPECT_DOUBLE_EQ(model.ReadTime(16, LocateKind::kNone), 1.77 * 16);
+  EXPECT_DOUBLE_EQ(model.ReadTime(0, LocateKind::kForward), 0.0);
+}
+
+TEST(TimingModel, SwitchTimes) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  EXPECT_DOUBLE_EQ(model.SwitchTime(), 81.0);
+  // Full switch from position 500: rewind (long reverse + BOT) + switch.
+  EXPECT_DOUBLE_EQ(model.FullSwitchTime(500),
+                   13.74 + 0.0286 * 500 + 21.0 + 81.0);
+  EXPECT_DOUBLE_EQ(model.FullSwitchTime(0), 81.0);
+}
+
+TEST(TimingModel, LocateTimeIsMonotoneInDistance) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  double prev = 0;
+  for (int64_t k = 1; k <= 4096; k *= 2) {
+    const double t = model.ForwardLocateTime(k);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TimingModel, StreamingRate) {
+  const TimingModel model{TimingParams::Exabyte8505XL()};
+  EXPECT_NEAR(model.StreamingRateMBps(), 1.0 / 1.77, 1e-12);
+}
+
+TEST(TimingParams, ValidateRejectsBadValues) {
+  TimingParams p;
+  p.tape_capacity_mb = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TimingParams{};
+  p.read_per_mb = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = TimingParams{};
+  p.fwd_short_startup = -1;
+  EXPECT_FALSE(p.Validate().ok());
+  EXPECT_TRUE(TimingParams{}.Validate().ok());
+}
+
+TEST(TimingParams, FastDriveIsUniformlyFaster) {
+  const TimingModel fast{TimingParams::FastDrive()};
+  const TimingModel base{TimingParams::Exabyte8505XL()};
+  for (int64_t k : {1, 10, 100, 1000}) {
+    EXPECT_LT(fast.ForwardLocateTime(k), base.ForwardLocateTime(k));
+    EXPECT_LT(fast.ReverseLocateTime(k), base.ReverseLocateTime(k));
+  }
+  EXPECT_LT(fast.SwitchTime(), base.SwitchTime());
+}
+
+}  // namespace
+}  // namespace tapejuke

@@ -1,0 +1,132 @@
+// Unit tests for workload generation (skew and arrival processes).
+
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "layout/placement.h"
+#include "tape/jukebox.h"
+
+namespace tapejuke {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : jukebox_(MakeConfig()) {
+    LayoutSpec spec;  // PH-10
+    catalog_.emplace(LayoutBuilder::Build(&jukebox_, spec).value());
+  }
+
+  static JukeboxConfig MakeConfig() {
+    JukeboxConfig config;
+    config.num_tapes = 10;
+    config.block_size_mb = 16;
+    return config;
+  }
+
+  Jukebox jukebox_;
+  std::optional<Catalog> catalog_;
+};
+
+TEST_F(WorkloadTest, ConfigValidation) {
+  WorkloadConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.queue_length = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WorkloadConfig{};
+  config.model = QueuingModel::kOpen;
+  config.mean_interarrival_seconds = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WorkloadConfig{};
+  config.hot_request_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST_F(WorkloadTest, HotFractionMatchesRh) {
+  WorkloadConfig config;
+  config.hot_request_fraction = 0.40;
+  config.seed = 3;
+  WorkloadGenerator gen(&*catalog_, config);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (catalog_->IsHot(gen.NextBlock())) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.40, 0.01);
+}
+
+TEST_F(WorkloadTest, HotAndColdDrawsAreUniformWithinClass) {
+  WorkloadConfig config;
+  config.hot_request_fraction = 0.5;
+  config.seed = 5;
+  WorkloadGenerator gen(&*catalog_, config);
+  // Mean of hot draws should be ~(H-1)/2; cold draws ~(H + L-1)/2.
+  const double h = static_cast<double>(catalog_->num_hot_blocks());
+  const double l = static_cast<double>(catalog_->num_blocks());
+  double hot_sum = 0;
+  double cold_sum = 0;
+  int hots = 0;
+  int colds = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const BlockId b = gen.NextBlock();
+    if (catalog_->IsHot(b)) {
+      hot_sum += static_cast<double>(b);
+      ++hots;
+    } else {
+      cold_sum += static_cast<double>(b);
+      ++colds;
+    }
+  }
+  EXPECT_NEAR(hot_sum / hots, (h - 1) / 2, h * 0.02);
+  EXPECT_NEAR(cold_sum / colds, (h + l - 1) / 2, l * 0.02);
+}
+
+TEST_F(WorkloadTest, ExtremeSkewValues) {
+  WorkloadConfig config;
+  config.hot_request_fraction = 1.0;
+  config.seed = 7;
+  WorkloadGenerator all_hot(&*catalog_, config);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(catalog_->IsHot(all_hot.NextBlock()));
+  }
+  config.hot_request_fraction = 0.0;
+  WorkloadGenerator all_cold(&*catalog_, config);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(catalog_->IsHot(all_cold.NextBlock()));
+  }
+}
+
+TEST_F(WorkloadTest, RequestIdsAreSequential) {
+  WorkloadGenerator gen(&*catalog_, WorkloadConfig{});
+  EXPECT_EQ(gen.NextRequest(1.0).id, 0);
+  EXPECT_EQ(gen.NextRequest(2.0).id, 1);
+  const Request r = gen.NextRequest(3.5);
+  EXPECT_EQ(r.id, 2);
+  EXPECT_DOUBLE_EQ(r.arrival_time, 3.5);
+}
+
+TEST_F(WorkloadTest, SameSeedSameStream) {
+  WorkloadConfig config;
+  config.seed = 11;
+  WorkloadGenerator a(&*catalog_, config);
+  WorkloadGenerator b(&*catalog_, config);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextBlock(), b.NextBlock());
+    ASSERT_DOUBLE_EQ(a.NextInterarrival(), b.NextInterarrival());
+  }
+}
+
+TEST_F(WorkloadTest, InterarrivalMeanMatches) {
+  WorkloadConfig config;
+  config.model = QueuingModel::kOpen;
+  config.mean_interarrival_seconds = 120.0;
+  config.seed = 13;
+  WorkloadGenerator gen(&*catalog_, config);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += gen.NextInterarrival();
+  EXPECT_NEAR(sum / n, 120.0, 2.0);
+}
+
+}  // namespace
+}  // namespace tapejuke

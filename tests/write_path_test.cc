@@ -1,0 +1,153 @@
+// Tests for the delta-staging write path.
+
+#include "sim/write_path.h"
+
+#include <gtest/gtest.h>
+
+#include "layout/placement.h"
+#include "sched/greedy_scheduler.h"
+
+namespace tapejuke {
+namespace {
+
+JukeboxConfig PaperJukebox() {
+  JukeboxConfig config;
+  config.num_tapes = 10;
+  config.block_size_mb = 16;
+  return config;
+}
+
+struct Rig {
+  explicit Rig(int32_t num_replicas = 0)
+      : jukebox(PaperJukebox()),
+        catalog(LayoutBuilder::Build(&jukebox, MakeLayout(num_replicas))
+                    .value()),
+        scheduler(&jukebox, &catalog, TapePolicy::kMaxBandwidth,
+                  /*dynamic=*/true) {}
+
+  static LayoutSpec MakeLayout(int32_t num_replicas) {
+    LayoutSpec layout;
+    layout.num_replicas = num_replicas;
+    layout.start_position = num_replicas == 0 ? 0.0 : 1.0;
+    return layout;
+  }
+
+  Jukebox jukebox;
+  Catalog catalog;
+  GreedyScheduler scheduler;
+};
+
+SimulationConfig ShortSim(QueuingModel model = QueuingModel::kClosed) {
+  SimulationConfig config;
+  config.duration_seconds = 300'000;
+  config.warmup_seconds = 30'000;
+  config.workload.model = model;
+  config.workload.queue_length = 40;
+  config.workload.mean_interarrival_seconds = 90;
+  config.workload.seed = 41;
+  return config;
+}
+
+TEST(WritePathConfig, Validation) {
+  WritePathConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.buffer_capacity_blocks = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = WritePathConfig{};
+  config.hot_write_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(WritePath, WritesAreStagedAndFlushed) {
+  Rig rig;
+  WritePathConfig writes;
+  writes.mean_write_interarrival_seconds = 200;
+  WritebackSimulator sim(&rig.jukebox, &rig.catalog, &rig.scheduler,
+                         ShortSim(), writes);
+  const SimulationResult result = sim.Run();
+  EXPECT_GT(result.completed_requests, 100);
+  const WritePathStats& stats = sim.stats();
+  EXPECT_GT(stats.writes_accepted, 1000);
+  EXPECT_GT(stats.blocks_flushed, 0);
+  EXPECT_GT(stats.piggyback_flushes, 0);
+  // The staging buffer bounds occupancy (capacity + one inter-flush burst).
+  EXPECT_LE(stats.max_buffer_occupancy,
+            writes.buffer_capacity_blocks + 128);
+}
+
+TEST(WritePath, ReplicatedBlocksDirtyEveryCopy) {
+  Rig rig(/*num_replicas=*/9);
+  WritePathConfig writes;
+  writes.mean_write_interarrival_seconds = 500;
+  writes.hot_write_fraction = 1.0;  // every write hits a hot block
+  WritebackSimulator sim(&rig.jukebox, &rig.catalog, &rig.scheduler,
+                         ShortSim(), writes);
+  sim.Run();
+  const WritePathStats& stats = sim.stats();
+  ASSERT_GT(stats.writes_accepted, 100);
+  // Each hot write dirties up to 10 copies (duplicates collapse).
+  EXPECT_GT(static_cast<double>(stats.dirty_updates_created),
+            5.0 * static_cast<double>(stats.writes_accepted));
+}
+
+TEST(WritePath, WriteTrafficDegradesReads) {
+  auto run = [](double write_gap) {
+    Rig rig;
+    WritePathConfig writes;
+    writes.mean_write_interarrival_seconds = write_gap;
+    WritebackSimulator sim(&rig.jukebox, &rig.catalog, &rig.scheduler,
+                           ShortSim(), writes);
+    return sim.Run();
+  };
+  const SimulationResult none = run(0);      // writes disabled
+  const SimulationResult heavy = run(60.0);  // one write per minute
+  EXPECT_GT(none.requests_per_minute, heavy.requests_per_minute);
+}
+
+TEST(WritePath, NoWritesMatchesPlainSimulator) {
+  Rig rig_a;
+  WritePathConfig writes;
+  writes.mean_write_interarrival_seconds = 0;  // disabled
+  WritebackSimulator with(&rig_a.jukebox, &rig_a.catalog, &rig_a.scheduler,
+                          ShortSim(), writes);
+  const SimulationResult a = with.Run();
+
+  Rig rig_b;
+  Simulator plain(&rig_b.jukebox, &rig_b.catalog, &rig_b.scheduler,
+                  ShortSim());
+  const SimulationResult b = plain.Run();
+  EXPECT_EQ(a.completed_requests, b.completed_requests);
+  EXPECT_DOUBLE_EQ(a.mean_delay_seconds, b.mean_delay_seconds);
+}
+
+TEST(WritePath, IdleFlushCleansBufferUnderLightLoad) {
+  Rig rig;
+  WritePathConfig writes;
+  writes.mean_write_interarrival_seconds = 300;
+  SimulationConfig sim_config = ShortSim(QueuingModel::kOpen);
+  sim_config.workload.mean_interarrival_seconds = 600;  // mostly idle
+  WritebackSimulator sim(&rig.jukebox, &rig.catalog, &rig.scheduler,
+                         sim_config, writes);
+  sim.Run();
+  EXPECT_GT(sim.stats().idle_flushes, 0);
+  // Idle cleaning keeps the buffer well under capacity.
+  EXPECT_LT(sim.stats().max_buffer_occupancy,
+            writes.buffer_capacity_blocks);
+  EXPECT_EQ(sim.stats().forced_flushes, 0);
+}
+
+TEST(WritePath, ForcedFlushWhenBufferTooSmall) {
+  Rig rig;
+  WritePathConfig writes;
+  writes.mean_write_interarrival_seconds = 30;  // write-heavy
+  writes.buffer_capacity_blocks = 16;           // tiny buffer
+  writes.piggyback = false;
+  writes.idle_flush = false;
+  WritebackSimulator sim(&rig.jukebox, &rig.catalog, &rig.scheduler,
+                         ShortSim(), writes);
+  sim.Run();
+  EXPECT_GT(sim.stats().forced_flushes, 0);
+}
+
+}  // namespace
+}  // namespace tapejuke
