@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dynamic_insertion.dir/abl_dynamic_insertion.cc.o"
+  "CMakeFiles/abl_dynamic_insertion.dir/abl_dynamic_insertion.cc.o.d"
+  "abl_dynamic_insertion"
+  "abl_dynamic_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dynamic_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

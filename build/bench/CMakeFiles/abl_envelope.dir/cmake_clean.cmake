@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_envelope.dir/abl_envelope.cc.o"
+  "CMakeFiles/abl_envelope.dir/abl_envelope.cc.o.d"
+  "abl_envelope"
+  "abl_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rewind.dir/abl_rewind.cc.o"
+  "CMakeFiles/abl_rewind.dir/abl_rewind.cc.o.d"
+  "abl_rewind"
+  "abl_rewind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rewind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

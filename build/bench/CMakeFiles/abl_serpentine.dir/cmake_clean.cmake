@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_serpentine.dir/abl_serpentine.cc.o"
+  "CMakeFiles/abl_serpentine.dir/abl_serpentine.cc.o.d"
+  "abl_serpentine"
+  "abl_serpentine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_serpentine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vertical.dir/abl_vertical.cc.o"
+  "CMakeFiles/abl_vertical.dir/abl_vertical.cc.o.d"
+  "abl_vertical"
+  "abl_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_analytic.dir/ext_analytic.cc.o"
+  "CMakeFiles/ext_analytic.dir/ext_analytic.cc.o.d"
+  "ext_analytic"
+  "ext_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

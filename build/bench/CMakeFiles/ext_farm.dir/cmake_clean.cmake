@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_farm.dir/ext_farm.cc.o"
+  "CMakeFiles/ext_farm.dir/ext_farm.cc.o.d"
+  "ext_farm"
+  "ext_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

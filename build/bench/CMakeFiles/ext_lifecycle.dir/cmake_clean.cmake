@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lifecycle.dir/ext_lifecycle.cc.o"
+  "CMakeFiles/ext_lifecycle.dir/ext_lifecycle.cc.o.d"
+  "ext_lifecycle"
+  "ext_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

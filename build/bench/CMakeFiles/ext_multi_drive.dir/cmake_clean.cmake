@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_drive.dir/ext_multi_drive.cc.o"
+  "CMakeFiles/ext_multi_drive.dir/ext_multi_drive.cc.o.d"
+  "ext_multi_drive"
+  "ext_multi_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_multi_drive.
+# This may be replaced when dependencies are built.

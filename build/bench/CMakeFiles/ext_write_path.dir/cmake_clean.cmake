@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_write_path.dir/ext_write_path.cc.o"
+  "CMakeFiles/ext_write_path.dir/ext_write_path.cc.o.d"
+  "ext_write_path"
+  "ext_write_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_write_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zipf.dir/ext_zipf.cc.o"
+  "CMakeFiles/ext_zipf.dir/ext_zipf.cc.o.d"
+  "ext_zipf"
+  "ext_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

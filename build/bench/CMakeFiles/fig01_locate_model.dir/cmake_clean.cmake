@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_locate_model.dir/fig01_locate_model.cc.o"
+  "CMakeFiles/fig01_locate_model.dir/fig01_locate_model.cc.o.d"
+  "fig01_locate_model"
+  "fig01_locate_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_locate_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

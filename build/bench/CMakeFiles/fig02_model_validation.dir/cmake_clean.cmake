@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_model_validation.dir/fig02_model_validation.cc.o"
+  "CMakeFiles/fig02_model_validation.dir/fig02_model_validation.cc.o.d"
+  "fig02_model_validation"
+  "fig02_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_transfer_size.dir/fig03_transfer_size.cc.o"
+  "CMakeFiles/fig03_transfer_size.dir/fig03_transfer_size.cc.o.d"
+  "fig03_transfer_size"
+  "fig03_transfer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_transfer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sched_no_replication.dir/fig04_sched_no_replication.cc.o"
+  "CMakeFiles/fig04_sched_no_replication.dir/fig04_sched_no_replication.cc.o.d"
+  "fig04_sched_no_replication"
+  "fig04_sched_no_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sched_no_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_hot_placement.dir/fig05_hot_placement.cc.o"
+  "CMakeFiles/fig05_hot_placement.dir/fig05_hot_placement.cc.o.d"
+  "fig05_hot_placement"
+  "fig05_hot_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_hot_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_hot_placement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_replica_count.dir/fig06_replica_count.cc.o"
+  "CMakeFiles/fig06_replica_count.dir/fig06_replica_count.cc.o.d"
+  "fig06_replica_count"
+  "fig06_replica_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_replica_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_replica_count.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_replica_placement.dir/fig07_replica_placement.cc.o"
+  "CMakeFiles/fig07_replica_placement.dir/fig07_replica_placement.cc.o.d"
+  "fig07_replica_placement"
+  "fig07_replica_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_replica_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

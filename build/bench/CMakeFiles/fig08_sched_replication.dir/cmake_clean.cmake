@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sched_replication.dir/fig08_sched_replication.cc.o"
+  "CMakeFiles/fig08_sched_replication.dir/fig08_sched_replication.cc.o.d"
+  "fig08_sched_replication"
+  "fig08_sched_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sched_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

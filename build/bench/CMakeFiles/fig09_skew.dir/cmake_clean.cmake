@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_skew.dir/fig09_skew.cc.o"
+  "CMakeFiles/fig09_skew.dir/fig09_skew.cc.o.d"
+  "fig09_skew"
+  "fig09_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

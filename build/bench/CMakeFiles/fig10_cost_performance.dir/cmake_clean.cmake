@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cost_performance.dir/fig10_cost_performance.cc.o"
+  "CMakeFiles/fig10_cost_performance.dir/fig10_cost_performance.cc.o.d"
+  "fig10_cost_performance"
+  "fig10_cost_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cost_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

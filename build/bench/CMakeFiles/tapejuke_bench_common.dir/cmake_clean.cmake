@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tapejuke_bench_common.dir/bench_common.cc.o.d"
+  "libtapejuke_bench_common.a"
+  "libtapejuke_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

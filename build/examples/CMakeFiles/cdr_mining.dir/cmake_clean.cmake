@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_mining.dir/cdr_mining.cpp.o"
+  "CMakeFiles/cdr_mining.dir/cdr_mining.cpp.o.d"
+  "cdr_mining"
+  "cdr_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

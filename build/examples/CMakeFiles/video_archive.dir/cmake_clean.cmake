@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_archive.dir/video_archive.cpp.o"
+  "CMakeFiles/video_archive.dir/video_archive.cpp.o.d"
+  "video_archive"
+  "video_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

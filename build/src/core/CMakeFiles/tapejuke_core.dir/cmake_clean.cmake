@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_core.dir/analytic.cc.o"
+  "CMakeFiles/tapejuke_core.dir/analytic.cc.o.d"
+  "CMakeFiles/tapejuke_core.dir/cost_performance.cc.o"
+  "CMakeFiles/tapejuke_core.dir/cost_performance.cc.o.d"
+  "CMakeFiles/tapejuke_core.dir/experiment.cc.o"
+  "CMakeFiles/tapejuke_core.dir/experiment.cc.o.d"
+  "CMakeFiles/tapejuke_core.dir/farm.cc.o"
+  "CMakeFiles/tapejuke_core.dir/farm.cc.o.d"
+  "libtapejuke_core.a"
+  "libtapejuke_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/catalog.cc" "src/layout/CMakeFiles/tapejuke_layout.dir/catalog.cc.o" "gcc" "src/layout/CMakeFiles/tapejuke_layout.dir/catalog.cc.o.d"
+  "/root/repo/src/layout/placement.cc" "src/layout/CMakeFiles/tapejuke_layout.dir/placement.cc.o" "gcc" "src/layout/CMakeFiles/tapejuke_layout.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tape/CMakeFiles/tapejuke_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapejuke_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

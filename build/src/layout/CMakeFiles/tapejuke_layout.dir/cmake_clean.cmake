@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_layout.dir/catalog.cc.o"
+  "CMakeFiles/tapejuke_layout.dir/catalog.cc.o.d"
+  "CMakeFiles/tapejuke_layout.dir/placement.cc.o"
+  "CMakeFiles/tapejuke_layout.dir/placement.cc.o.d"
+  "libtapejuke_layout.a"
+  "libtapejuke_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/envelope_scheduler.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/envelope_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/envelope_scheduler.cc.o.d"
+  "/root/repo/src/sched/fifo_scheduler.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/fifo_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/fifo_scheduler.cc.o.d"
+  "/root/repo/src/sched/greedy_scheduler.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/greedy_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/greedy_scheduler.cc.o.d"
+  "/root/repo/src/sched/schedule_cost.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/schedule_cost.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/schedule_cost.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/sweep.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/sweep.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/sweep.cc.o.d"
+  "/root/repo/src/sched/sweep_builder.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/sweep_builder.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/sweep_builder.cc.o.d"
+  "/root/repo/src/sched/theory.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/theory.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/theory.cc.o.d"
+  "/root/repo/src/sched/validating_scheduler.cc" "src/sched/CMakeFiles/tapejuke_sched.dir/validating_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tapejuke_sched.dir/validating_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/tapejuke_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/tapejuke_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapejuke_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_sched.dir/envelope_scheduler.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/envelope_scheduler.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/fifo_scheduler.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/fifo_scheduler.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/greedy_scheduler.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/greedy_scheduler.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/schedule_cost.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/schedule_cost.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/scheduler.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/sweep.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/sweep.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/sweep_builder.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/sweep_builder.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/theory.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/theory.cc.o.d"
+  "CMakeFiles/tapejuke_sched.dir/validating_scheduler.cc.o"
+  "CMakeFiles/tapejuke_sched.dir/validating_scheduler.cc.o.d"
+  "libtapejuke_sched.a"
+  "libtapejuke_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtapejuke_sched.a"
+)

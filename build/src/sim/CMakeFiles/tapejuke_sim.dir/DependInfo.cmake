@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/lifecycle.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/lifecycle.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/lifecycle.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/multi_drive.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/multi_drive.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/multi_drive.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/workload.cc.o.d"
+  "/root/repo/src/sim/write_path.cc" "src/sim/CMakeFiles/tapejuke_sim.dir/write_path.cc.o" "gcc" "src/sim/CMakeFiles/tapejuke_sim.dir/write_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/tapejuke_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tapejuke_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/tapejuke_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapejuke_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_sim.dir/lifecycle.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/lifecycle.cc.o.d"
+  "CMakeFiles/tapejuke_sim.dir/metrics.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/tapejuke_sim.dir/multi_drive.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/multi_drive.cc.o.d"
+  "CMakeFiles/tapejuke_sim.dir/simulator.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tapejuke_sim.dir/trace.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/trace.cc.o.d"
+  "CMakeFiles/tapejuke_sim.dir/workload.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/workload.cc.o.d"
+  "CMakeFiles/tapejuke_sim.dir/write_path.cc.o"
+  "CMakeFiles/tapejuke_sim.dir/write_path.cc.o.d"
+  "libtapejuke_sim.a"
+  "libtapejuke_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

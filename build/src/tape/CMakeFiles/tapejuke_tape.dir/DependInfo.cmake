@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tape/drive.cc" "src/tape/CMakeFiles/tapejuke_tape.dir/drive.cc.o" "gcc" "src/tape/CMakeFiles/tapejuke_tape.dir/drive.cc.o.d"
+  "/root/repo/src/tape/jukebox.cc" "src/tape/CMakeFiles/tapejuke_tape.dir/jukebox.cc.o" "gcc" "src/tape/CMakeFiles/tapejuke_tape.dir/jukebox.cc.o.d"
+  "/root/repo/src/tape/physical_drive.cc" "src/tape/CMakeFiles/tapejuke_tape.dir/physical_drive.cc.o" "gcc" "src/tape/CMakeFiles/tapejuke_tape.dir/physical_drive.cc.o.d"
+  "/root/repo/src/tape/serpentine.cc" "src/tape/CMakeFiles/tapejuke_tape.dir/serpentine.cc.o" "gcc" "src/tape/CMakeFiles/tapejuke_tape.dir/serpentine.cc.o.d"
+  "/root/repo/src/tape/tape.cc" "src/tape/CMakeFiles/tapejuke_tape.dir/tape.cc.o" "gcc" "src/tape/CMakeFiles/tapejuke_tape.dir/tape.cc.o.d"
+  "/root/repo/src/tape/timing_model.cc" "src/tape/CMakeFiles/tapejuke_tape.dir/timing_model.cc.o" "gcc" "src/tape/CMakeFiles/tapejuke_tape.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tapejuke_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

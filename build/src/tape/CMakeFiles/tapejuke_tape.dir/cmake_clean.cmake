@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_tape.dir/drive.cc.o"
+  "CMakeFiles/tapejuke_tape.dir/drive.cc.o.d"
+  "CMakeFiles/tapejuke_tape.dir/jukebox.cc.o"
+  "CMakeFiles/tapejuke_tape.dir/jukebox.cc.o.d"
+  "CMakeFiles/tapejuke_tape.dir/physical_drive.cc.o"
+  "CMakeFiles/tapejuke_tape.dir/physical_drive.cc.o.d"
+  "CMakeFiles/tapejuke_tape.dir/serpentine.cc.o"
+  "CMakeFiles/tapejuke_tape.dir/serpentine.cc.o.d"
+  "CMakeFiles/tapejuke_tape.dir/tape.cc.o"
+  "CMakeFiles/tapejuke_tape.dir/tape.cc.o.d"
+  "CMakeFiles/tapejuke_tape.dir/timing_model.cc.o"
+  "CMakeFiles/tapejuke_tape.dir/timing_model.cc.o.d"
+  "libtapejuke_tape.a"
+  "libtapejuke_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapejuke_util.dir/flags.cc.o"
+  "CMakeFiles/tapejuke_util.dir/flags.cc.o.d"
+  "CMakeFiles/tapejuke_util.dir/rng.cc.o"
+  "CMakeFiles/tapejuke_util.dir/rng.cc.o.d"
+  "CMakeFiles/tapejuke_util.dir/stats.cc.o"
+  "CMakeFiles/tapejuke_util.dir/stats.cc.o.d"
+  "CMakeFiles/tapejuke_util.dir/status.cc.o"
+  "CMakeFiles/tapejuke_util.dir/status.cc.o.d"
+  "CMakeFiles/tapejuke_util.dir/table.cc.o"
+  "CMakeFiles/tapejuke_util.dir/table.cc.o.d"
+  "libtapejuke_util.a"
+  "libtapejuke_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapejuke_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_feature_test.dir/cross_feature_test.cc.o"
+  "CMakeFiles/cross_feature_test.dir/cross_feature_test.cc.o.d"
+  "cross_feature_test"
+  "cross_feature_test.pdb"
+  "cross_feature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_feature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_counters_test.dir/envelope_counters_test.cc.o"
+  "CMakeFiles/envelope_counters_test.dir/envelope_counters_test.cc.o.d"
+  "envelope_counters_test"
+  "envelope_counters_test.pdb"
+  "envelope_counters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

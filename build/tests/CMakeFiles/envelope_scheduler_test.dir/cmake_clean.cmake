@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/envelope_scheduler_test.dir/envelope_scheduler_test.cc.o"
+  "CMakeFiles/envelope_scheduler_test.dir/envelope_scheduler_test.cc.o.d"
+  "envelope_scheduler_test"
+  "envelope_scheduler_test.pdb"
+  "envelope_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/envelope_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

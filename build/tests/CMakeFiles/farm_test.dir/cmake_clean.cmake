@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_test.dir/farm_test.cc.o"
+  "CMakeFiles/farm_test.dir/farm_test.cc.o.d"
+  "farm_test"
+  "farm_test.pdb"
+  "farm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

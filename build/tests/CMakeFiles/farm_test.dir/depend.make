@@ -1,0 +1,2 @@
+# Empty dependencies file for farm_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_scheduler_test.dir/greedy_scheduler_test.cc.o"
+  "CMakeFiles/greedy_scheduler_test.dir/greedy_scheduler_test.cc.o.d"
+  "greedy_scheduler_test"
+  "greedy_scheduler_test.pdb"
+  "greedy_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jukebox_options_test.dir/jukebox_options_test.cc.o"
+  "CMakeFiles/jukebox_options_test.dir/jukebox_options_test.cc.o.d"
+  "jukebox_options_test"
+  "jukebox_options_test.pdb"
+  "jukebox_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jukebox_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jukebox_test.dir/jukebox_test.cc.o"
+  "CMakeFiles/jukebox_test.dir/jukebox_test.cc.o.d"
+  "jukebox_test"
+  "jukebox_test.pdb"
+  "jukebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jukebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_drive_test.dir/multi_drive_test.cc.o"
+  "CMakeFiles/multi_drive_test.dir/multi_drive_test.cc.o.d"
+  "multi_drive_test"
+  "multi_drive_test.pdb"
+  "multi_drive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/physical_drive_test.cc" "tests/CMakeFiles/physical_drive_test.dir/physical_drive_test.cc.o" "gcc" "tests/CMakeFiles/physical_drive_test.dir/physical_drive_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tapejuke_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapejuke_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tapejuke_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/tapejuke_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/tape/CMakeFiles/tapejuke_tape.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tapejuke_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

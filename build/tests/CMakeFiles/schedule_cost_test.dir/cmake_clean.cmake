@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_cost_test.dir/schedule_cost_test.cc.o"
+  "CMakeFiles/schedule_cost_test.dir/schedule_cost_test.cc.o.d"
+  "schedule_cost_test"
+  "schedule_cost_test.pdb"
+  "schedule_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_invariants_test.dir/scheduler_invariants_test.cc.o"
+  "CMakeFiles/scheduler_invariants_test.dir/scheduler_invariants_test.cc.o.d"
+  "scheduler_invariants_test"
+  "scheduler_invariants_test.pdb"
+  "scheduler_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

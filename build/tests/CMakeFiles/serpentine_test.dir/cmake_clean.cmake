@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serpentine_test.dir/serpentine_test.cc.o"
+  "CMakeFiles/serpentine_test.dir/serpentine_test.cc.o.d"
+  "serpentine_test"
+  "serpentine_test.pdb"
+  "serpentine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serpentine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

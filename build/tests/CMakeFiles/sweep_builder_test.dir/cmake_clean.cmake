@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_builder_test.dir/sweep_builder_test.cc.o"
+  "CMakeFiles/sweep_builder_test.dir/sweep_builder_test.cc.o.d"
+  "sweep_builder_test"
+  "sweep_builder_test.pdb"
+  "sweep_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_flags_test.dir/table_flags_test.cc.o"
+  "CMakeFiles/table_flags_test.dir/table_flags_test.cc.o.d"
+  "table_flags_test"
+  "table_flags_test.pdb"
+  "table_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

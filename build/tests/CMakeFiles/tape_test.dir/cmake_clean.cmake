@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_test.dir/tape_test.cc.o"
+  "CMakeFiles/tape_test.dir/tape_test.cc.o.d"
+  "tape_test"
+  "tape_test.pdb"
+  "tape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

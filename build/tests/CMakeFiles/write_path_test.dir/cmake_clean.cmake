@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_path_test.dir/write_path_test.cc.o"
+  "CMakeFiles/write_path_test.dir/write_path_test.cc.o.d"
+  "write_path_test"
+  "write_path_test.pdb"
+  "write_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
