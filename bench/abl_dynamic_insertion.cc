@@ -20,8 +20,9 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
-  Table table({"replicas", "reverse_phase", "load", "throughput_req_min",
-               "delay_min"});
+  BenchContext ctx("abl_dynamic_insertion", options);
+
+  std::vector<GridPoint> grid;
   for (const int nr : {0, 9}) {
     for (const bool reverse : {true, false}) {
       ExperimentConfig config = PaperBaseConfig(options);
@@ -30,20 +31,28 @@ int Main(int argc, char** argv) {
       config.algorithm =
           AlgorithmSpec::Parse("dynamic-max-bandwidth").value();
       config.algorithm.options.allow_reverse_phase = reverse;
-      for (const CurvePoint& point : LoadSweep(config, options)) {
-        const int64_t load = options.Model() == QueuingModel::kOpen
-                                 ? static_cast<int64_t>(
-                                       point.interarrival_seconds)
-                                 : point.queue_length;
-        table.AddRow({static_cast<int64_t>(nr),
-                      std::string(reverse ? "on" : "off"), load,
-                      point.throughput_req_per_min,
-                      point.mean_delay_minutes});
-      }
+      ctx.AddLoadSweep(&grid,
+                       "NR-" + std::to_string(nr) + "/reverse-" +
+                           (reverse ? "on" : "off"),
+                       config);
     }
   }
-  Emit(options, "dynamic max-bandwidth with/without reverse-phase inserts",
-       &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"replicas", "reverse_phase", "load", "throughput_req_min",
+               "delay_min"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ExperimentConfig& config = grid[i].config;
+    table.AddRow(
+        {static_cast<int64_t>(config.layout.num_replicas),
+         std::string(config.algorithm.options.allow_reverse_phase ? "on"
+                                                                  : "off"),
+         static_cast<int64_t>(grid[i].load),
+         results[i].sim.requests_per_minute,
+         results[i].sim.mean_delay_minutes});
+  }
+  ctx.Emit("dynamic max-bandwidth with/without reverse-phase inserts",
+           &table);
   return 0;
 }
 

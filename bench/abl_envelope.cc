@@ -13,6 +13,8 @@
 // assignment, which influences behaviour solely through extension and
 // shrink — so with those quiet, it has no observable effect at all.
 
+#include <iterator>
+
 #include "bench_common.h"
 #include "sched/envelope_scheduler.h"
 
@@ -26,36 +28,16 @@ struct Variant {
   bool paper_tiebreak;
 };
 
-void RunGrid(const BenchOptions& options, const ExperimentConfig& base,
-             const char* title) {
-  const Variant variants[] = {
-      {"full (paper)", true, true},
-      {"no shrink (step 5 off)", false, true},
-      {"naive replica tie-break", true, false},
-  };
-  Table table({"variant", "throughput_req_min", "delay_min", "ext_rounds",
-               "shrink_moves", "multi_choices", "sweep_trims"});
-  for (const Variant& variant : variants) {
-    Jukebox jukebox(base.jukebox);
-    const Catalog catalog =
-        LayoutBuilder::Build(&jukebox, base.layout).value();
-    SchedulerOptions sched_options;
-    sched_options.envelope_shrink = variant.shrink;
-    sched_options.paper_replica_tiebreak = variant.paper_tiebreak;
-    EnvelopeScheduler scheduler(&jukebox, &catalog,
-                                TapePolicy::kMaxBandwidth, sched_options);
-    SimulationConfig sim_config = base.sim;
-    sim_config.workload.queue_length = 60;
-    Simulator sim(&jukebox, &catalog, &scheduler, sim_config);
-    const SimulationResult result = sim.Run();
-    const auto& counters = scheduler.counters();
-    table.AddRow({std::string(variant.label), result.requests_per_minute,
-                  result.mean_delay_minutes, counters.extension_rounds,
-                  counters.shrink_moves, counters.multi_replica_choices,
-                  counters.sweep_trims});
-  }
-  Emit(options, title, &table);
-}
+constexpr Variant kVariants[] = {
+    {"full (paper)", true, true},
+    {"no shrink (step 5 off)", false, true},
+    {"naive replica tie-break", true, false},
+};
+
+struct PointOutput {
+  SimulationResult result;
+  EnvelopeScheduler::EnvelopeCounters counters;
+};
 
 int Main(int argc, char** argv) {
   BenchOptions options;
@@ -65,20 +47,74 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("abl_envelope", options);
+
   ExperimentConfig full = PaperBaseConfig(options);
   full.layout.layout = HotLayout::kVertical;
   full.layout.num_replicas = 9;
   full.layout.start_position = 1.0;
-  RunGrid(options, full,
-          "full replication at tape ends (paper's best layout): shrink "
-          "cannot fire");
 
   ExperimentConfig partial = PaperBaseConfig(options);
   partial.layout.num_replicas = 3;
   partial.layout.start_position = 1.0;
-  RunGrid(options, partial,
-          "partial replication (NR-3, horizontal, tape ends): shrink "
-          "engages");
+
+  struct Group {
+    const char* title;
+    ExperimentConfig base;
+  };
+  const Group groups[] = {
+      {"full replication at tape ends (paper's best layout): shrink "
+       "cannot fire",
+       full},
+      {"partial replication (NR-3, horizontal, tape ends): shrink "
+       "engages",
+       partial},
+  };
+  constexpr size_t kVariantCount = std::size(kVariants);
+  const size_t num_points = std::size(groups) * kVariantCount;
+
+  std::vector<PointOutput> outputs(num_points);
+  ctx.RunParallel(num_points, [&](size_t i) -> Status {
+    const Group& group = groups[i / kVariantCount];
+    const Variant& variant = kVariants[i % kVariantCount];
+    Jukebox jukebox(group.base.jukebox);
+    StatusOr<Catalog> catalog_or =
+        LayoutBuilder::Build(&jukebox, group.base.layout);
+    if (!catalog_or.ok()) return catalog_or.status();
+    const Catalog catalog = std::move(catalog_or).value();
+    SchedulerOptions sched_options;
+    sched_options.envelope_shrink = variant.shrink;
+    sched_options.paper_replica_tiebreak = variant.paper_tiebreak;
+    EnvelopeScheduler scheduler(&jukebox, &catalog,
+                                TapePolicy::kMaxBandwidth, sched_options);
+    SimulationConfig sim_config = group.base.sim;
+    sim_config.workload.queue_length = 60;
+    sim_config.workload.seed = ctx.PointSeed(i);
+    Simulator sim(&jukebox, &catalog, &scheduler, sim_config);
+    outputs[i].result = sim.Run();
+    outputs[i].counters = scheduler.counters();
+    return Status::Ok();
+  });
+
+  for (size_t g = 0; g < std::size(groups); ++g) {
+    Table table({"variant", "throughput_req_min", "delay_min", "ext_rounds",
+                 "shrink_moves", "multi_choices", "sweep_trims"});
+    for (size_t v = 0; v < kVariantCount; ++v) {
+      const size_t i = g * kVariantCount + v;
+      const PointOutput& out = outputs[i];
+      table.AddRow({std::string(kVariants[v].label),
+                    out.result.requests_per_minute,
+                    out.result.mean_delay_minutes,
+                    out.counters.extension_rounds,
+                    out.counters.shrink_moves,
+                    out.counters.multi_replica_choices,
+                    out.counters.sweep_trims});
+      ctx.RecordResult(std::string(groups[g].title) + " / " +
+                           kVariants[v].label,
+                       60.0, out.result);
+    }
+    ctx.Emit(groups[g].title, &table);
+  }
   return 0;
 }
 

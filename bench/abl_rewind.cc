@@ -22,27 +22,37 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
-  Table table({"drive", "placement", "load", "throughput_req_min",
-               "delay_min"});
+  BenchContext ctx("abl_rewind", options);
+
+  std::vector<GridPoint> grid;
   for (const bool rewind : {true, false}) {
     for (const double sp : {0.0, 0.5, 1.0}) {
       ExperimentConfig config = PaperBaseConfig(options);
       config.jukebox.rewind_before_eject = rewind;
       config.layout.start_position = sp;
-      for (const CurvePoint& point : LoadSweep(config, options)) {
-        const int64_t load = options.Model() == QueuingModel::kOpen
-                                 ? static_cast<int64_t>(
-                                       point.interarrival_seconds)
-                                 : point.queue_length;
-        table.AddRow({std::string(rewind ? "rewind-before-eject"
-                                         : "eject-anywhere"),
-                      "SP-" + std::to_string(sp).substr(0, 3), load,
-                      point.throughput_req_per_min,
-                      point.mean_delay_minutes});
-      }
+      ctx.AddLoadSweep(&grid,
+                       std::string(rewind ? "rewind" : "eject-anywhere") +
+                           "/SP-" + std::to_string(sp).substr(0, 3),
+                       config);
     }
   }
-  Emit(options, "placement sensitivity to the rewind requirement", &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"drive", "placement", "load", "throughput_req_min",
+               "delay_min"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ExperimentConfig& config = grid[i].config;
+    table.AddRow(
+        {std::string(config.jukebox.rewind_before_eject
+                         ? "rewind-before-eject"
+                         : "eject-anywhere"),
+         "SP-" +
+             std::to_string(config.layout.start_position).substr(0, 3),
+         static_cast<int64_t>(grid[i].load),
+         results[i].sim.requests_per_minute,
+         results[i].sim.mean_delay_minutes});
+  }
+  ctx.Emit("placement sensitivity to the rewind requirement", &table);
   return 0;
 }
 

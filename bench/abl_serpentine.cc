@@ -25,6 +25,7 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("abl_serpentine", options);
   const TimingModel helical{TimingParams::Exabyte8505XL()};
   const SerpentineModel serpentine{SerpentineParams{}};
   Rng rng(static_cast<uint64_t>(options.seed));
@@ -46,7 +47,7 @@ int Main(int argc, char** argv) {
     }
     by_distance.AddRow({dist, h_stat.mean(), s_stat.mean()});
   }
-  Emit(options, "mean locate time by logical distance", &by_distance);
+  ctx.Emit("mean locate time by logical distance", &by_distance);
 
   // Sorted one-pass sweep vs arrival order vs a serpentine-aware
   // nearest-neighbor tour, over random request batches.
@@ -86,11 +87,11 @@ int Main(int argc, char** argv) {
     sweeps.AddRow({static_cast<int64_t>(batch), h_sorted, h_unsorted,
                    s_sorted, s_unsorted, s_nn});
   }
-  Emit(options,
-       "sweep cost: sorted vs arrival order vs serpentine-aware "
-       "nearest-neighbor (the modification the paper says serpentine "
-       "drives need)",
-       &sweeps);
+  ctx.Emit(
+      "sweep cost: sorted vs arrival order vs serpentine-aware "
+      "nearest-neighbor (the modification the paper says serpentine "
+      "drives need)",
+      &sweeps);
   return 0;
 }
 

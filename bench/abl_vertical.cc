@@ -24,8 +24,9 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
-  Table table({"ph_pct", "layout", "load", "throughput_req_min",
-               "delay_min", "switches_per_h"});
+  BenchContext ctx("abl_vertical", options);
+
+  std::vector<GridPoint> grid;
   for (const int ph : {10, 30}) {
     for (const HotLayout layout :
          {HotLayout::kVertical, HotLayout::kHorizontal}) {
@@ -35,23 +36,30 @@ int Main(int argc, char** argv) {
       config.layout.start_position = 0.0;
       // RH scaled so hot data stays "hot" relative to its footprint.
       config.sim.workload.hot_request_fraction = ph == 10 ? 0.40 : 0.60;
-      for (const CurvePoint& point : LoadSweep(config, options)) {
-        const int64_t load = options.Model() == QueuingModel::kOpen
-                                 ? static_cast<int64_t>(
-                                       point.interarrival_seconds)
-                                 : point.queue_length;
-        table.AddRow({static_cast<int64_t>(ph),
-                      std::string(layout == HotLayout::kVertical
-                                      ? "vertical"
-                                      : "horizontal"),
-                      load, point.throughput_req_per_min,
-                      point.mean_delay_minutes,
-                      point.sim.tape_switches_per_hour});
-      }
+      ctx.AddLoadSweep(&grid,
+                       "PH-" + std::to_string(ph) + "/" +
+                           (layout == HotLayout::kVertical ? "vertical"
+                                                           : "horizontal"),
+                       config);
     }
   }
-  Emit(options, "vertical vs horizontal as hot data outgrows one tape",
-       &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"ph_pct", "layout", "load", "throughput_req_min",
+               "delay_min", "switches_per_h"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ExperimentConfig& config = grid[i].config;
+    table.AddRow(
+        {static_cast<int64_t>(config.layout.hot_fraction * 100 + 0.5),
+         std::string(config.layout.layout == HotLayout::kVertical
+                         ? "vertical"
+                         : "horizontal"),
+         static_cast<int64_t>(grid[i].load),
+         results[i].sim.requests_per_minute,
+         results[i].sim.mean_delay_minutes,
+         results[i].sim.tape_switches_per_hour});
+  }
+  ctx.Emit("vertical vs horizontal as hot data outgrows one tape", &table);
   return 0;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/check.h"
+
 namespace tapejuke {
 namespace bench {
 
@@ -11,10 +13,18 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
   FlagSet& flags = extra != nullptr ? *extra : local;
   flags.AddDouble("sim-seconds", &sim_seconds,
                   "simulated seconds per data point (paper: 10,000,000)");
-  flags.AddInt64("seed", &seed, "workload random seed");
+  flags.AddInt64("seed", &seed, "base seed for per-point workload seeds");
   flags.AddBool("csv", &csv, "also print CSV blocks");
   flags.AddString("queuing", &queuing,
                   "arrival model: closed (constant queue) or open (Poisson)");
+  flags.AddInt64("threads", &threads,
+                 "worker threads for the sweep (0 = hardware concurrency; "
+                 "1 = serial; results are identical at any value)");
+  flags.AddString("results-dir", &results_dir,
+                  "directory for the <bench>.json results document "
+                  "(empty disables JSON output)");
+  flags.AddBool("quick", &quick,
+                "reduced load grid (3 points) for smoke runs");
   const Status status = flags.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) {  // --help
     *exit_code = 0;
@@ -30,8 +40,23 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
     *exit_code = 2;
     return false;
   }
+  if (threads < 0) {
+    std::cerr << "--threads must be >= 0\n";
+    *exit_code = 2;
+    return false;
+  }
   *exit_code = 0;
   return true;
+}
+
+std::vector<int64_t> QueueLengths(const BenchOptions& options) {
+  if (options.quick) return {20, 60, 140};
+  return PaperQueueLengths();
+}
+
+std::vector<double> Interarrivals(const BenchOptions& options) {
+  if (options.quick) return {240, 90, 50};
+  return PaperInterarrivals();
 }
 
 ExperimentConfig PaperBaseConfig(const BenchOptions& options) {
@@ -50,24 +75,6 @@ ExperimentConfig PaperBaseConfig(const BenchOptions& options) {
   return config;
 }
 
-std::vector<CurvePoint> LoadSweep(const ExperimentConfig& config,
-                                  const BenchOptions& options) {
-  if (options.Model() == QueuingModel::kOpen) {
-    return OpenThroughputDelayCurve(config, PaperInterarrivals()).value();
-  }
-  return ThroughputDelayCurve(config, PaperQueueLengths()).value();
-}
-
-void Emit(const BenchOptions& options, const std::string& title,
-          Table* table) {
-  std::cout << "\n== " << title << " ==\n";
-  table->PrintText(std::cout);
-  if (options.csv) {
-    std::cout << "\n-- csv --\n";
-    table->PrintCsv(std::cout);
-  }
-}
-
 std::string ParamCaption(const ExperimentConfig& config) {
   std::ostringstream out;
   out << "PH-" << static_cast<int>(config.layout.hot_fraction * 100)
@@ -80,6 +87,182 @@ std::string ParamCaption(const ExperimentConfig& config) {
                                                        : "horizontal")
       << " " << config.jukebox.num_tapes << " tapes";
   return out.str();
+}
+
+BenchContext::BenchContext(std::string bench_name,
+                           const BenchOptions& options)
+    : bench_name_(std::move(bench_name)), options_(options) {}
+
+BenchContext::~BenchContext() { Finish(); }
+
+void BenchContext::AddLoadSweep(std::vector<GridPoint>* grid,
+                                const std::string& series,
+                                ExperimentConfig config) const {
+  if (options_.Model() == QueuingModel::kOpen) {
+    config.sim.workload.model = QueuingModel::kOpen;
+    for (const double gap : Interarrivals(options_)) {
+      config.sim.workload.mean_interarrival_seconds = gap;
+      grid->push_back(GridPoint{series, gap, config});
+    }
+    return;
+  }
+  config.sim.workload.model = QueuingModel::kClosed;
+  for (const int64_t queue : QueueLengths(options_)) {
+    config.sim.workload.queue_length = queue;
+    grid->push_back(
+        GridPoint{series, static_cast<double>(queue), config});
+  }
+}
+
+std::vector<ExperimentResult> BenchContext::RunGrid(
+    const std::vector<GridPoint>& grid) {
+  const SweepRunner runner(options_.Sweep());
+  std::vector<ExperimentConfig> points;
+  points.reserve(grid.size());
+  for (const GridPoint& point : grid) points.push_back(point.config);
+  StatusOr<std::vector<ExperimentResult>> results = runner.Run(points);
+  TJ_CHECK(results.ok()) << results.status().ToString();
+  std::vector<RecordedPoint> recorded;
+  recorded.reserve(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    recorded.push_back(RecordedPoint{grid[i].series, grid[i].load,
+                                     runner.EffectiveConfig(points[i], i),
+                                     results.value()[i]});
+  }
+  sweeps_.push_back(std::move(recorded));
+  return std::move(results).value();
+}
+
+std::vector<FarmResult> BenchContext::RunFarmGrid(
+    const std::vector<FarmGridPoint>& grid) {
+  const SweepRunner runner(options_.Sweep());
+  std::vector<FarmConfig> points;
+  points.reserve(grid.size());
+  for (const FarmGridPoint& point : grid) points.push_back(point.config);
+  StatusOr<std::vector<FarmResult>> results = runner.RunFarms(points);
+  TJ_CHECK(results.ok()) << results.status().ToString();
+  std::vector<RecordedFarmPoint> recorded;
+  recorded.reserve(grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    recorded.push_back(
+        RecordedFarmPoint{grid[i].series, grid[i].load,
+                          runner.EffectiveFarmConfig(points[i], i),
+                          results.value()[i]});
+  }
+  farm_sweeps_.push_back(std::move(recorded));
+  return std::move(results).value();
+}
+
+void BenchContext::RunParallel(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  const SweepRunner runner(options_.Sweep());
+  const Status status = runner.RunIndexed(n, fn);
+  TJ_CHECK(status.ok()) << status.ToString();
+}
+
+void BenchContext::RecordResult(const std::string& series, double load,
+                                const SimulationResult& result) {
+  extra_results_.push_back(RecordedExtra{series, load, result});
+}
+
+void BenchContext::Emit(const std::string& title, Table* table) {
+  std::cout << "\n== " << title << " ==\n";
+  table->PrintText(std::cout);
+  if (options_.csv) {
+    std::cout << "\n-- csv --\n";
+    table->PrintCsv(std::cout);
+  }
+  tables_.push_back(RecordedTable{title, *table});
+}
+
+void BenchContext::Finish() {
+  if (finished_ || options_.results_dir.empty()) return;
+  finished_ = true;
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Field("schema_version", int64_t{1});
+  w.Field("bench", bench_name_);
+  w.Key("options");
+  w.BeginObject();
+  w.Field("sim_seconds", options_.sim_seconds);
+  w.Field("seed", options_.seed);
+  w.Field("queuing", options_.queuing);
+  w.Field("threads", options_.threads);
+  w.Field("quick", options_.quick);
+  w.EndObject();
+  if (!sweeps_.empty()) {
+    w.Key("sweeps");
+    w.BeginArray();
+    for (const std::vector<RecordedPoint>& sweep : sweeps_) {
+      w.BeginArray();
+      for (const RecordedPoint& point : sweep) {
+        w.BeginObject();
+        w.Field("series", point.series);
+        w.Field("load", point.load);
+        w.Key("config");
+        WriteJson(&w, point.config);
+        w.Key("result");
+        WriteJson(&w, point.result);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndArray();
+  }
+  if (!farm_sweeps_.empty()) {
+    w.Key("farm_sweeps");
+    w.BeginArray();
+    for (const std::vector<RecordedFarmPoint>& sweep : farm_sweeps_) {
+      w.BeginArray();
+      for (const RecordedFarmPoint& point : sweep) {
+        w.BeginObject();
+        w.Field("series", point.series);
+        w.Field("load", point.load);
+        w.Key("config");
+        WriteJson(&w, point.config);
+        w.Key("result");
+        WriteJson(&w, point.result);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndArray();
+  }
+  if (!extra_results_.empty()) {
+    w.Key("extra_results");
+    w.BeginArray();
+    for (const RecordedExtra& extra : extra_results_) {
+      w.BeginObject();
+      w.Field("series", extra.series);
+      w.Field("load", extra.load);
+      w.Key("result");
+      WriteJson(&w, extra.result);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (!tables_.empty()) {
+    w.Key("tables");
+    w.BeginArray();
+    for (const RecordedTable& table : tables_) {
+      w.BeginObject();
+      w.Field("title", table.title);
+      w.Key("table");
+      WriteJson(&w, table.table);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  out << "\n";
+  const std::string path = options_.results_dir + "/" + bench_name_ + ".json";
+  const Status status = WriteTextFile(path, out.str());
+  if (!status.ok()) {
+    std::cerr << "warning: " << status << "\n";
+    return;
+  }
+  std::cout << "\nwrote " << path << "\n";
 }
 
 }  // namespace bench

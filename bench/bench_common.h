@@ -1,20 +1,32 @@
-// Shared helpers for the figure benches: common flags, standard parameter
-// grids, and table emission.
+// Shared harness for the figure benches: common flags, standard parameter
+// grids, parallel sweep execution, and table + JSON emission.
 //
-// Every figure bench prints the same series the paper plots — an aligned
-// text table plus (with --csv) machine-readable CSV. Simulated duration
-// defaults to DefaultSimSeconds() (override with --sim-seconds or the
-// TAPEJUKE_SIM_SECONDS environment variable); the paper used 10M seconds
-// per point.
+// Every bench declares its point grid (a vector of GridPoint), hands it to
+// BenchContext::RunGrid — which fans the points out over a thread pool via
+// SweepRunner with deterministic per-point seeds — and formats its tables
+// from the in-order results. BenchContext::Finish() then writes
+// results/<bench>.json holding every table plus the full config and
+// SimulationResult of every sweep point (see docs/RESULTS.md for the
+// schema).
+//
+// Flags shared by every bench: --threads (default: hardware concurrency;
+// --threads=1 runs the points serially in index order), --results-dir
+// (default "results"; empty disables JSON), --quick (reduced load grid for
+// CI smoke runs), plus the original --sim-seconds / --seed / --csv /
+// --queuing. Results are bit-identical at any thread count.
 
 #ifndef TAPEJUKE_BENCH_BENCH_COMMON_H_
 #define TAPEJUKE_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/results_io.h"
+#include "core/sweep_runner.h"
 #include "core/tapejuke.h"
 
 namespace tapejuke {
@@ -26,6 +38,12 @@ struct BenchOptions {
   int64_t seed = 1;
   bool csv = false;
   std::string queuing = "closed";  // "closed" or "open"
+  /// Worker threads for sweep execution; 0 = hardware concurrency.
+  int64_t threads = 0;
+  /// Directory for results/<bench>.json; empty disables JSON output.
+  std::string results_dir = "results";
+  /// Reduced load grid (3 points instead of 7) for CI smoke runs.
+  bool quick = false;
 
   /// Parses argv; returns false if the process should exit (help or error;
   /// error sets a nonzero *exit_code).
@@ -34,6 +52,14 @@ struct BenchOptions {
 
   QueuingModel Model() const {
     return queuing == "open" ? QueuingModel::kOpen : QueuingModel::kClosed;
+  }
+
+  /// Sweep-runner options implied by these flags.
+  SweepOptions Sweep() const {
+    SweepOptions sweep;
+    sweep.threads = static_cast<int>(threads);
+    sweep.base_seed = static_cast<uint64_t>(seed);
+    return sweep;
   }
 };
 
@@ -47,22 +73,118 @@ inline std::vector<double> PaperInterarrivals() {
   return {240, 160, 120, 90, 70, 60, 50};
 }
 
+/// The closed-model load sweep honoring --quick.
+std::vector<int64_t> QueueLengths(const BenchOptions& options);
+
+/// The open-model sweep honoring --quick.
+std::vector<double> Interarrivals(const BenchOptions& options);
+
 /// Baseline experiment configuration: PH-10, RH-40, NR-0, SP-0, 16 MB
 /// blocks, 10 x 7 GB tapes, dynamic max-bandwidth.
 ExperimentConfig PaperBaseConfig(const BenchOptions& options);
 
-/// Runs `config` across the standard load sweep for the selected queuing
-/// model and returns curve points.
-std::vector<CurvePoint> LoadSweep(const ExperimentConfig& config,
-                                  const BenchOptions& options);
-
-/// Prints `table` as text, plus CSV when requested.
-void Emit(const BenchOptions& options, const std::string& title,
-          Table* table);
-
 /// Standard header line describing the workload parameters, mirroring the
 /// paper's "PH-10 RH-40 NR-0 SP-0" captions.
 std::string ParamCaption(const ExperimentConfig& config);
+
+/// One point of a bench's sweep grid: a series label (e.g. the algorithm
+/// name), the load knob traced in tables, and the full configuration.
+struct GridPoint {
+  std::string series;
+  double load = 0;
+  ExperimentConfig config;
+};
+
+/// Farm-simulation variant of GridPoint.
+struct FarmGridPoint {
+  std::string series;
+  double load = 0;
+  FarmConfig config;
+};
+
+/// Per-bench harness: owns the shared flags, executes grids through the
+/// parallel sweep runner, and accumulates the JSON results document.
+class BenchContext {
+ public:
+  /// `bench_name` names the output file (results/<bench_name>.json).
+  BenchContext(std::string bench_name, const BenchOptions& options);
+
+  /// Writes the JSON document if Finish() was not called explicitly.
+  ~BenchContext();
+
+  const BenchOptions& options() const { return options_; }
+
+  /// Appends one GridPoint per standard load level (honoring --queuing and
+  /// --quick): closed queuing sweeps queue_length, open sweeps the mean
+  /// interarrival time.
+  void AddLoadSweep(std::vector<GridPoint>* grid, const std::string& series,
+                    ExperimentConfig config) const;
+
+  /// Runs `grid` across the thread pool with per-point derived seeds and
+  /// returns results in grid order. Every point (effective config + full
+  /// result) is recorded in the JSON document. TJ_CHECK-fails on error,
+  /// matching the old serial `.value()` behavior.
+  std::vector<ExperimentResult> RunGrid(const std::vector<GridPoint>& grid);
+
+  /// Farm variant of RunGrid.
+  std::vector<FarmResult> RunFarmGrid(const std::vector<FarmGridPoint>& grid);
+
+  /// Escape hatch for benches with bespoke simulators: runs fn(i) for each
+  /// i in [0, n) across the pool. `fn` must only touch per-index state;
+  /// use PointSeed(i) for any randomness so results stay thread-count
+  /// invariant. TJ_CHECK-fails if any point returns a non-OK status.
+  void RunParallel(size_t n, const std::function<Status(size_t)>& fn);
+
+  /// The derived workload seed for bespoke point `index` — the same
+  /// derivation RunGrid applies.
+  uint64_t PointSeed(size_t index) const {
+    return DerivePointSeed(static_cast<uint64_t>(options_.seed), index);
+  }
+
+  /// Records one bespoke-simulator result in the JSON document. Not
+  /// thread-safe: call after RunParallel returns, in point order.
+  void RecordResult(const std::string& series, double load,
+                    const SimulationResult& result);
+
+  /// Prints `table` as text (plus CSV with --csv) and records it in the
+  /// JSON document.
+  void Emit(const std::string& title, Table* table);
+
+  /// Writes results/<bench>.json (creating the directory) and prints the
+  /// path. No-op when --results-dir is empty. Idempotent.
+  void Finish();
+
+ private:
+  struct RecordedPoint {
+    std::string series;
+    double load;
+    ExperimentConfig config;
+    ExperimentResult result;
+  };
+  struct RecordedFarmPoint {
+    std::string series;
+    double load;
+    FarmConfig config;
+    FarmResult result;
+  };
+  struct RecordedExtra {
+    std::string series;
+    double load;
+    SimulationResult result;
+  };
+  struct RecordedTable {
+    std::string title;
+    Table table;
+  };
+
+  std::string bench_name_;
+  BenchOptions options_;
+  std::vector<std::vector<RecordedPoint>> sweeps_;
+  std::vector<std::vector<RecordedFarmPoint>> farm_sweeps_;
+  std::vector<RecordedExtra> extra_results_;
+  std::vector<RecordedTable> tables_;
+  bool finished_ = false;
+};
 
 }  // namespace bench
 }  // namespace tapejuke

@@ -20,13 +20,10 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("ext_analytic", options);
   ExperimentConfig base = PaperBaseConfig(options);
   base.algorithm = AlgorithmSpec::Parse("static-round-robin").value();
 
-  Table table({"layout", "rh", "queue", "sim_req_min", "model_req_min",
-               "thr_err_pct", "sim_delay_min", "model_delay_min",
-               "delay_err_pct"});
-  table.set_precision(2);
   struct Scenario {
     const char* label;
     HotLayout layout;
@@ -37,6 +34,7 @@ int Main(int argc, char** argv) {
       {"horizontal", HotLayout::kHorizontal, 0.80},
       {"vertical", HotLayout::kVertical, 0.40},
   };
+  std::vector<GridPoint> grid;
   for (const Scenario& scenario : scenarios) {
     for (const int64_t queue : {20L, 60L, 140L}) {
       ExperimentConfig config = base;
@@ -44,31 +42,45 @@ int Main(int argc, char** argv) {
       config.sim.workload.hot_request_fraction = scenario.rh;
       config.sim.workload.queue_length = queue;
       config.sim.workload.model = QueuingModel::kClosed;
-      const ExperimentResult sim = ExperimentRunner::Run(config).value();
-
-      AnalyticInputs inputs;
-      inputs.jukebox = config.jukebox;
-      inputs.layout = config.layout;
-      inputs.hot_request_fraction = scenario.rh;
-      inputs.queue_length = queue;
-      const AnalyticPrediction model = PredictRoundRobin(inputs).value();
-
-      auto err_pct = [](double predicted, double measured) {
-        return measured > 0
-                   ? 100.0 * (predicted - measured) / measured
-                   : 0.0;
-      };
-      table.AddRow({std::string(scenario.label), scenario.rh, queue,
-                    sim.sim.requests_per_minute,
-                    model.throughput_req_per_min,
-                    err_pct(model.throughput_req_per_min,
-                            sim.sim.requests_per_minute),
-                    sim.sim.mean_delay_minutes, model.mean_delay_minutes,
-                    err_pct(model.mean_delay_minutes,
-                            sim.sim.mean_delay_minutes)});
+      grid.push_back(GridPoint{std::string(scenario.label) + "/RH-" +
+                                   std::to_string(static_cast<int>(
+                                       scenario.rh * 100 + 0.5)),
+                               static_cast<double>(queue), config});
     }
   }
-  Emit(options, "closed-form round-robin model vs simulation", &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  // The analytic predictions are closed-form and cheap: evaluated serially
+  // against each simulated point.
+  Table table({"layout", "rh", "queue", "sim_req_min", "model_req_min",
+               "thr_err_pct", "sim_delay_min", "model_delay_min",
+               "delay_err_pct"});
+  table.set_precision(2);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const Scenario& scenario = scenarios[i / 3];
+    const ExperimentConfig& config = grid[i].config;
+    const ExperimentResult& sim = results[i];
+
+    AnalyticInputs inputs;
+    inputs.jukebox = config.jukebox;
+    inputs.layout = config.layout;
+    inputs.hot_request_fraction = scenario.rh;
+    inputs.queue_length = config.sim.workload.queue_length;
+    const AnalyticPrediction model = PredictRoundRobin(inputs).value();
+
+    auto err_pct = [](double predicted, double measured) {
+      return measured > 0 ? 100.0 * (predicted - measured) / measured : 0.0;
+    };
+    table.AddRow({std::string(scenario.label), scenario.rh,
+                  config.sim.workload.queue_length,
+                  sim.sim.requests_per_minute, model.throughput_req_per_min,
+                  err_pct(model.throughput_req_per_min,
+                          sim.sim.requests_per_minute),
+                  sim.sim.mean_delay_minutes, model.mean_delay_minutes,
+                  err_pct(model.mean_delay_minutes,
+                          sim.sim.mean_delay_minutes)});
+  }
+  ctx.Emit("closed-form round-robin model vs simulation", &table);
   return 0;
 }
 

@@ -8,6 +8,7 @@
 //     and equal total population, rather than scaling one jukebox's queue.
 
 #include <cmath>
+#include <iterator>
 
 #include "bench_common.h"
 #include "core/farm.h"
@@ -37,15 +38,26 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("ext_farm", options);
 
   // (a) Scaling with constant per-box load.
+  const int32_t box_counts[] = {1, 2, 4, 8};
+  std::vector<FarmGridPoint> scaling_grid;
+  for (const int32_t boxes : box_counts) {
+    scaling_grid.push_back(
+        FarmGridPoint{"boxes-" + std::to_string(boxes),
+                      static_cast<double>(60L * boxes),
+                      MakeFarm(options, boxes, 60L * boxes,
+                               /*replicas=*/0, 0.40)});
+  }
+  const std::vector<FarmResult> scaling_results =
+      ctx.RunFarmGrid(scaling_grid);
+
   Table scaling({"boxes", "total_queue", "agg_req_min", "per_box_req_min",
                  "delay_min", "outstanding_stddev"});
-  for (const int32_t boxes : {1, 2, 4, 8}) {
-    const FarmConfig config =
-        MakeFarm(options, boxes, 60L * boxes, /*replicas=*/0, 0.40);
-    FarmSimulator farm(config);
-    const FarmResult result = farm.Run();
+  for (size_t i = 0; i < scaling_grid.size(); ++i) {
+    const int32_t boxes = box_counts[i];
+    const FarmResult& result = scaling_results[i];
     double mean = 0;
     for (const double o : result.mean_outstanding_per_jukebox) {
       mean += o / boxes;
@@ -59,21 +71,31 @@ int Main(int argc, char** argv) {
                     result.aggregate.requests_per_minute / boxes,
                     result.aggregate.mean_delay_minutes, std::sqrt(var)});
   }
-  Emit(options, "farm scaling at constant per-box population (60)",
-       &scaling);
+  ctx.Emit("farm scaling at constant per-box population (60)", &scaling);
 
   // (b) Figure 10(b), farm form: 10 plain boxes vs 19 replicated boxes
   // (expansion E = 1.9 at PH-10 NR-9) serving the same total population.
+  const int skews[] = {40, 80};
+  const int64_t total_queue = 600;
+  std::vector<FarmGridPoint> cost_grid;
+  for (const int rh : skews) {
+    cost_grid.push_back(
+        FarmGridPoint{"RH-" + std::to_string(rh) + "/non-replicated",
+                      static_cast<double>(total_queue),
+                      MakeFarm(options, 10, total_queue, 0, rh / 100.0)});
+    cost_grid.push_back(
+        FarmGridPoint{"RH-" + std::to_string(rh) + "/replicated-NR-9",
+                      static_cast<double>(total_queue),
+                      MakeFarm(options, 19, total_queue, 9, rh / 100.0)});
+  }
+  const std::vector<FarmResult> cost_results = ctx.RunFarmGrid(cost_grid);
+
   Table cost({"rh_pct", "farm", "boxes", "agg_MB_s", "MB_s_per_box",
               "cost_perf_ratio"});
-  for (const int rh : {40, 80}) {
-    const int64_t total_queue = 600;
-    const FarmConfig plain =
-        MakeFarm(options, 10, total_queue, 0, rh / 100.0);
-    const FarmConfig replicated =
-        MakeFarm(options, 19, total_queue, 9, rh / 100.0);
-    const FarmResult plain_result = FarmSimulator(plain).Run();
-    const FarmResult repl_result = FarmSimulator(replicated).Run();
+  for (size_t s = 0; s < std::size(skews); ++s) {
+    const int rh = skews[s];
+    const FarmResult& plain_result = cost_results[2 * s];
+    const FarmResult& repl_result = cost_results[2 * s + 1];
     const double plain_per_box =
         plain_result.aggregate.throughput_mb_per_s / 10.0;
     const double repl_per_box =
@@ -85,10 +107,10 @@ int Main(int argc, char** argv) {
                  int64_t{19}, repl_result.aggregate.throughput_mb_per_s,
                  repl_per_box, repl_per_box / plain_per_box});
   }
-  Emit(options,
-       "Figure 10(b) measured farm-to-farm (equal total population 600, "
-       "cost ~ boxes)",
-       &cost);
+  ctx.Emit(
+      "Figure 10(b) measured farm-to-farm (equal total population 600, "
+      "cost ~ boxes)",
+      &cost);
   return 0;
 }
 

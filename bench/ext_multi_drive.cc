@@ -4,12 +4,19 @@
 // tape-claim conflicts modeled. Includes the per-cabinet scaling factor and
 // the robot-contention accounting.
 
+#include <iterator>
+
 #include "bench_common.h"
 #include "sim/multi_drive.h"
 
 namespace tapejuke {
 namespace bench {
 namespace {
+
+struct PointOutput {
+  SimulationResult result;
+  MultiDriveStats stats;
+};
 
 int Main(int argc, char** argv) {
   BenchOptions options;
@@ -18,39 +25,52 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("ext_multi_drive", options);
   ExperimentConfig base = PaperBaseConfig(options);
   std::cout << "Multi-drive extension | " << ParamCaption(base)
             << " | dynamic max-bandwidth, shared robot arm\n";
 
+  const std::vector<int64_t> queues = QueueLengths(options);
+  const int32_t drive_counts[] = {1, 2, 3, 4};
+  const size_t num_points = std::size(drive_counts) * queues.size();
+
+  std::vector<PointOutput> outputs(num_points);
+  ctx.RunParallel(num_points, [&](size_t i) -> Status {
+    const int32_t drives = drive_counts[i / queues.size()];
+    const int64_t queue = queues[i % queues.size()];
+    Jukebox jukebox(base.jukebox);
+    StatusOr<Catalog> catalog_or =
+        LayoutBuilder::Build(&jukebox, base.layout);
+    if (!catalog_or.ok()) return catalog_or.status();
+    const Catalog catalog = std::move(catalog_or).value();
+    MultiDriveConfig drive_config;
+    drive_config.num_drives = drives;
+    SimulationConfig sim_config = base.sim;
+    sim_config.workload.queue_length = queue;
+    sim_config.workload.seed = ctx.PointSeed(i);
+    MultiDriveSimulator sim(&jukebox, &catalog, drive_config, sim_config);
+    outputs[i].result = sim.Run();
+    outputs[i].stats = sim.stats();
+    return Status::Ok();
+  });
+
   Table table({"drives", "queue", "throughput_req_min", "delay_min",
                "speedup_vs_1", "robot_wait_s", "claim_conflicts"});
-  std::vector<double> baseline(PaperQueueLengths().size(), 0);
-  for (const int32_t drives : {1, 2, 3, 4}) {
-    size_t point_index = 0;
-    for (const int64_t queue : PaperQueueLengths()) {
-      Jukebox jukebox(base.jukebox);
-      const Catalog catalog =
-          LayoutBuilder::Build(&jukebox, base.layout).value();
-      MultiDriveConfig drive_config;
-      drive_config.num_drives = drives;
-      SimulationConfig sim_config = base.sim;
-      sim_config.workload.queue_length = queue;
-      MultiDriveSimulator sim(&jukebox, &catalog, drive_config, sim_config);
-      const SimulationResult result = sim.Run();
-      if (drives == 1) {
-        baseline[point_index] = result.requests_per_minute;
-      }
-      table.AddRow({static_cast<int64_t>(drives), queue,
-                    result.requests_per_minute, result.mean_delay_minutes,
-                    baseline[point_index] > 0
-                        ? result.requests_per_minute / baseline[point_index]
-                        : 0.0,
-                    sim.stats().robot_wait_seconds,
-                    sim.stats().claim_conflicts});
-      ++point_index;
-    }
+  for (size_t i = 0; i < num_points; ++i) {
+    const int32_t drives = drive_counts[i / queues.size()];
+    const size_t queue_index = i % queues.size();
+    const PointOutput& out = outputs[i];
+    const double baseline = outputs[queue_index].result.requests_per_minute;
+    table.AddRow({static_cast<int64_t>(drives), queues[queue_index],
+                  out.result.requests_per_minute,
+                  out.result.mean_delay_minutes,
+                  baseline > 0 ? out.result.requests_per_minute / baseline
+                               : 0.0,
+                  out.stats.robot_wait_seconds, out.stats.claim_conflicts});
+    ctx.RecordResult("drives-" + std::to_string(drives),
+                     static_cast<double>(queues[queue_index]), out.result);
   }
-  Emit(options, "drive-count scaling", &table);
+  ctx.Emit("drive-count scaling", &table);
   std::cout << "\nNote: near-linear (occasionally super-linear) scaling — "
                "one drive's rewind/eject\noverlaps the others' reads; the "
                "costs are robot queueing and tape-claim conflicts.\n";

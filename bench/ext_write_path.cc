@@ -10,6 +10,22 @@ namespace tapejuke {
 namespace bench {
 namespace {
 
+struct Policy {
+  const char* label;
+  bool piggyback;
+  int64_t min_blocks;
+};
+
+struct PointSpec {
+  double gap;
+  Policy policy;
+};
+
+struct PointOutput {
+  SimulationResult result;
+  WritePathStats stats;
+};
+
 int Main(int argc, char** argv) {
   BenchOptions options;
   int exit_code = 0;
@@ -18,52 +34,70 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("ext_write_path", options);
   ExperimentConfig base = PaperBaseConfig(options);
   std::cout << "Write-path extension | " << ParamCaption(base)
             << " | dynamic max-bandwidth | queue 60\n";
 
-  struct Policy {
-    const char* label;
-    bool piggyback;
-    int64_t min_blocks;
-  };
   const Policy policies[] = {
       {"piggyback(8)+idle", true, 8},
       {"piggyback(32)+idle", true, 32},
       {"forced only", false, 8},
   };
 
-  Table table({"write_gap_s", "policy", "read_req_min", "read_delay_min",
-               "flushed", "piggyback", "forced", "max_buffer"});
+  // gap == 0 is the reads-only baseline; the policy is moot there, so it
+  // contributes a single point.
+  std::vector<PointSpec> specs;
   for (const double gap : {0.0, 240.0, 120.0, 60.0}) {
     for (const Policy& policy : policies) {
       if (gap == 0.0 && policy.min_blocks != 8) continue;
-      Jukebox jukebox(base.jukebox);
-      const Catalog catalog =
-          LayoutBuilder::Build(&jukebox, base.layout).value();
-      GreedyScheduler scheduler(&jukebox, &catalog,
-                                TapePolicy::kMaxBandwidth,
-                                /*dynamic=*/true);
-      SimulationConfig sim_config = base.sim;
-      sim_config.workload.queue_length = 60;
-      WritePathConfig writes;
-      writes.mean_write_interarrival_seconds = gap;
-      writes.piggyback = policy.piggyback;
-      writes.idle_flush = policy.piggyback;
-      writes.piggyback_min_blocks = policy.min_blocks;
-      WritebackSimulator sim(&jukebox, &catalog, &scheduler, sim_config,
-                             writes);
-      const SimulationResult result = sim.Run();
-      const WritePathStats& stats = sim.stats();
-      table.AddRow({static_cast<int64_t>(gap),
-                    std::string(gap == 0.0 ? "reads only" : policy.label),
-                    result.requests_per_minute, result.mean_delay_minutes,
-                    stats.blocks_flushed, stats.piggyback_flushes,
-                    stats.forced_flushes, stats.max_buffer_occupancy});
-      if (gap == 0.0) break;  // policy moot without writes
+      specs.push_back(PointSpec{gap, policy});
+      if (gap == 0.0) break;
     }
   }
-  Emit(options, "read performance under write traffic", &table);
+
+  std::vector<PointOutput> outputs(specs.size());
+  ctx.RunParallel(specs.size(), [&](size_t i) -> Status {
+    const PointSpec& spec = specs[i];
+    Jukebox jukebox(base.jukebox);
+    StatusOr<Catalog> catalog_or =
+        LayoutBuilder::Build(&jukebox, base.layout);
+    if (!catalog_or.ok()) return catalog_or.status();
+    const Catalog catalog = std::move(catalog_or).value();
+    GreedyScheduler scheduler(&jukebox, &catalog, TapePolicy::kMaxBandwidth,
+                              /*dynamic=*/true);
+    SimulationConfig sim_config = base.sim;
+    sim_config.workload.queue_length = 60;
+    sim_config.workload.seed = ctx.PointSeed(i);
+    WritePathConfig writes;
+    writes.mean_write_interarrival_seconds = spec.gap;
+    writes.piggyback = spec.policy.piggyback;
+    writes.idle_flush = spec.policy.piggyback;
+    writes.piggyback_min_blocks = spec.policy.min_blocks;
+    WritebackSimulator sim(&jukebox, &catalog, &scheduler, sim_config,
+                           writes);
+    outputs[i].result = sim.Run();
+    outputs[i].stats = sim.stats();
+    return Status::Ok();
+  });
+
+  Table table({"write_gap_s", "policy", "read_req_min", "read_delay_min",
+               "flushed", "piggyback", "forced", "max_buffer"});
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const PointSpec& spec = specs[i];
+    const PointOutput& out = outputs[i];
+    const std::string label =
+        spec.gap == 0.0 ? "reads only" : spec.policy.label;
+    table.AddRow({static_cast<int64_t>(spec.gap), label,
+                  out.result.requests_per_minute,
+                  out.result.mean_delay_minutes, out.stats.blocks_flushed,
+                  out.stats.piggyback_flushes, out.stats.forced_flushes,
+                  out.stats.max_buffer_occupancy});
+    ctx.RecordResult("gap-" + std::to_string(static_cast<int>(spec.gap)) +
+                         "/" + label,
+                     60.0, out.result);
+  }
+  ctx.Emit("read performance under write traffic", &table);
   std::cout << "\nBatch size dominates the flush economics in a saturated "
                "closed system: a dirty\nsweep over a tape costs nearly the "
                "same whether it cleans 8 updates or 30, so\neager small "

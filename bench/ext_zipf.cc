@@ -23,14 +23,14 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("ext_zipf", options);
   ExperimentConfig base = PaperBaseConfig(options);
   base.algorithm = AlgorithmSpec::Parse("envelope-max-bandwidth").value();
   base.sim.workload.skew = SkewModel::kZipf;
   std::cout << "Zipf extension | PH-10 layout | max-bandwidth envelope | "
                "queue 60\n";
 
-  Table table({"theta", "replicas", "throughput_req_min", "delay_min",
-               "switches_per_h"});
+  std::vector<GridPoint> grid;
   for (const double theta : {0.0, 0.4, 0.8, 1.2}) {
     for (const int nr : {0, 9}) {
       ExperimentConfig config = base;
@@ -38,15 +38,25 @@ int Main(int argc, char** argv) {
       config.sim.workload.queue_length = 60;
       config.layout.num_replicas = nr;
       config.layout.start_position = nr == 0 ? 0.0 : 1.0;
-      const ExperimentResult result = ExperimentRunner::Run(config).value();
-      table.AddRow({theta, static_cast<int64_t>(nr),
-                    result.sim.requests_per_minute,
-                    result.sim.mean_delay_minutes,
-                    result.sim.tape_switches_per_hour});
+      grid.push_back(GridPoint{"theta-" + std::to_string(theta).substr(0, 3) +
+                                   "/NR-" + std::to_string(nr),
+                               60.0, config});
     }
   }
-  Emit(options, "throughput vs Zipf exponent, with and without replication",
-       &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"theta", "replicas", "throughput_req_min", "delay_min",
+               "switches_per_h"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ExperimentConfig& config = grid[i].config;
+    table.AddRow({config.sim.workload.zipf_theta,
+                  static_cast<int64_t>(config.layout.num_replicas),
+                  results[i].sim.requests_per_minute,
+                  results[i].sim.mean_delay_minutes,
+                  results[i].sim.tape_switches_per_hour});
+  }
+  ctx.Emit("throughput vs Zipf exponent, with and without replication",
+           &table);
   std::cout << "\nExpected shape (and the paper's Q7 carried over): higher "
                "theta helps both\nschemes, and the replication gain widens "
                "with skew.\n";

@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig01_locate_model", options);
   const TimingModel model{TimingParams::Exabyte8505XL()};
   PhysicalDrive drive(&model, DriveNoiseParams{},
                       static_cast<uint64_t>(options.seed));
@@ -37,7 +38,7 @@ int Main(int argc, char** argv) {
                   drive.MeasureLocate(0, k), model.ReverseLocateTime(k),
                   drive.MeasureLocate(k, 0) - model.params().bot_extra_seconds});
   }
-  Emit(options, "locate time vs distance", &table);
+  ctx.Emit("locate time vs distance", &table);
 
   Table fits({"regime", "startup_s", "per_mb_s", "range"});
   const TimingParams& p = model.params();
@@ -49,7 +50,7 @@ int Main(int argc, char** argv) {
                p.rev_short_per_mb, std::string("k <= 28")});
   fits.AddRow({std::string("reverse long"), p.rev_long_startup,
                p.rev_long_per_mb, std::string("k > 28")});
-  Emit(options, "fitted regimes (paper constants)", &fits);
+  ctx.Emit("fitted regimes (paper constants)", &fits);
   return 0;
 }
 

@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig02_model_validation", options);
   const TimingModel model{TimingParams::Exabyte8505XL()};
   PhysicalDrive drive(&model, DriveNoiseParams{},
                       static_cast<uint64_t>(options.seed));
@@ -41,14 +42,14 @@ int Main(int argc, char** argv) {
     max_read = std::max(max_read, walk.ReadErrorPct());
     mean_read += walk.ReadErrorPct() / kWalks;
   }
-  Emit(options, "ten 100-step random walks (1 MB reads)", &table);
+  ctx.Emit("ten 100-step random walks (1 MB reads)", &table);
 
   Table summary({"metric", "max_err_pct", "mean_err_pct", "paper_max",
                  "paper_mean"});
   summary.set_precision(2);
   summary.AddRow({std::string("locate"), max_locate, mean_locate, 0.6, 0.5});
   summary.AddRow({std::string("read"), max_read, mean_read, 4.6, 2.6});
-  Emit(options, "error summary vs paper", &summary);
+  ctx.Emit("error summary vs paper", &summary);
   return 0;
 }
 

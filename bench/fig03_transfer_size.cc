@@ -18,6 +18,7 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig03_transfer_size", options);
   ExperimentConfig base = PaperBaseConfig(options);
   std::cout << "Figure 3 | " << ParamCaption(base)
             << " | dynamic max-bandwidth\n";
@@ -25,13 +26,8 @@ int Main(int argc, char** argv) {
   const int64_t block_sizes[] = {1, 2, 4, 8, 16, 32, 64};
   const int64_t queues[] = {20, 60, 100, 140};
 
-  Table table({"block_mb", "q20_kb_s", "q60_kb_s", "q100_kb_s",
-               "q140_kb_s"});
-  table.set_precision(1);
+  std::vector<GridPoint> grid;
   for (const int64_t block : block_sizes) {
-    std::vector<Table::Cell> row;
-    row.reserve(1 + std::size(queues));
-    row.emplace_back(static_cast<int64_t>(block));
     for (const int64_t queue : queues) {
       ExperimentConfig config = base;
       config.jukebox.block_size_mb = block;
@@ -41,12 +37,26 @@ int Main(int argc, char** argv) {
         config.sim.workload.mean_interarrival_seconds =
             static_cast<double>(block) * 60.0 / 16.0;
       }
-      const ExperimentResult result = ExperimentRunner::Run(config).value();
-      row.push_back(result.sim.throughput_kb_per_s);
+      grid.push_back(GridPoint{"block-" + std::to_string(block) + "MB",
+                               static_cast<double>(queue), config});
+    }
+  }
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"block_mb", "q20_kb_s", "q60_kb_s", "q100_kb_s",
+               "q140_kb_s"});
+  table.set_precision(1);
+  size_t point = 0;
+  for (const int64_t block : block_sizes) {
+    std::vector<Table::Cell> row;
+    row.reserve(1 + std::size(queues));
+    row.emplace_back(static_cast<int64_t>(block));
+    for (size_t q = 0; q < std::size(queues); ++q) {
+      row.push_back(results[point++].sim.throughput_kb_per_s);
     }
     table.AddRow(std::move(row));
   }
-  Emit(options, "throughput (KB/s) vs transfer size", &table);
+  ctx.Emit("throughput (KB/s) vs transfer size", &table);
 
   std::cout << "\nPaper claim (Q1): >= 16 MB reaches > 30% of the drive's "
             << "streaming rate ("

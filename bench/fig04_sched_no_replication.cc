@@ -19,6 +19,7 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig04_sched_no_replication", options);
   ExperimentConfig base = PaperBaseConfig(options);
   std::cout << "Figure 4 | " << ParamCaption(base) << "\n";
 
@@ -36,24 +37,25 @@ int Main(int argc, char** argv) {
       "dynamic-oldest-max-bandwidth",
   };
 
+  std::vector<GridPoint> grid;
+  for (const char* name : algorithms) {
+    ExperimentConfig config = base;
+    config.algorithm = AlgorithmSpec::Parse(name).value();
+    ctx.AddLoadSweep(&grid, config.algorithm.Name(), config);
+  }
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
   // p95 delay included: the fairness benefit of the round-robin/oldest
   // policies at heavy load shows up in the delay tail, not the mean.
   Table table({"algorithm", "load", "throughput_req_min", "delay_min",
                "p95_delay_min"});
-  for (const char* name : algorithms) {
-    ExperimentConfig config = base;
-    config.algorithm = AlgorithmSpec::Parse(name).value();
-    for (const CurvePoint& point : LoadSweep(config, options)) {
-      const int64_t load = options.Model() == QueuingModel::kOpen
-                               ? static_cast<int64_t>(
-                                     point.interarrival_seconds)
-                               : point.queue_length;
-      table.AddRow({std::string(config.algorithm.Name()), load,
-                    point.throughput_req_per_min, point.mean_delay_minutes,
-                    point.sim.p95_delay_seconds / 60.0});
-    }
+  for (size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({grid[i].series, static_cast<int64_t>(grid[i].load),
+                  results[i].sim.requests_per_minute,
+                  results[i].sim.mean_delay_minutes,
+                  results[i].sim.p95_delay_seconds / 60.0});
   }
-  Emit(options, "throughput/delay parametric curves", &table);
+  ctx.Emit("throughput/delay parametric curves", &table);
   return 0;
 }
 

@@ -20,32 +20,30 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig05_hot_placement", options);
   ExperimentConfig base = PaperBaseConfig(options);
   std::cout << "Figure 5 | " << ParamCaption(base)
             << " | dynamic max-bandwidth\n";
 
-  Table table({"placement", "load", "throughput_req_min", "delay_min"});
-  auto sweep = [&](const std::string& label, const ExperimentConfig& cfg) {
-    for (const CurvePoint& point : LoadSweep(cfg, options)) {
-      const int64_t load = options.Model() == QueuingModel::kOpen
-                               ? static_cast<int64_t>(
-                                     point.interarrival_seconds)
-                               : point.queue_length;
-      table.AddRow({label, load, point.throughput_req_per_min,
-                    point.mean_delay_minutes});
-    }
-  };
-
+  std::vector<GridPoint> grid;
   for (const double sp : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     ExperimentConfig config = base;
     config.layout.start_position = sp;
-    sweep("SP-" + std::to_string(sp).substr(0, 4), config);
+    ctx.AddLoadSweep(&grid, "SP-" + std::to_string(sp).substr(0, 4),
+                     config);
   }
   ExperimentConfig vertical = base;
   vertical.layout.layout = HotLayout::kVertical;
-  sweep("vertical", vertical);
+  ctx.AddLoadSweep(&grid, "vertical", vertical);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
 
-  Emit(options, "placement curves", &table);
+  Table table({"placement", "load", "throughput_req_min", "delay_min"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({grid[i].series, static_cast<int64_t>(grid[i].load),
+                  results[i].sim.requests_per_minute,
+                  results[i].sim.mean_delay_minutes});
+  }
+  ctx.Emit("placement curves", &table);
   return 0;
 }
 

@@ -20,29 +20,33 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig06_replica_count", options);
   ExperimentConfig base = PaperBaseConfig(options);
   base.layout.layout = HotLayout::kVertical;
   base.layout.start_position = 1.0;
   std::cout << "Figure 6 | " << ParamCaption(base)
             << " | dynamic max-bandwidth | replicas at tape end\n";
 
-  Table table({"replicas", "load", "throughput_req_min", "delay_min",
-               "switches_per_h"});
-  for (const int nr : {0, 1, 3, 5, 7, 9}) {
+  const int replica_counts[] = {0, 1, 3, 5, 7, 9};
+  std::vector<GridPoint> grid;
+  for (const int nr : replica_counts) {
     ExperimentConfig config = base;
     config.layout.num_replicas = nr;
     if (nr == 0) config.layout.start_position = 0.0;  // best for NR-0
-    for (const CurvePoint& point : LoadSweep(config, options)) {
-      const int64_t load = options.Model() == QueuingModel::kOpen
-                               ? static_cast<int64_t>(
-                                     point.interarrival_seconds)
-                               : point.queue_length;
-      table.AddRow({static_cast<int64_t>(nr), load,
-                    point.throughput_req_per_min, point.mean_delay_minutes,
-                    point.sim.tape_switches_per_hour});
-    }
+    ctx.AddLoadSweep(&grid, "NR-" + std::to_string(nr), config);
   }
-  Emit(options, "replication curves (vertical layout)", &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"replicas", "load", "throughput_req_min", "delay_min",
+               "switches_per_h"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({static_cast<int64_t>(grid[i].config.layout.num_replicas),
+                  static_cast<int64_t>(grid[i].load),
+                  results[i].sim.requests_per_minute,
+                  results[i].sim.mean_delay_minutes,
+                  results[i].sim.tape_switches_per_hour});
+  }
+  ctx.Emit("replication curves (vertical layout)", &table);
   return 0;
 }
 

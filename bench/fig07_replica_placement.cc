@@ -20,25 +20,28 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig07_replica_placement", options);
   ExperimentConfig base = PaperBaseConfig(options);
   base.layout.num_replicas = 9;
   std::cout << "Figure 7 | " << ParamCaption(base)
             << " | dynamic max-bandwidth\n";
 
-  Table table({"placement", "load", "throughput_req_min", "delay_min"});
+  std::vector<GridPoint> grid;
   for (const double sp : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     ExperimentConfig config = base;
     config.layout.start_position = sp;
-    for (const CurvePoint& point : LoadSweep(config, options)) {
-      const int64_t load = options.Model() == QueuingModel::kOpen
-                               ? static_cast<int64_t>(
-                                     point.interarrival_seconds)
-                               : point.queue_length;
-      table.AddRow({"SP-" + std::to_string(sp).substr(0, 4), load,
-                    point.throughput_req_per_min, point.mean_delay_minutes});
-    }
+    ctx.AddLoadSweep(&grid, "SP-" + std::to_string(sp).substr(0, 4),
+                     config);
   }
-  Emit(options, "replica placement curves", &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"placement", "load", "throughput_req_min", "delay_min"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({grid[i].series, static_cast<int64_t>(grid[i].load),
+                  results[i].sim.requests_per_minute,
+                  results[i].sim.mean_delay_minutes});
+  }
+  ctx.Emit("replica placement curves", &table);
   return 0;
 }
 

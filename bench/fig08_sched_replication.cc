@@ -21,6 +21,7 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig08_sched_replication", options);
   ExperimentConfig base = PaperBaseConfig(options);
   base.layout.num_replicas = 9;
   base.layout.start_position = 1.0;
@@ -37,23 +38,23 @@ int Main(int argc, char** argv) {
       "envelope-max-bandwidth",
   };
 
-  Table table({"algorithm", "load", "throughput_req_min", "delay_min",
-               "p95_delay_min"});
+  std::vector<GridPoint> grid;
   for (const char* name : algorithms) {
     ExperimentConfig config = base;
     config.algorithm = AlgorithmSpec::Parse(name).value();
-    for (const CurvePoint& point : LoadSweep(config, options)) {
-      const int64_t load = options.Model() == QueuingModel::kOpen
-                               ? static_cast<int64_t>(
-                                     point.interarrival_seconds)
-                               : point.queue_length;
-      table.AddRow({std::string(config.algorithm.Name()), load,
-                    point.throughput_req_per_min, point.mean_delay_minutes,
-                    point.sim.p95_delay_seconds / 60.0});
-    }
+    ctx.AddLoadSweep(&grid, config.algorithm.Name(), config);
   }
-  Emit(options, "throughput/delay parametric curves (full replication)",
-       &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"algorithm", "load", "throughput_req_min", "delay_min",
+               "p95_delay_min"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    table.AddRow({grid[i].series, static_cast<int64_t>(grid[i].load),
+                  results[i].sim.requests_per_minute,
+                  results[i].sim.mean_delay_minutes,
+                  results[i].sim.p95_delay_seconds / 60.0});
+  }
+  ctx.Emit("throughput/delay parametric curves (full replication)", &table);
   return 0;
 }
 

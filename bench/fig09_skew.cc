@@ -19,31 +19,40 @@ int Main(int argc, char** argv) {
                      &exit_code)) {
     return exit_code;
   }
+  BenchContext ctx("fig09_skew", options);
   ExperimentConfig base = PaperBaseConfig(options);
   base.algorithm = AlgorithmSpec::Parse("envelope-max-bandwidth").value();
   std::cout << "Figure 9 | PH-10 | max-bandwidth envelope | "
             << "NR-0 at SP-0 vs NR-9 at SP-1\n";
 
-  Table table({"rh_pct", "replicas", "load", "throughput_req_min",
-               "delay_min"});
+  std::vector<GridPoint> grid;
   for (const int rh : {20, 40, 60, 80}) {
     for (const int nr : {0, 9}) {
       ExperimentConfig config = base;
       config.sim.workload.hot_request_fraction = rh / 100.0;
       config.layout.num_replicas = nr;
       config.layout.start_position = nr == 0 ? 0.0 : 1.0;
-      for (const CurvePoint& point : LoadSweep(config, options)) {
-        const int64_t load = options.Model() == QueuingModel::kOpen
-                                 ? static_cast<int64_t>(
-                                       point.interarrival_seconds)
-                                 : point.queue_length;
-        table.AddRow({static_cast<int64_t>(rh), static_cast<int64_t>(nr),
-                      load, point.throughput_req_per_min,
-                      point.mean_delay_minutes});
-      }
+      ctx.AddLoadSweep(&grid,
+                       "RH-" + std::to_string(rh) + "/NR-" +
+                           std::to_string(nr),
+                       config);
     }
   }
-  Emit(options, "skew curves", &table);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table table({"rh_pct", "replicas", "load", "throughput_req_min",
+               "delay_min"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const ExperimentConfig& config = grid[i].config;
+    table.AddRow(
+        {static_cast<int64_t>(
+             config.sim.workload.hot_request_fraction * 100 + 0.5),
+         static_cast<int64_t>(config.layout.num_replicas),
+         static_cast<int64_t>(grid[i].load),
+         results[i].sim.requests_per_minute,
+         results[i].sim.mean_delay_minutes});
+  }
+  ctx.Emit("skew curves", &table);
   return 0;
 }
 

@@ -9,6 +9,9 @@
 //     very high skew gains ~8% with 2 replicas and ~10% at full
 //     replication (~14% at queue 20); spare-capacity replication is free.
 
+#include <algorithm>
+#include <cmath>
+
 #include "bench_common.h"
 
 namespace tapejuke {
@@ -26,6 +29,7 @@ int Main(int argc, char** argv) {
   if (!options.Parse(argc, argv, "Figure 10", &exit_code, &flags)) {
     return exit_code;
   }
+  BenchContext ctx("fig10_cost_performance", options);
 
   // (a) Expansion factor: analytic, no simulation.
   Table expansion({"replicas", "PH-5", "PH-10", "PH-20", "PH-30"});
@@ -37,32 +41,61 @@ int Main(int argc, char** argv) {
                       LayoutBuilder::ExpansionFactor(0.20, nr),
                       LayoutBuilder::ExpansionFactor(0.30, nr)});
   }
-  Emit(options, "Figure 10(a): expansion factor E = 1 + NR x PH",
-       &expansion);
+  ctx.Emit("Figure 10(a): expansion factor E = 1 + NR x PH", &expansion);
 
-  // (b) Cost-performance ratio vs replica count, by skew.
+  // (b) Cost-performance ratio vs replica count, by skew. The whole
+  // rh x nr grid is one flat sweep (the §4.8 Q/E scaling per point);
+  // ratios against each skew's NR-0 baseline are computed afterwards.
   ExperimentConfig base = PaperBaseConfig(options);
   base.algorithm = AlgorithmSpec::Parse("envelope-max-bandwidth").value();
+  base.sim.workload.model = QueuingModel::kClosed;
   std::cout << "\nFigure 10(b) | PH-10 | queue " << base_queue
             << "/E per jukebox | max-bandwidth envelope\n";
-  Table ratio({"rh_pct", "replicas", "expansion", "queue_per_jukebox",
-               "throughput_mb_s", "cost_perf_ratio"});
-  for (const int rh : {20, 40, 60, 80}) {
-    ExperimentConfig config = base;
-    config.sim.workload.hot_request_fraction = rh / 100.0;
-    const auto curve =
-        CostPerformanceCurve(config, base_queue, {0, 1, 2, 3, 5, 7, 9})
-            .value();
-    for (const CostPerformancePoint& point : curve) {
-      ratio.AddRow({static_cast<int64_t>(rh),
-                    static_cast<int64_t>(point.num_replicas),
-                    point.expansion_factor, point.effective_queue,
-                    point.throughput_mb_per_s,
-                    point.cost_performance_ratio});
+  const int skews[] = {20, 40, 60, 80};
+  const int32_t replica_counts[] = {0, 1, 2, 3, 5, 7, 9};
+  std::vector<GridPoint> grid;
+  for (const int rh : skews) {
+    for (const int32_t nr : replica_counts) {
+      ExperimentConfig config = base;
+      config.sim.workload.hot_request_fraction = rh / 100.0;
+      config.layout.num_replicas = nr;
+      // Best placements (§4.3 / §4.5): the beginning of tape without
+      // replication, the end of tape with replication.
+      config.layout.start_position = nr == 0 ? 0.0 : 1.0;
+      const double expansion_factor =
+          LayoutBuilder::ExpansionFactor(config.layout.hot_fraction, nr);
+      const int64_t effective_queue = std::max<int64_t>(
+          1, std::llround(static_cast<double>(base_queue) /
+                          expansion_factor));
+      config.sim.workload.queue_length = effective_queue;
+      grid.push_back(GridPoint{"RH-" + std::to_string(rh) + "/NR-" +
+                                   std::to_string(nr),
+                               static_cast<double>(effective_queue),
+                               config});
     }
   }
-  Emit(options, "Figure 10(b): cost-performance ratio vs replication",
-       &ratio);
+  const std::vector<ExperimentResult> results = ctx.RunGrid(grid);
+
+  Table ratio({"rh_pct", "replicas", "expansion", "queue_per_jukebox",
+               "throughput_mb_s", "cost_perf_ratio"});
+  size_t point = 0;
+  for (const int rh : skews) {
+    double baseline_throughput = 0;
+    for (const int32_t nr : replica_counts) {
+      const GridPoint& gp = grid[point];
+      const double throughput = results[point].sim.throughput_mb_per_s;
+      if (nr == 0) baseline_throughput = throughput;
+      ratio.AddRow({static_cast<int64_t>(rh), static_cast<int64_t>(nr),
+                    LayoutBuilder::ExpansionFactor(
+                        gp.config.layout.hot_fraction, nr),
+                    static_cast<int64_t>(gp.load), throughput,
+                    baseline_throughput > 0
+                        ? throughput / baseline_throughput
+                        : 1.0});
+      ++point;
+    }
+  }
+  ctx.Emit("Figure 10(b): cost-performance ratio vs replication", &ratio);
 
   // Spare-capacity comparison (§4.8): the same (smaller) dataset stored
   // three ways. "Spread, spare at tape ends" is the natural state of a
@@ -86,27 +119,27 @@ int Main(int argc, char** argv) {
   ExperimentConfig packed = spread;
   packed.layout.pack_cold = true;
 
+  std::vector<GridPoint> spare_grid = {
+      {"spread, spare space empty", static_cast<double>(base_queue),
+       spread},
+      {"packed onto fewest tapes, rest empty",
+       static_cast<double>(base_queue), packed},
+      {"spread, spare space holds replicas",
+       static_cast<double>(base_queue), replicated},
+  };
+  const std::vector<ExperimentResult> spare_results =
+      ctx.RunGrid(spare_grid);
+
   Table spare_table({"scheme", "throughput_mb_s", "delay_min",
                      "switches_per_h"});
-  const struct {
-    const char* label;
-    const ExperimentConfig* config;
-  } schemes[] = {
-      {"spread, spare space empty", &spread},
-      {"packed onto fewest tapes, rest empty", &packed},
-      {"spread, spare space holds replicas", &replicated},
-  };
-  for (const auto& scheme : schemes) {
-    const ExperimentResult result =
-        ExperimentRunner::Run(*scheme.config).value();
-    spare_table.AddRow({std::string(scheme.label),
-                        result.sim.throughput_mb_per_s,
-                        result.sim.mean_delay_minutes,
-                        result.sim.tape_switches_per_hour});
+  for (size_t i = 0; i < spare_grid.size(); ++i) {
+    spare_table.AddRow({spare_grid[i].series,
+                        spare_results[i].sim.throughput_mb_per_s,
+                        spare_results[i].sim.mean_delay_minutes,
+                        spare_results[i].sim.tape_switches_per_hour});
   }
-  Emit(options,
-       "spare-capacity schemes: same dataset, replicas 'for free'",
-       &spare_table);
+  ctx.Emit("spare-capacity schemes: same dataset, replicas 'for free'",
+           &spare_table);
   return 0;
 }
 

@@ -1,0 +1,363 @@
+#include "core/results_io.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+JsonWriter::JsonWriter(std::ostream* os) : os_(os) {}
+
+void JsonWriter::NewlineIndent() {
+  *os_ << '\n';
+  for (size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;  // top-level value
+  if (stack_.back() == Scope::kObject) {
+    TJ_CHECK(pending_key_) << "JSON object value emitted without a key";
+    pending_key_ = false;
+    return;
+  }
+  if (counts_.back() > 0) *os_ << ',';
+  NewlineIndent();
+  ++counts_.back();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  *os_ << '{';
+  stack_.push_back(Scope::kObject);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  TJ_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "unbalanced EndObject";
+  TJ_CHECK(!pending_key_) << "JSON key emitted without a value";
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) NewlineIndent();
+  *os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  *os_ << '[';
+  stack_.push_back(Scope::kArray);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  TJ_CHECK(!stack_.empty() && stack_.back() == Scope::kArray)
+      << "unbalanced EndArray";
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) NewlineIndent();
+  *os_ << ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  TJ_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JSON key outside an object";
+  TJ_CHECK(!pending_key_) << "two JSON keys in a row";
+  if (counts_.back() > 0) *os_ << ',';
+  NewlineIndent();
+  ++counts_.back();
+  *os_ << '"' << JsonEscape(name) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& value) {
+  BeforeValue();
+  *os_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Value(const char* value) { Value(std::string(value)); }
+
+void JsonWriter::Value(double value) {
+  BeforeValue();
+  *os_ << JsonDouble(value);
+}
+
+void JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  *os_ << value;
+}
+
+void JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  *os_ << value;
+}
+
+void JsonWriter::Value(bool value) {
+  BeforeValue();
+  *os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *os_ << "null";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof(buf), value);
+  TJ_CHECK(result.ec == std::errc()) << "double to_chars failed";
+  return std::string(buf, result.ptr);
+}
+
+namespace {
+
+const char* LayoutName(HotLayout layout) {
+  return layout == HotLayout::kVertical ? "vertical" : "horizontal";
+}
+
+const char* PlacementName(PlacementScheme scheme) {
+  return scheme == PlacementScheme::kOrganPipe ? "organ-pipe"
+                                               : "start-position";
+}
+
+const char* ModelName(QueuingModel model) {
+  return model == QueuingModel::kOpen ? "open" : "closed";
+}
+
+const char* SkewName(SkewModel skew) {
+  return skew == SkewModel::kZipf ? "zipf" : "hot-cold";
+}
+
+}  // namespace
+
+void WriteJson(JsonWriter* w, const JukeboxConfig& config) {
+  w->BeginObject();
+  w->Field("num_tapes", static_cast<int64_t>(config.num_tapes));
+  w->Field("block_size_mb", config.block_size_mb);
+  w->Field("tape_capacity_mb", config.timing.tape_capacity_mb);
+  w->Field("rewind_before_eject", config.rewind_before_eject);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const LayoutSpec& layout) {
+  w->BeginObject();
+  w->Field("hot_fraction", layout.hot_fraction);
+  w->Field("num_replicas", static_cast<int64_t>(layout.num_replicas));
+  w->Field("start_position", layout.start_position);
+  w->Field("layout", LayoutName(layout.layout));
+  w->Field("placement", PlacementName(layout.placement));
+  w->Field("logical_blocks_override", layout.logical_blocks_override);
+  w->Field("pack_cold", layout.pack_cold);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const WorkloadConfig& workload) {
+  w->BeginObject();
+  w->Field("model", ModelName(workload.model));
+  w->Field("queue_length", workload.queue_length);
+  w->Field("think_time_seconds", workload.think_time_seconds);
+  w->Field("mean_interarrival_seconds",
+           workload.mean_interarrival_seconds);
+  w->Field("skew", SkewName(workload.skew));
+  w->Field("hot_request_fraction", workload.hot_request_fraction);
+  w->Field("zipf_theta", workload.zipf_theta);
+  w->Field("seed", workload.seed);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const SimulationConfig& sim) {
+  w->BeginObject();
+  w->Field("duration_seconds", sim.duration_seconds);
+  w->Field("warmup_seconds", sim.warmup_seconds);
+  w->Key("workload");
+  WriteJson(w, sim.workload);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const ExperimentConfig& config) {
+  w->BeginObject();
+  w->Field("algorithm", config.algorithm.Name());
+  w->Key("algorithm_options");
+  w->BeginObject();
+  w->Field("allow_reverse_phase", config.algorithm.options.allow_reverse_phase);
+  w->Field("envelope_shrink", config.algorithm.options.envelope_shrink);
+  w->Field("paper_replica_tiebreak",
+           config.algorithm.options.paper_replica_tiebreak);
+  w->EndObject();
+  w->Key("jukebox");
+  WriteJson(w, config.jukebox);
+  w->Key("layout");
+  WriteJson(w, config.layout);
+  w->Key("sim");
+  WriteJson(w, config.sim);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const JukeboxCounters& counters) {
+  w->BeginObject();
+  w->Field("tape_switches", counters.tape_switches);
+  w->Field("blocks_read", counters.blocks_read);
+  w->Field("mb_read", counters.mb_read);
+  w->Field("rewind_seconds", counters.rewind_seconds);
+  w->Field("switch_seconds", counters.switch_seconds);
+  w->Field("locate_seconds", counters.locate_seconds);
+  w->Field("read_seconds", counters.read_seconds);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const SimulationResult& result) {
+  w->BeginObject();
+  w->Field("simulated_seconds", result.simulated_seconds);
+  w->Field("measured_seconds", result.measured_seconds);
+  w->Field("completed_requests", result.completed_requests);
+  w->Field("throughput_mb_per_s", result.throughput_mb_per_s);
+  w->Field("throughput_kb_per_s", result.throughput_kb_per_s);
+  w->Field("requests_per_minute", result.requests_per_minute);
+  w->Field("mean_delay_seconds", result.mean_delay_seconds);
+  w->Field("mean_delay_minutes", result.mean_delay_minutes);
+  w->Field("delay_stddev_seconds", result.delay_stddev_seconds);
+  w->Field("p50_delay_seconds", result.p50_delay_seconds);
+  w->Field("p95_delay_seconds", result.p95_delay_seconds);
+  w->Field("max_delay_seconds", result.max_delay_seconds);
+  w->Field("mean_outstanding", result.mean_outstanding);
+  w->Field("tape_switches_per_hour", result.tape_switches_per_hour);
+  w->Field("transfer_utilization", result.transfer_utilization);
+  w->Key("counters");
+  WriteJson(w, result.counters);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const LayoutStats& stats) {
+  w->BeginObject();
+  w->Field("logical_blocks", stats.logical_blocks);
+  w->Field("hot_blocks", stats.hot_blocks);
+  w->Field("cold_blocks", stats.cold_blocks);
+  w->Field("total_copies", stats.total_copies);
+  w->Field("used_slots", stats.used_slots);
+  w->Field("total_slots", stats.total_slots);
+  w->Field("measured_expansion", stats.measured_expansion);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const ExperimentResult& result) {
+  w->BeginObject();
+  w->Field("algorithm", result.algorithm_name);
+  w->Key("sim");
+  WriteJson(w, result.sim);
+  w->Key("layout");
+  WriteJson(w, result.layout);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const FarmConfig& config) {
+  w->BeginObject();
+  w->Field("num_jukeboxes", static_cast<int64_t>(config.num_jukeboxes));
+  w->Key("per_jukebox");
+  WriteJson(w, config.per_jukebox);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const FarmResult& result) {
+  w->BeginObject();
+  w->Key("aggregate");
+  WriteJson(w, result.aggregate);
+  w->Key("completions_per_jukebox");
+  w->BeginArray();
+  for (const int64_t completions : result.completions_per_jukebox) {
+    w->Value(completions);
+  }
+  w->EndArray();
+  w->Key("mean_outstanding_per_jukebox");
+  w->BeginArray();
+  for (const double outstanding : result.mean_outstanding_per_jukebox) {
+    w->Value(outstanding);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const Table& table) {
+  w->BeginObject();
+  w->Key("columns");
+  w->BeginArray();
+  for (const std::string& header : table.headers()) w->Value(header);
+  w->EndArray();
+  w->Key("rows");
+  w->BeginArray();
+  for (const std::vector<Table::Cell>& row : table.rows()) {
+    w->BeginArray();
+    for (const Table::Cell& cell : row) {
+      if (const auto* s = std::get_if<std::string>(&cell)) {
+        w->Value(*s);
+      } else if (const auto* d = std::get_if<double>(&cell)) {
+        w->Value(*d);
+      } else {
+        w->Value(std::get<int64_t>(cell));
+      }
+    }
+    w->EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create directory '" +
+                              fs_path.parent_path().string() +
+                              "': " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace tapejuke

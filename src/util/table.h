@@ -29,6 +29,9 @@ class Table {
 
   size_t num_rows() const { return rows_.size(); }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
   /// Writes the table as aligned, padded text.
   void PrintText(std::ostream& os) const;
 

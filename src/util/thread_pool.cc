@@ -1,0 +1,73 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace tapejuke {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreads();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  if (num_threads() == 1 || end - begin == 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // One task per index: sweep points are coarse-grained (whole simulation
+  // runs), so per-task queue overhead is negligible and the FIFO gives
+  // natural load balancing across points of uneven cost.
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    pending.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (std::future<void>& future : pending) future.wait();
+}
+
+int ThreadPool::DefaultThreads() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for embarrassingly parallel sweeps.
+//
+// The pool owns N worker threads that drain a shared FIFO task queue.
+// Submit() returns a std::future for one task; ParallelFor() fans a
+// half-open index range out over the workers and blocks until every index
+// has been processed. Tasks must not throw.
+//
+// Determinism note: the pool imposes no ordering between tasks, so any
+// task that must produce results independent of the execution schedule has
+// to derive all of its randomness from its own index (see
+// core/sweep_runner.h, which derives per-point RNG seeds this way).
+
+#ifndef TAPEJUKE_UTIL_THREAD_POOL_H_
+#define TAPEJUKE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tapejuke {
+
+/// Fixed-size worker pool. Construction spawns the workers; destruction
+/// drains outstanding tasks and joins them.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 selects DefaultThreads().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its completion.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [begin, end) across the pool and returns
+  /// when all calls have finished. Calls with distinct i may run
+  /// concurrently; `fn` must be safe under that. With one worker the range
+  /// is processed inline, in order — identical to a serial loop.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn);
+
+  /// Hardware concurrency, with a floor of 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,106 @@
+// Tests for the fixed-size worker pool behind the sweep runner.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace tapejuke {
+namespace {
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPool, HonorsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ThreadPool defaulted(0);
+  EXPECT_EQ(defaulted.num_threads(), ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPool, SubmitRunsTaskAndFutureCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  std::future<void> done = pool.Submit([&] { value = 42; });
+  done.wait();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] { ++count; });
+    }
+  }  // ~ThreadPool must finish every queued task before joining
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 257;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.ParallelFor(0, kCount, [&](int64_t i) { ++visits[i]; });
+  for (int64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i], 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHonorsNonZeroBegin) {
+  ThreadPool pool(2);
+  std::set<int64_t> seen;
+  std::mutex mutex;
+  pool.ParallelFor(10, 20, [&](int64_t i) {
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 10);
+  EXPECT_EQ(*seen.rbegin(), 19);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  // With one worker the loop body runs on the calling thread, in index
+  // order — the serial reproduction path for --threads=1.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int64_t> order;
+  pool.ParallelFor(0, 8, [&](int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 8u);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForUsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  pool.ParallelFor(0, 64, [&](int64_t) {
+    // Sleeping keeps this task's thread busy while the others drain the
+    // queue, so multiple workers are observed even on a single core.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::lock_guard<std::mutex> lock(mutex);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(ids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tapejuke
