@@ -7,10 +7,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iomanip>
+#include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "core/results_io.h"
 #include "core/tapejuke.h"
 #include "sim/event_queue.h"
+#include "util/check.h"
 
 namespace tapejuke {
 namespace {
@@ -41,6 +49,21 @@ struct SchedRig {
           i,
           static_cast<BlockId>(rng.UniformUint64(
               static_cast<uint64_t>(catalog->num_blocks()))),
+          0.0});
+    }
+    return requests;
+  }
+
+  /// Requests drawn only from the hot (replicated) blocks: every request
+  /// then survives step 2 and flows through the extension loop.
+  std::vector<Request> MakeHotRequests(int n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Request> requests;
+    for (int i = 0; i < n; ++i) {
+      requests.push_back(Request{
+          i,
+          static_cast<BlockId>(rng.UniformUint64(
+              static_cast<uint64_t>(catalog->num_hot_blocks()))),
           0.0});
     }
     return requests;
@@ -126,7 +149,150 @@ void BM_FullSimulationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulationRun)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Incremental vs from-scratch envelope kernel: bespoke timed comparison
+// emitted into results/micro_sched.json (see docs/RESULTS.md).
+// ---------------------------------------------------------------------------
+
+struct KernelTiming {
+  int batch = 0;
+  int tapes = 0;
+  double incremental_ns_per_op = 0;
+  double reference_ns_per_op = 0;
+  double speedup = 0;
+  int64_t extension_rounds_per_op = 0;
+  int64_t tapes_rescored_per_op = 0;
+};
+
+/// ns per call of `fn`, sampled until at least ~50 ms of work accumulates.
+template <typename Fn>
+double TimeNsPerOp(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  int reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (int i = 0; i < reps; ++i) fn();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start)
+            .count();
+    if (ns >= 5e7 || reps >= (1 << 20)) return ns / reps;
+    reps *= 4;
+  }
+}
+
+std::vector<KernelTiming> RunKernelComparison() {
+  std::vector<KernelTiming> rows;
+  const int32_t tapes = 10;
+  for (const int batch : {20, 140, 300, 1000}) {
+    // NR-2 hot-only draws: every request is replicated and none absorbs
+    // into the initial envelope, so the extension loop dominates — the
+    // regime the incremental kernel targets.
+    SchedRig rig(tapes, /*num_replicas=*/2);
+    EnvelopeScheduler sched(&rig.jukebox, rig.catalog.get(),
+                            TapePolicy::kMaxBandwidth);
+    const std::vector<Request> requests =
+        rig.MakeHotRequests(batch, /*seed=*/42);
+
+    KernelTiming row;
+    row.batch = batch;
+    row.tapes = tapes;
+    row.incremental_ns_per_op = TimeNsPerOp([&] {
+      benchmark::DoNotOptimize(sched.ComputeUpperEnvelope(requests));
+    });
+    row.reference_ns_per_op = TimeNsPerOp([&] {
+      benchmark::DoNotOptimize(
+          sched.ComputeUpperEnvelopeReference(requests));
+    });
+    row.speedup = row.reference_ns_per_op / row.incremental_ns_per_op;
+    // Per-op behaviour counters from one clean call.
+    const EnvelopeScheduler::EnvelopeCounters before = sched.counters();
+    sched.ComputeUpperEnvelope(requests);
+    const EnvelopeScheduler::EnvelopeCounters after = sched.counters();
+    row.extension_rounds_per_op =
+        after.extension_rounds - before.extension_rounds;
+    row.tapes_rescored_per_op =
+        after.tapes_rescored - before.tapes_rescored;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintKernelComparison(const std::vector<KernelTiming>& rows) {
+  std::cout << "\nEnvelope kernel: incremental vs from-scratch reference "
+               "(10 tapes, NR-2, hot-only draws)\n";
+  std::cout << std::setw(8) << "batch" << std::setw(18) << "incr ns/op"
+            << std::setw(18) << "scratch ns/op" << std::setw(10)
+            << "speedup" << std::setw(10) << "rounds" << std::setw(12)
+            << "rescored" << "\n";
+  for (const KernelTiming& row : rows) {
+    std::cout << std::setw(8) << row.batch << std::setw(18) << std::fixed
+              << std::setprecision(0) << row.incremental_ns_per_op
+              << std::setw(18) << row.reference_ns_per_op << std::setw(10)
+              << std::setprecision(2) << row.speedup << std::setw(10)
+              << row.extension_rounds_per_op << std::setw(12)
+              << row.tapes_rescored_per_op << "\n";
+  }
+}
+
+void WriteKernelResults(const std::string& results_dir,
+                        const std::vector<KernelTiming>& rows) {
+  if (results_dir.empty()) return;
+  std::ostringstream os;
+  JsonWriter w(&os);
+  w.BeginObject();
+  w.Field("bench", "micro_sched");
+  w.Key("envelope_kernel");
+  w.BeginArray();
+  for (const KernelTiming& row : rows) {
+    w.BeginObject();
+    w.Field("workload", "hot-only NR-2");
+    w.Field("batch_requests", row.batch);
+    w.Field("num_tapes", row.tapes);
+    w.Field("incremental_ns_per_op", row.incremental_ns_per_op);
+    w.Field("reference_ns_per_op", row.reference_ns_per_op);
+    w.Field("speedup", row.speedup);
+    w.Field("extension_rounds_per_op", row.extension_rounds_per_op);
+    w.Field("tapes_rescored_per_op", row.tapes_rescored_per_op);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  os << "\n";
+  const std::string path = results_dir + "/micro_sched.json";
+  const Status status = WriteTextFile(path, os.str());
+  TJ_CHECK(status.ok()) << status.ToString();
+  std::cout << "results: " << path << "\n";
+}
+
 }  // namespace
 }  // namespace tapejuke
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --results-dir is ours (mirroring the figure benches; empty disables the
+  // JSON document); everything else goes to google-benchmark.
+  std::string results_dir = "results";
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--results-dir=", 0) == 0) {
+      results_dir = arg.substr(std::string("--results-dir=").size());
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::vector<tapejuke::KernelTiming> rows =
+      tapejuke::RunKernelComparison();
+  tapejuke::PrintKernelComparison(rows);
+  tapejuke::WriteKernelResults(results_dir, rows);
+  return 0;
+}

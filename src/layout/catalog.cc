@@ -5,10 +5,15 @@
 namespace tapejuke {
 
 Catalog::Catalog(std::vector<std::vector<Replica>> replicas, int64_t num_hot)
-    : replicas_(std::move(replicas)), num_hot_(num_hot), total_copies_(0) {
+    : num_hot_(num_hot) {
   TJ_CHECK_GE(num_hot_, 0);
-  TJ_CHECK_LE(num_hot_, num_blocks());
-  for (const auto& copies : replicas_) {
+  TJ_CHECK_LE(num_hot_, static_cast<int64_t>(replicas.size()));
+  size_t total = 0;
+  for (const auto& copies : replicas) total += copies.size();
+  flat_.reserve(total);
+  offsets_.reserve(replicas.size() + 1);
+  offsets_.push_back(0);
+  for (const auto& copies : replicas) {
     TJ_CHECK(!copies.empty()) << "every block needs at least one replica";
     std::set<TapeId> tapes;
     for (const Replica& r : copies) {
@@ -17,8 +22,9 @@ Catalog::Catalog(std::vector<std::vector<Replica>> replicas, int64_t num_hot)
       TJ_CHECK_GE(r.position, 0);
       TJ_CHECK(tapes.insert(r.tape).second)
           << "duplicate replica tape" << r.tape;
+      flat_.push_back(r);
     }
-    total_copies_ += static_cast<int64_t>(copies.size());
+    offsets_.push_back(flat_.size());
   }
 }
 
@@ -36,8 +42,16 @@ void Catalog::AddReplica(BlockId block, const Replica& replica) {
   TJ_CHECK_GE(replica.tape, 0);
   TJ_CHECK_GE(replica.slot, 0);
   TJ_CHECK_GE(replica.position, 0);
-  replicas_[static_cast<size_t>(block)].push_back(replica);
-  ++total_copies_;
+  // Insert at the end of the block's span and shift every later block's
+  // span by one. Lifecycle writes are rare relative to lookups, so the
+  // O(copies) memmove is a good trade for contiguous lookup storage.
+  const auto insert_at =
+      flat_.begin() +
+      static_cast<std::ptrdiff_t>(offsets_[static_cast<size_t>(block) + 1]);
+  flat_.insert(insert_at, replica);
+  for (size_t b = static_cast<size_t>(block) + 1; b < offsets_.size(); ++b) {
+    ++offsets_[b];
+  }
 }
 
 }  // namespace tapejuke

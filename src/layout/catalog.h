@@ -3,6 +3,11 @@
 // Logical blocks are numbered [0, L). Blocks [0, H) are hot, [H, L) are
 // cold (the paper's hot/cold skew model). Each block has one or more
 // replicas, each on a distinct tape (at most one copy per tape).
+//
+// Replicas are stored in one contiguous array indexed by a per-block
+// offset table (CSR layout), so the scheduler hot loops that walk
+// ReplicasOf() per pending request touch a single cache-friendly span
+// instead of chasing a heap-allocated vector per block.
 
 #ifndef TAPEJUKE_LAYOUT_CATALOG_H_
 #define TAPEJUKE_LAYOUT_CATALOG_H_
@@ -24,7 +29,32 @@ struct Replica {
   friend bool operator==(const Replica&, const Replica&) = default;
 };
 
-/// Immutable replica directory produced by LayoutBuilder.
+/// Read-only view of one block's replicas inside the catalog's flat
+/// storage. Iterable like a const std::vector<Replica>. Invalidated by
+/// Catalog::AddReplica.
+class ReplicaSpan {
+ public:
+  ReplicaSpan(const Replica* data, size_t size) : data_(data), size_(size) {}
+
+  const Replica* begin() const { return data_; }
+  const Replica* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Replica& front() const {
+    TJ_DCHECK(size_ > 0);
+    return data_[0];
+  }
+  const Replica& operator[](size_t i) const {
+    TJ_DCHECK(i < size_);
+    return data_[i];
+  }
+
+ private:
+  const Replica* data_;
+  size_t size_;
+};
+
+/// Replica directory produced by LayoutBuilder.
 class Catalog {
  public:
   /// `replicas[b]` lists the copies of logical block b; blocks [0,
@@ -33,7 +63,7 @@ class Catalog {
 
   /// Number of logical blocks L.
   int64_t num_blocks() const {
-    return static_cast<int64_t>(replicas_.size());
+    return static_cast<int64_t>(offsets_.size()) - 1;
   }
 
   /// Number of hot logical blocks H (ids [0, H)).
@@ -48,27 +78,34 @@ class Catalog {
     return block < num_hot_;
   }
 
-  /// All replicas of `block` (non-empty, tapes pairwise distinct).
-  const std::vector<Replica>& ReplicasOf(BlockId block) const {
+  /// All replicas of `block` (non-empty, tapes pairwise distinct). The
+  /// span (and the Replica pointers inside it) stays valid until the next
+  /// AddReplica call.
+  ReplicaSpan ReplicasOf(BlockId block) const {
     TJ_DCHECK(block >= 0 && block < num_blocks());
-    return replicas_[static_cast<size_t>(block)];
+    const size_t begin = offsets_[static_cast<size_t>(block)];
+    const size_t end = offsets_[static_cast<size_t>(block) + 1];
+    return ReplicaSpan(flat_.data() + begin, end - begin);
   }
 
   /// Total number of physical copies across all blocks.
-  int64_t TotalCopies() const { return total_copies_; }
+  int64_t TotalCopies() const { return static_cast<int64_t>(flat_.size()); }
 
   /// The replica of `block` on `tape`, or nullptr if none.
   const Replica* ReplicaOn(BlockId block, TapeId tape) const;
 
   /// Registers an additional copy of `block` (the §4.8 gradual-fill
   /// lifecycle writes replicas into spare capacity while the system runs).
-  /// The tape must not already hold a copy of the block.
+  /// The tape must not already hold a copy of the block. Invalidates all
+  /// outstanding ReplicaSpans.
   void AddReplica(BlockId block, const Replica& replica);
 
  private:
-  std::vector<std::vector<Replica>> replicas_;
+  /// CSR storage: block b's replicas live at flat_[offsets_[b],
+  /// offsets_[b+1]); offsets_ has num_blocks() + 1 entries.
+  std::vector<Replica> flat_;
+  std::vector<size_t> offsets_;
   int64_t num_hot_;
-  int64_t total_copies_;
 };
 
 }  // namespace tapejuke

@@ -17,7 +17,138 @@ int32_t ScanRankFrom(TapeId tape, TapeId origin, int32_t num_tapes) {
   return (tape - origin + num_tapes) % num_tapes;
 }
 
+/// One extension-list entry: a replica of a still-unscheduled request.
+/// `uid` indexes the stable initially-unscheduled vector; `replica` points
+/// into the catalog (so step 4 assigns the real catalog entry instead of
+/// fabricating one from the position).
+struct Ext {
+  Position position;
+  size_t uid;
+  const Replica* replica;
+};
+
+void SortExtList(std::vector<Ext>* list) {
+  std::sort(list->begin(), list->end(), [](const Ext& a, const Ext& b) {
+    return a.position < b.position ||
+           (a.position == b.position && a.uid < b.uid);
+  });
+}
+
+/// A tape's best extension prefix: its incremental bandwidth and length.
+struct TapeScore {
+  double bw = -1.0;
+  size_t len = 0;
+};
+
+/// Step 3 for one tape: walks the extension list once, accumulating the
+/// outbound locate+read chain, and returns the prefix with the highest
+/// incremental bandwidth. Near-equal bandwidths (see NearlyEqual) keep the
+/// shorter prefix, so the result is stable against last-ulp noise.
+TapeScore ScorePrefixes(const TimingModel& model, const std::vector<Ext>& list,
+                        Position edge, double surcharge, int64_t block_mb) {
+  TapeScore best;
+  Position cursor = edge;
+  double outbound = 0.0;
+  int64_t distinct = 0;
+  Position prev = -1;
+  for (size_t k = 0; k < list.size(); ++k) {
+    if (list[k].position != prev) {
+      outbound += model.LocateAndReadTime(cursor, list[k].position, block_mb);
+      cursor = list[k].position + block_mb;
+      ++distinct;
+      prev = list[k].position;
+    }
+    const double total = surcharge + outbound + model.LocateTime(cursor, edge);
+    const double bandwidth = static_cast<double>(distinct * block_mb) / total;
+    if (best.len == 0 ||
+        (bandwidth > best.bw && !NearlyEqual(bandwidth, best.bw))) {
+      best.bw = bandwidth;
+      best.len = k + 1;
+    }
+  }
+  return best;
+}
+
+/// Steps 3-4 tape selection: the tape whose best prefix has the highest
+/// incremental bandwidth. Ties (within relative epsilon — exact `==` on
+/// accumulated doubles essentially never fires) go to the tape with the
+/// most scheduled requests, then jukebox order from the mounted tape.
+TapeId SelectBestTape(const std::vector<std::vector<Ext>>& ext,
+                      const std::vector<TapeScore>& score,
+                      const std::vector<int64_t>& counts, TapeId mounted,
+                      int32_t num_tapes) {
+  TapeId best = kInvalidTape;
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    if (ext[static_cast<size_t>(t)].empty()) continue;
+    bool better;
+    if (best == kInvalidTape) {
+      better = true;
+    } else if (NearlyEqual(score[static_cast<size_t>(t)].bw,
+                           score[static_cast<size_t>(best)].bw)) {
+      const int64_t c_t = counts[static_cast<size_t>(t)];
+      const int64_t c_b = counts[static_cast<size_t>(best)];
+      better = c_t > c_b ||
+               (c_t == c_b && ScanRankFrom(t, mounted, num_tapes) <
+                                  ScanRankFrom(best, mounted, num_tapes));
+    } else {
+      better = score[static_cast<size_t>(t)].bw >
+               score[static_cast<size_t>(best)].bw;
+    }
+    if (better) best = t;
+  }
+  return best;
+}
+
+/// Oracle comparison: TJ_CHECK-fails unless the two kernels produced
+/// byte-identical upper envelopes, assignments, and per-tape counts.
+void CheckEnvelopeResultsEqual(
+    const EnvelopeScheduler::EnvelopeResult& incremental,
+    const EnvelopeScheduler::EnvelopeResult& reference) {
+  TJ_CHECK(incremental.envelope == reference.envelope)
+      << "incremental and reference envelopes diverged";
+  TJ_CHECK(incremental.scheduled_per_tape == reference.scheduled_per_tape)
+      << "incremental and reference per-tape counts diverged";
+  TJ_CHECK(incremental.initial_envelope == reference.initial_envelope)
+      << "step-2 initial envelopes diverged";
+  TJ_CHECK_EQ(incremental.initially_unscheduled.size(),
+              reference.initially_unscheduled.size());
+  for (size_t i = 0; i < incremental.initially_unscheduled.size(); ++i) {
+    TJ_CHECK_EQ(incremental.initially_unscheduled[i].id,
+                reference.initially_unscheduled[i].id);
+  }
+  TJ_CHECK_EQ(incremental.assignment.size(), reference.assignment.size());
+  for (const auto& [id, replica] : incremental.assignment) {
+    const auto it = reference.assignment.find(id);
+    TJ_CHECK(it != reference.assignment.end())
+        << "request" << id << "assigned only by the incremental kernel";
+    TJ_CHECK(replica == it->second)
+        << "request" << id << "assigned to different replicas";
+  }
+}
+
 }  // namespace
+
+/// Mutable state shared by the two extension kernels: the result being
+/// built, the per-tape assigned multimaps consumed by step 5, and the
+/// stable post-step-2 unscheduled vector.
+struct EnvelopeScheduler::KernelState {
+  EnvelopeResult result;
+  /// Per-tape assigned requests, keyed by replica position (multimap:
+  /// several requests can name the same block).
+  std::vector<std::multimap<Position, Request>> assigned;
+  /// Requests left unscheduled by step 2, in arrival order. Never
+  /// reordered; the kernels track progress through side bitmaps.
+  std::vector<Request> unscheduled;
+  int64_t shrinks_done = 0;
+  int64_t max_shrinks = 0;
+
+  void Assign(const Request& request, const Replica& replica) {
+    result.assignment[request.id] = replica;
+    ++result.scheduled_per_tape[static_cast<size_t>(replica.tape)];
+    assigned[static_cast<size_t>(replica.tape)].emplace(replica.position,
+                                                        request);
+  }
+};
 
 EnvelopeScheduler::EnvelopeScheduler(const Jukebox* jukebox,
                                      const Catalog* catalog,
@@ -63,35 +194,43 @@ const Replica* EnvelopeScheduler::ChooseInsideReplica(
   return best;
 }
 
-EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::ComputeUpperEnvelope(
-    const std::vector<Request>& requests) const {
+bool EnvelopeScheduler::TryAbsorb(const Request& request, KernelState* state,
+                                  EnvelopeCounters* counters) const {
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const auto& env = state->result.envelope;
+  std::vector<const Replica*> inside;
+  for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    if (replica.position + block_mb <=
+        env[static_cast<size_t>(replica.tape)]) {
+      inside.push_back(&replica);
+    }
+  }
+  if (inside.empty()) return false;
+  if (inside.size() > 1) ++counters->multi_replica_choices;
+  state->Assign(request,
+                *ChooseInsideReplica(inside, state->result.scheduled_per_tape,
+                                     jukebox_->mounted_tape()));
+  return true;
+}
+
+void EnvelopeScheduler::BuildInitialEnvelope(
+    const std::vector<Request>& requests, KernelState* state,
+    EnvelopeCounters* counters) const {
   const int32_t num_tapes = jukebox_->num_tapes();
   const int64_t block_mb = jukebox_->config().block_size_mb;
   const TapeId mounted = jukebox_->mounted_tape();
-  const Position head = jukebox_->head();
-  const TimingModel& model = jukebox_->model();
 
-  EnvelopeResult result;
-  result.envelope.assign(static_cast<size_t>(num_tapes), 0);
-  result.scheduled_per_tape.assign(static_cast<size_t>(num_tapes), 0);
-  auto& env = result.envelope;
-  auto& counts = result.scheduled_per_tape;
-  // Per-tape assigned requests, keyed by replica position (multimap:
-  // several requests can name the same block).
-  std::vector<std::multimap<Position, Request>> assigned(
-      static_cast<size_t>(num_tapes));
-
-  auto assign = [&](const Request& request, const Replica& replica) {
-    result.assignment[request.id] = replica;
-    ++counts[static_cast<size_t>(replica.tape)];
-    assigned[static_cast<size_t>(replica.tape)].emplace(replica.position,
-                                                        request);
-  };
+  state->result.envelope.assign(static_cast<size_t>(num_tapes), 0);
+  state->result.scheduled_per_tape.assign(static_cast<size_t>(num_tapes), 0);
+  state->assigned.resize(static_cast<size_t>(num_tapes));
+  state->max_shrinks =
+      static_cast<int64_t>(requests.size()) * num_tapes + 16;
+  auto& env = state->result.envelope;
 
   // Step 1: the highest non-replicated request on each tape pins the
   // initial envelope; the mounted tape's envelope covers the head.
   for (const Request& request : requests) {
-    const auto& replicas = catalog_->ReplicasOf(request.block);
+    const ReplicaSpan replicas = catalog_->ReplicasOf(request.block);
     if (replicas.size() == 1) {
       Position& edge = env[static_cast<size_t>(replicas.front().tape)];
       edge = std::max(edge, replicas.front().position + block_mb);
@@ -99,199 +238,341 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::ComputeUpperEnvelope(
   }
   if (mounted != kInvalidTape) {
     env[static_cast<size_t>(mounted)] =
-        std::max(env[static_cast<size_t>(mounted)], head);
+        std::max(env[static_cast<size_t>(mounted)], jukebox_->head());
   }
 
   // Step 2: absorb every request with a replica inside the envelope.
-  std::vector<Request> unscheduled;
-  auto absorb_or_keep = [&](const Request& request) {
+  for (const Request& request : requests) {
+    if (!TryAbsorb(request, state, counters)) {
+      state->unscheduled.push_back(request);
+    }
+  }
+  state->result.initial_envelope = env;
+  state->result.initially_unscheduled = state->unscheduled;
+}
+
+void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
+                                      EnvelopeCounters* counters,
+                                      std::vector<bool>* dirty) const {
+  const int32_t num_tapes = jukebox_->num_tapes();
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const TapeId mounted = jukebox_->mounted_tape();
+  const Position head = jukebox_->head();
+  auto& env = state->result.envelope;
+  auto& counts = state->result.scheduled_per_tape;
+
+  // Step 5: shrink. A replicated block scheduled at the outer edge of
+  // some tape's envelope that also has a replica inside another tape's
+  // envelope is moved there, and the donor envelope retreats to its
+  // preceding scheduled request.
+  while (options_.envelope_shrink &&
+         state->shrinks_done < state->max_shrinks) {
+    // Collect shrinkable tapes: edge request has an in-envelope replica
+    // elsewhere.
+    TapeId shrink_tape = kInvalidTape;
+    for (TapeId a = 0; a < num_tapes; ++a) {
+      const auto& on_a = state->assigned[static_cast<size_t>(a)];
+      if (on_a.empty()) continue;
+      const auto& [edge_pos, edge_req] = *on_a.rbegin();
+      if (edge_pos + block_mb != env[static_cast<size_t>(a)]) continue;
+      bool movable = false;
+      for (const Replica& replica : catalog_->ReplicasOf(edge_req.block)) {
+        if (replica.tape != a &&
+            replica.position + block_mb <=
+                env[static_cast<size_t>(replica.tape)]) {
+          movable = true;
+          break;
+        }
+      }
+      if (!movable) continue;
+      if (shrink_tape == kInvalidTape ||
+          counts[static_cast<size_t>(a)] <
+              counts[static_cast<size_t>(shrink_tape)] ||
+          (counts[static_cast<size_t>(a)] ==
+               counts[static_cast<size_t>(shrink_tape)] &&
+           a < shrink_tape)) {
+        shrink_tape = a;
+      }
+    }
+    if (shrink_tape == kInvalidTape) break;
+    ++state->shrinks_done;
+    ++counters->shrink_moves;
+
+    auto& on_a = state->assigned[static_cast<size_t>(shrink_tape)];
+    auto edge_it = std::prev(on_a.end());
+    const Request moved = edge_it->second;
     std::vector<const Replica*> inside;
-    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
-      if (replica.position + block_mb <=
-          env[static_cast<size_t>(replica.tape)]) {
+    for (const Replica& replica : catalog_->ReplicasOf(moved.block)) {
+      if (replica.tape != shrink_tape &&
+          replica.position + block_mb <=
+              env[static_cast<size_t>(replica.tape)]) {
         inside.push_back(&replica);
       }
     }
-    if (inside.empty()) {
-      unscheduled.push_back(request);
-      return;
+    TJ_CHECK(!inside.empty());
+    on_a.erase(edge_it);
+    --counts[static_cast<size_t>(shrink_tape)];
+    const Replica* target = ChooseInsideReplica(inside, counts, mounted);
+    state->Assign(moved, *target);
+    // Retreat the donor envelope to its preceding scheduled request (or
+    // the head / beginning of tape).
+    Position base = (shrink_tape == mounted) ? head : 0;
+    if (!on_a.empty()) {
+      base = std::max(base, on_a.rbegin()->first + block_mb);
     }
-    if (inside.size() > 1) ++counters_.multi_replica_choices;
-    assign(request, *ChooseInsideReplica(inside, counts, mounted));
+    env[static_cast<size_t>(shrink_tape)] = base;
+    if (dirty != nullptr) (*dirty)[static_cast<size_t>(shrink_tape)] = true;
+  }
+}
+
+EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
+    const std::vector<Request>& requests, EnvelopeCounters* counters) const {
+  const int32_t num_tapes = jukebox_->num_tapes();
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const TapeId mounted = jukebox_->mounted_tape();
+  const TimingModel& model = jukebox_->model();
+
+  KernelState state;
+  BuildInitialEnvelope(requests, &state, counters);
+  auto& env = state.result.envelope;
+  auto& counts = state.result.scheduled_per_tape;
+  const std::vector<Request>& unscheduled = state.unscheduled;
+  const size_t n = unscheduled.size();
+  if (n == 0) return std::move(state.result);
+
+  // Steps 3-6, incremental form. The per-tape extension lists are built
+  // and sorted once; scheduled entries are lazily dropped, and a tape's
+  // prefix scan is re-run only when its envelope edge moved or its list
+  // lost entries (`dirty`).
+  std::vector<std::vector<Ext>> ext(static_cast<size_t>(num_tapes));
+  for (size_t i = 0; i < n; ++i) {
+    for (const Replica& replica :
+         catalog_->ReplicasOf(unscheduled[i].block)) {
+      TJ_DCHECK(replica.position >= env[static_cast<size_t>(replica.tape)]);
+      ext[static_cast<size_t>(replica.tape)].push_back(
+          Ext{replica.position, i, &replica});
+    }
+  }
+  for (auto& list : ext) SortExtList(&list);
+
+  std::vector<TapeScore> score(static_cast<size_t>(num_tapes));
+  std::vector<bool> dirty(static_cast<size_t>(num_tapes), true);
+  std::vector<bool> done(n, false);
+  size_t remaining = n;
+
+  // Schedules unscheduled[uid] on `replica` and invalidates the cached
+  // score of every tape whose extension list held an entry for it.
+  auto schedule = [&](size_t uid, const Replica& replica) {
+    TJ_CHECK(!done[uid]);
+    done[uid] = true;
+    --remaining;
+    state.Assign(unscheduled[uid], replica);
+    for (const Replica& r : catalog_->ReplicasOf(unscheduled[uid].block)) {
+      dirty[static_cast<size_t>(r.tape)] = true;
+    }
   };
-  for (const Request& request : requests) absorb_or_keep(request);
 
-  result.initial_envelope = env;
-  result.initially_unscheduled = unscheduled;
+  while (remaining > 0) {
+    // Step 3 (cached): compact and re-score only the dirty tapes.
+    for (TapeId t = 0; t < num_tapes; ++t) {
+      if (!dirty[static_cast<size_t>(t)]) continue;
+      dirty[static_cast<size_t>(t)] = false;
+      auto& list = ext[static_cast<size_t>(t)];
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](const Ext& e) { return done[e.uid]; }),
+                 list.end());
+      if (list.empty()) continue;
+      const double surcharge =
+          (env[static_cast<size_t>(t)] == 0 && t != mounted)
+              ? model.SwitchTime()
+              : 0.0;
+      score[static_cast<size_t>(t)] = ScorePrefixes(
+          model, list, env[static_cast<size_t>(t)], surcharge, block_mb);
+      ++counters->tapes_rescored;
+    }
 
-  // Steps 3-6: extend the envelope until every request is scheduled.
-  const int64_t max_shrinks =
-      static_cast<int64_t>(requests.size()) * num_tapes + 16;
-  int64_t shrinks_done = 0;
-  while (!unscheduled.empty()) {
-    // Step 3: per-tape extension lists (unscheduled requests sorted by the
-    // position of their replica on that tape) and incremental bandwidths of
-    // every prefix.
-    struct Ext {
-      Position position;
-      size_t index;  // into `unscheduled`
-    };
+    if (options_.validate_envelope) {
+      // Round oracle: the maintained lists and cached scores must match a
+      // from-scratch rebuild against the current envelope.
+      for (TapeId t = 0; t < num_tapes; ++t) {
+        std::vector<Ext> fresh;
+        for (size_t i = 0; i < n; ++i) {
+          if (done[i]) continue;
+          for (const Replica& replica :
+               catalog_->ReplicasOf(unscheduled[i].block)) {
+            if (replica.tape != t) continue;
+            fresh.push_back(Ext{replica.position, i, &replica});
+          }
+        }
+        SortExtList(&fresh);
+        const auto& list = ext[static_cast<size_t>(t)];
+        TJ_CHECK_EQ(fresh.size(), list.size())
+            << "stale extension list on tape" << t;
+        for (size_t k = 0; k < fresh.size(); ++k) {
+          TJ_CHECK_EQ(fresh[k].position, list[k].position);
+          TJ_CHECK_EQ(fresh[k].uid, list[k].uid);
+          TJ_CHECK(fresh[k].replica == list[k].replica);
+        }
+        if (list.empty()) continue;
+        const double surcharge =
+            (env[static_cast<size_t>(t)] == 0 && t != mounted)
+                ? model.SwitchTime()
+                : 0.0;
+        const TapeScore fresh_score = ScorePrefixes(
+            model, fresh, env[static_cast<size_t>(t)], surcharge, block_mb);
+        TJ_CHECK_EQ(fresh_score.bw, score[static_cast<size_t>(t)].bw)
+            << "stale cached score on tape" << t;
+        TJ_CHECK_EQ(fresh_score.len, score[static_cast<size_t>(t)].len);
+      }
+    }
+
+    const TapeId best_tape =
+        SelectBestTape(ext, score, counts, mounted, num_tapes);
+    TJ_CHECK_NE(best_tape, kInvalidTape)
+        << "unscheduled request without replicas";
+    ++counters->extension_rounds;
+
+    // Step 4: extend the envelope over the winning prefix.
+    const auto& winner = ext[static_cast<size_t>(best_tape)];
+    const size_t best_len = score[static_cast<size_t>(best_tape)].len;
+    const Position new_edge = winner[best_len - 1].position + block_mb;
+    env[static_cast<size_t>(best_tape)] = new_edge;
+    dirty[static_cast<size_t>(best_tape)] = true;  // edge moved
+    for (size_t k = 0; k < best_len; ++k) {
+      const Replica& replica = *winner[k].replica;
+      TJ_DCHECK(replica ==
+                *catalog_->ReplicaOn(unscheduled[winner[k].uid].block,
+                                     best_tape))
+          << "extension entry does not match the catalog replica";
+      schedule(winner[k].uid, replica);
+    }
+    // Absorb any request whose replica the extension just enclosed (e.g. a
+    // second request for a block at the new envelope edge). Only the
+    // extended tape's envelope grew, so candidates are exactly the pending
+    // entries of its list inside the new edge; absorb in arrival order.
+    std::vector<size_t> enclosed;
+    for (size_t k = best_len; k < winner.size(); ++k) {
+      if (!done[winner[k].uid] &&
+          winner[k].position + block_mb <= new_edge) {
+        enclosed.push_back(winner[k].uid);
+      }
+    }
+    std::sort(enclosed.begin(), enclosed.end());
+    for (const size_t uid : enclosed) {
+      const size_t before = state.result.assignment.size();
+      TJ_CHECK(TryAbsorb(unscheduled[uid], &state, counters));
+      TJ_CHECK_EQ(before + 1, state.result.assignment.size());
+      done[uid] = true;
+      --remaining;
+      for (const Replica& r :
+           catalog_->ReplicasOf(unscheduled[uid].block)) {
+        dirty[static_cast<size_t>(r.tape)] = true;
+      }
+    }
+
+    RunShrinkLoop(&state, counters, &dirty);
+  }
+  return std::move(state.result);
+}
+
+EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunReferenceKernel(
+    const std::vector<Request>& requests, EnvelopeCounters* counters) const {
+  const int32_t num_tapes = jukebox_->num_tapes();
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  const TapeId mounted = jukebox_->mounted_tape();
+  const TimingModel& model = jukebox_->model();
+
+  KernelState state;
+  BuildInitialEnvelope(requests, &state, counters);
+  auto& env = state.result.envelope;
+  auto& counts = state.result.scheduled_per_tape;
+  const std::vector<Request>& unscheduled = state.unscheduled;
+  const size_t n = unscheduled.size();
+
+  std::vector<bool> done(n, false);
+  size_t remaining = n;
+
+  // Steps 3-6, from-scratch form: every round re-enumerates, re-sorts,
+  // and fully re-scores the per-tape extension lists.
+  while (remaining > 0) {
     std::vector<std::vector<Ext>> ext(static_cast<size_t>(num_tapes));
-    for (size_t i = 0; i < unscheduled.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
       for (const Replica& replica :
            catalog_->ReplicasOf(unscheduled[i].block)) {
         TJ_DCHECK(replica.position >=
                   env[static_cast<size_t>(replica.tape)]);
         ext[static_cast<size_t>(replica.tape)].push_back(
-            Ext{replica.position, i});
+            Ext{replica.position, i, &replica});
       }
     }
-    for (auto& list : ext) {
-      std::sort(list.begin(), list.end(),
-                [](const Ext& a, const Ext& b) {
-                  return a.position < b.position ||
-                         (a.position == b.position && a.index < b.index);
-                });
-    }
-
-    TapeId best_tape = kInvalidTape;
-    size_t best_len = 0;
-    double best_bw = -1.0;
+    std::vector<TapeScore> score(static_cast<size_t>(num_tapes));
     for (TapeId t = 0; t < num_tapes; ++t) {
-      const auto& list = ext[static_cast<size_t>(t)];
+      auto& list = ext[static_cast<size_t>(t)];
       if (list.empty()) continue;
-      // Previously untouched tapes pay the eject + robot + load surcharge.
+      SortExtList(&list);
       const double surcharge =
           (env[static_cast<size_t>(t)] == 0 && t != mounted)
               ? model.SwitchTime()
               : 0.0;
-      const Position edge = env[static_cast<size_t>(t)];
-      Position cursor = edge;
-      double outbound = 0.0;
-      int64_t distinct = 0;
-      Position prev = -1;
-      for (size_t k = 0; k < list.size(); ++k) {
-        if (list[k].position != prev) {
-          outbound +=
-              model.LocateAndReadTime(cursor, list[k].position, block_mb);
-          cursor = list[k].position + block_mb;
-          ++distinct;
-          prev = list[k].position;
-        }
-        const double total =
-            surcharge + outbound + model.LocateTime(cursor, edge);
-        const double bandwidth =
-            static_cast<double>(distinct * block_mb) / total;
-        bool better = bandwidth > best_bw;
-        if (!better && bandwidth == best_bw && best_tape != kInvalidTape) {
-          // Ties: most scheduled requests inside the envelope, then
-          // jukebox order.
-          const int64_t c_t = counts[static_cast<size_t>(t)];
-          const int64_t c_b = counts[static_cast<size_t>(best_tape)];
-          better = c_t > c_b ||
-                   (c_t == c_b &&
-                    ScanRankFrom(t, mounted, num_tapes) <
-                        ScanRankFrom(best_tape, mounted, num_tapes));
-        }
-        if (better) {
-          best_bw = bandwidth;
-          best_tape = t;
-          best_len = k + 1;
-        }
-      }
+      score[static_cast<size_t>(t)] = ScorePrefixes(
+          model, list, env[static_cast<size_t>(t)], surcharge, block_mb);
     }
+    const TapeId best_tape =
+        SelectBestTape(ext, score, counts, mounted, num_tapes);
     TJ_CHECK_NE(best_tape, kInvalidTape)
         << "unscheduled request without replicas";
-    ++counters_.extension_rounds;
+    ++counters->extension_rounds;
 
     // Step 4: extend the envelope over the winning prefix.
     const auto& winner = ext[static_cast<size_t>(best_tape)];
+    const size_t best_len = score[static_cast<size_t>(best_tape)].len;
     env[static_cast<size_t>(best_tape)] =
         winner[best_len - 1].position + block_mb;
-    std::vector<bool> scheduled(unscheduled.size(), false);
     for (size_t k = 0; k < best_len; ++k) {
-      const size_t idx = winner[k].index;
-      TJ_CHECK(!scheduled[idx]);
-      scheduled[idx] = true;
-      assign(unscheduled[idx],
-             Replica{best_tape, winner[k].position / block_mb,
-                     winner[k].position});
+      TJ_CHECK(!done[winner[k].uid]);
+      done[winner[k].uid] = true;
+      --remaining;
+      state.Assign(unscheduled[winner[k].uid], *winner[k].replica);
     }
-    std::vector<Request> remaining;
-    remaining.reserve(unscheduled.size() - best_len);
-    for (size_t i = 0; i < unscheduled.size(); ++i) {
-      if (!scheduled[i]) remaining.push_back(unscheduled[i]);
+    // Absorb any request whose replica the extension just enclosed.
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (TryAbsorb(unscheduled[i], &state, counters)) {
+        done[i] = true;
+        --remaining;
+      }
     }
-    unscheduled = std::move(remaining);
-    // Absorb any request whose replica the extension just enclosed (e.g. a
-    // second request for a block at the new envelope edge).
-    std::vector<Request> still_unscheduled;
-    std::swap(still_unscheduled, unscheduled);
-    for (const Request& request : still_unscheduled) absorb_or_keep(request);
 
-    // Step 5: shrink. A replicated block scheduled at the outer edge of
-    // some tape's envelope that also has a replica inside another tape's
-    // envelope is moved there, and the donor envelope retreats to its
-    // preceding scheduled request.
-    while (options_.envelope_shrink && shrinks_done < max_shrinks) {
-      // Collect shrinkable tapes: edge request has an in-envelope replica
-      // elsewhere.
-      TapeId shrink_tape = kInvalidTape;
-      for (TapeId a = 0; a < num_tapes; ++a) {
-        const auto& on_a = assigned[static_cast<size_t>(a)];
-        if (on_a.empty()) continue;
-        const auto& [edge_pos, edge_req] = *on_a.rbegin();
-        if (edge_pos + block_mb != env[static_cast<size_t>(a)]) continue;
-        bool movable = false;
-        for (const Replica& replica :
-             catalog_->ReplicasOf(edge_req.block)) {
-          if (replica.tape != a &&
-              replica.position + block_mb <=
-                  env[static_cast<size_t>(replica.tape)]) {
-            movable = true;
-            break;
-          }
-        }
-        if (!movable) continue;
-        if (shrink_tape == kInvalidTape ||
-            counts[static_cast<size_t>(a)] <
-                counts[static_cast<size_t>(shrink_tape)] ||
-            (counts[static_cast<size_t>(a)] ==
-                 counts[static_cast<size_t>(shrink_tape)] &&
-             a < shrink_tape)) {
-          shrink_tape = a;
-        }
-      }
-      if (shrink_tape == kInvalidTape) break;
-      ++shrinks_done;
-      ++counters_.shrink_moves;
-
-      auto& on_a = assigned[static_cast<size_t>(shrink_tape)];
-      auto edge_it = std::prev(on_a.end());
-      const Request moved = edge_it->second;
-      std::vector<const Replica*> inside;
-      for (const Replica& replica : catalog_->ReplicasOf(moved.block)) {
-        if (replica.tape != shrink_tape &&
-            replica.position + block_mb <=
-                env[static_cast<size_t>(replica.tape)]) {
-          inside.push_back(&replica);
-        }
-      }
-      TJ_CHECK(!inside.empty());
-      on_a.erase(edge_it);
-      --counts[static_cast<size_t>(shrink_tape)];
-      const Replica* target = ChooseInsideReplica(inside, counts, mounted);
-      assign(moved, *target);
-      // Retreat the donor envelope to its preceding scheduled request (or
-      // the head / beginning of tape).
-      Position base = (shrink_tape == mounted) ? head : 0;
-      if (!on_a.empty()) {
-        base = std::max(base, on_a.rbegin()->first + block_mb);
-      }
-      env[static_cast<size_t>(shrink_tape)] = base;
-    }
+    RunShrinkLoop(&state, counters, nullptr);
   }
-  return result;
+  return std::move(state.result);
+}
+
+EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::ComputeUpperEnvelope(
+    const std::vector<Request>& requests) const {
+  return RunIncrementalKernel(requests, &counters_);
+}
+
+EnvelopeScheduler::EnvelopeResult
+EnvelopeScheduler::ComputeUpperEnvelopeReference(
+    const std::vector<Request>& requests) const {
+  EnvelopeCounters scratch;
+  return RunReferenceKernel(requests, &scratch);
+}
+
+void EnvelopeScheduler::CrossCheckEnvelope(
+    const std::vector<Request>& requests) const {
+  EnvelopeCounters incremental_counters;
+  EnvelopeCounters reference_counters;
+  const EnvelopeResult incremental =
+      RunIncrementalKernel(requests, &incremental_counters);
+  const EnvelopeResult reference =
+      RunReferenceKernel(requests, &reference_counters);
+  CheckEnvelopeResultsEqual(incremental, reference);
+  TJ_CHECK_EQ(incremental_counters.extension_rounds,
+              reference_counters.extension_rounds)
+      << "kernels took different numbers of extension rounds";
 }
 
 TapeId EnvelopeScheduler::MajorReschedule() {
@@ -304,6 +585,10 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   const std::vector<Request> requests(pending_.begin(), pending_.end());
   ++counters_.major_reschedules;
   EnvelopeResult result = ComputeUpperEnvelope(requests);
+  if (options_.validate_envelope) {
+    EnvelopeCounters scratch;
+    CheckEnvelopeResultsEqual(result, RunReferenceKernel(requests, &scratch));
+  }
 
   // Tape choice: apply the policy to the set of requests each tape can
   // satisfy within the upper envelope (a superset of the per-tape

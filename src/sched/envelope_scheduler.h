@@ -15,9 +15,18 @@
 // bandwidth extension is within a harmonic factor of the optimal extension
 // (Theorem 2) — see theory.h for the cost functions used to validate this.
 //
-// When no data are replicated, every request's single replica defines the
-// initial envelope, steps 3-6 have nothing to do, and the algorithm
-// degenerates into the corresponding dynamic greedy algorithm.
+// When no data are replicated, every request is absorbed in step 2, steps
+// 3-6 have nothing to do, and the algorithm degenerates into the
+// corresponding dynamic greedy algorithm.
+//
+// The extension kernel is *incremental*: the per-tape extension lists are
+// built and sorted once per upper-envelope computation and maintained in
+// place as requests are scheduled, and per-tape prefix-bandwidth scores
+// are cached and re-evaluated only for tapes whose envelope edge or list
+// contents changed since the last round. The original from-scratch
+// computation is kept as ComputeUpperEnvelopeReference and serves as a
+// correctness oracle (SchedulerOptions::validate_envelope and the
+// ValidatingScheduler cross-check the two on live workloads).
 
 #ifndef TAPEJUKE_SCHED_ENVELOPE_SCHEDULER_H_
 #define TAPEJUKE_SCHED_ENVELOPE_SCHEDULER_H_
@@ -63,9 +72,22 @@ class EnvelopeScheduler : public Scheduler {
   };
 
   /// Runs steps 1-6 of the major rescheduler on `requests` against the
-  /// current drive state. Pure (does not modify scheduler state).
+  /// current drive state using the incremental extension kernel. Pure
+  /// (does not modify scheduler state beyond the behaviour counters).
   EnvelopeResult ComputeUpperEnvelope(
       const std::vector<Request>& requests) const;
+
+  /// The from-scratch reference computation: identical semantics, but the
+  /// extension lists are re-enumerated, re-sorted, and fully re-scored on
+  /// every round. Serves as the oracle for the incremental kernel; does
+  /// not touch the behaviour counters.
+  EnvelopeResult ComputeUpperEnvelopeReference(
+      const std::vector<Request>& requests) const;
+
+  /// Debug oracle entry point (used by ValidatingScheduler): runs both
+  /// kernels on `requests` with scratch counters and TJ_CHECK-fails unless
+  /// they produce identical results.
+  void CrossCheckEnvelope(const std::vector<Request>& requests) const;
 
   /// The upper envelope persisted from the last major reschedule (empty
   /// before the first). For inspection in tests.
@@ -75,6 +97,7 @@ class EnvelopeScheduler : public Scheduler {
   struct EnvelopeCounters {
     int64_t major_reschedules = 0;
     int64_t extension_rounds = 0;     ///< step 3-4 iterations
+    int64_t tapes_rescored = 0;       ///< per-tape prefix re-evaluations
     int64_t shrink_moves = 0;         ///< step 5 reassignments
     int64_t multi_replica_choices = 0;  ///< step-2 picks among >1 option
     int64_t incremental_inserts = 0;  ///< arrivals inserted into the sweep
@@ -84,6 +107,33 @@ class EnvelopeScheduler : public Scheduler {
   const EnvelopeCounters& counters() const { return counters_; }
 
  private:
+  /// Shared mutable state of one upper-envelope computation (defined in
+  /// the .cc).
+  struct KernelState;
+
+  /// Steps 1-2: pins the initial envelope and absorbs every request with
+  /// an in-envelope replica; fills state->unscheduled with the rest.
+  void BuildInitialEnvelope(const std::vector<Request>& requests,
+                            KernelState* state,
+                            EnvelopeCounters* counters) const;
+
+  /// If some replica of `request` lies inside the envelope, assigns the
+  /// request there (per the step-2 tie-break) and returns true.
+  bool TryAbsorb(const Request& request, KernelState* state,
+                 EnvelopeCounters* counters) const;
+
+  /// Step 5: moves redundant envelope-edge blocks to covered replicas and
+  /// retracts the donor envelopes. Tapes whose edge retreated are flagged
+  /// in `dirty` when non-null (the incremental kernel's re-score set).
+  void RunShrinkLoop(KernelState* state, EnvelopeCounters* counters,
+                     std::vector<bool>* dirty) const;
+
+  /// Kernel bodies behind the public entry points.
+  EnvelopeResult RunIncrementalKernel(const std::vector<Request>& requests,
+                                      EnvelopeCounters* counters) const;
+  EnvelopeResult RunReferenceKernel(const std::vector<Request>& requests,
+                                    EnvelopeCounters* counters) const;
+
   /// Picks a replica for a request among `inside` (replicas inside the
   /// envelope) per the step-2 tie-break. Requires `inside` non-empty.
   const Replica* ChooseInsideReplica(

@@ -11,6 +11,8 @@
 #ifndef TAPEJUKE_SCHED_SCHEDULE_COST_H_
 #define TAPEJUKE_SCHED_SCHEDULE_COST_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +20,15 @@
 #include "tape/types.h"
 
 namespace tapejuke {
+
+/// Relative-epsilon equality for schedule cost / bandwidth comparisons.
+/// Cost sums accumulated along different code paths can disagree in the
+/// last few ulps even when mathematically equal, so tie-break rules must
+/// never compare these doubles exactly (a `==` tie essentially never
+/// fires and makes the winner platform-dependent).
+inline bool NearlyEqual(double a, double b, double rel_eps = 1e-9) {
+  return std::abs(a - b) <= rel_eps * std::max(std::abs(a), std::abs(b));
+}
 
 /// Cost breakdown of visiting one tape and executing a sweep on it.
 struct SweepCostBreakdown {

@@ -52,6 +52,12 @@ struct SchedulerOptions {
   /// jukebox order). When false, always take the first replica in jukebox
   /// order (abl_replica_choice ablation).
   bool paper_replica_tiebreak = true;
+  /// Debug oracle for the envelope scheduler: cross-check the incremental
+  /// extension kernel against the from-scratch reference computation on
+  /// every major reschedule, and validate the incrementally maintained
+  /// extension lists / cached tape scores on every extension round.
+  /// TJ_CHECK-fails on any divergence. Expensive; test/debug builds only.
+  bool validate_envelope = false;
 };
 
 /// Candidate work available on one tape, used for tape selection.

@@ -1,5 +1,8 @@
 #include "sched/validating_scheduler.h"
 
+#include <vector>
+
+#include "sched/envelope_scheduler.h"
 #include "util/check.h"
 
 namespace tapejuke {
@@ -27,6 +30,15 @@ void ValidatingScheduler::OnArrival(const Request& request,
 TapeId ValidatingScheduler::MajorReschedule() {
   TJ_CHECK(inner_->sweep_empty())
       << "major reschedule with a non-empty sweep";
+  // Envelope oracle: run the incremental and from-scratch extension kernels
+  // on the same pending snapshot the inner reschedule is about to use and
+  // TJ_CHECK they agree (byte-identical envelopes and assignments).
+  if (const auto* envelope =
+          dynamic_cast<const EnvelopeScheduler*>(inner_.get());
+      envelope != nullptr && !inner_->pending().empty()) {
+    envelope->CrossCheckEnvelope(std::vector<Request>(
+        inner_->pending().begin(), inner_->pending().end()));
+  }
   const TapeId tape = inner_->MajorReschedule();
   if (tape == kInvalidTape) {
     TJ_CHECK(!inner_->HasWork())

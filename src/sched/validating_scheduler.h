@@ -11,7 +11,10 @@
 //  * every request enters the scheduler exactly once and leaves exactly
 //    once (no losses, no duplicates);
 //  * the major rescheduler only reports a tape when work exists, and the
-//    sweep it builds is non-empty.
+//    sweep it builds is non-empty;
+//  * when the inner scheduler is an EnvelopeScheduler, the incremental
+//    extension kernel and the from-scratch reference computation agree on
+//    every major reschedule (the envelope oracle).
 //
 // Used by the cross-algorithm property tests to exercise every scheduler
 // under randomized workloads with the full invariant set armed; also handy

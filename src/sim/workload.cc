@@ -47,12 +47,20 @@ WorkloadGenerator::WorkloadGenerator(const Catalog* catalog,
   }
 }
 
+BlockId WorkloadGenerator::ZipfBlockForQuantile(double u) const {
+  TJ_CHECK(config_.skew == SkewModel::kZipf);
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) {
+    // u landed at/above the final CDF entry; without the clamp this would
+    // mint a BlockId one past the catalog.
+    return static_cast<BlockId>(zipf_cdf_.size()) - 1;
+  }
+  return static_cast<BlockId>(it - zipf_cdf_.begin());
+}
+
 BlockId WorkloadGenerator::NextBlock() {
   if (config_.skew == SkewModel::kZipf) {
-    const double u = rng_.UniformDouble();
-    const auto it =
-        std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
-    return static_cast<BlockId>(it - zipf_cdf_.begin());
+    return ZipfBlockForQuantile(rng_.UniformDouble());
   }
   const int64_t hot = catalog_->num_hot_blocks();
   const int64_t cold = catalog_->num_cold_blocks();

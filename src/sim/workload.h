@@ -74,6 +74,13 @@ class WorkloadGenerator {
   /// Draws the next requested block id.
   BlockId NextBlock();
 
+  /// kZipf only: maps a uniform quantile `u` to a block rank through the
+  /// popularity CDF. Quantiles at or above the final CDF entry (possible
+  /// when u == 1.0, or if rounding leaves the normalized CDF just short of
+  /// 1.0) clamp to the last block instead of indexing past the catalog.
+  /// Exposed so tests can drive the boundary directly.
+  BlockId ZipfBlockForQuantile(double u) const;
+
   /// Mints the next request at `arrival_time`.
   Request NextRequest(double arrival_time);
 

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "test_util.h"
+#include "util/rng.h"
 
 namespace tapejuke {
 namespace {
@@ -185,6 +189,171 @@ TEST_F(EnvelopeIncrementalTest, NoPendingWorkReturnsInvalidTape) {
                           TapePolicy::kMaxRequests);
   EXPECT_EQ(sched.MajorReschedule(), kInvalidTape);
 }
+
+TEST_F(Figure2Test, ValidateEnvelopeModeAgreesWithReference) {
+  SchedulerOptions options;
+  options.validate_envelope = true;  // per-round + full-result oracles armed
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests, options);
+  for (const Request& r :
+       {Req(1, kA), Req(2, kB), Req(3, kC), Req(4, kD)}) {
+    sched.OnArrival(r, 0);
+  }
+  EXPECT_EQ(sched.MajorReschedule(), 1);
+  EXPECT_EQ(sched.sweep_size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental-kernel regression tests.
+// ---------------------------------------------------------------------------
+
+// Two tapes engineered so their best extension prefixes have
+// *mathematically* equal incremental bandwidth reached through different
+// locate-gap sums ({32, 96} vs {64, 64} MB, all in the long-locate regime).
+// Floating-point evaluation of the two sums can differ in the last ulp, so
+// an exact `==` tie-break may never fire and the winner would be whichever
+// rounding landed higher. The relative-epsilon tie-break must treat them as
+// tied and fall through to the deterministic rules.
+class EnvelopeTieBreakTest : public ::testing::Test {
+ protected:
+  static constexpr BlockId kPin1 = 0, kPin2 = 1, kE = 2, kF = 3;
+
+  EnvelopeTieBreakTest() : rig_(3, /*capacity_mb=*/320) {
+    rig_.Place(kPin1, 1, 0);  // non-replicated: pins tape 1's envelope
+    rig_.Place(kPin2, 2, 0);  // non-replicated: pins tape 2's envelope
+    rig_.Place(kE, 1, 3);     // tape 1 gaps: 32 MB then 96 MB
+    rig_.Place(kF, 1, 10);
+    rig_.Place(kE, 2, 5);     // tape 2 gaps: 64 MB then 64 MB
+    rig_.Place(kF, 2, 10);
+    catalog_ = rig_.BuildCatalog();
+    rig_.jukebox().SwitchTo(0);
+  }
+
+  TinyRig rig_;
+  std::optional<Catalog> catalog_;
+};
+
+TEST_F(EnvelopeTieBreakTest, BandwidthTieGoesToTapeWithMoreRequests) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  // Two requests pin tape 2's anchor, one pins tape 1's: tape 2 must win
+  // the bandwidth tie on scheduled-request count.
+  const std::vector<Request> requests = {Req(1, kPin1), Req(2, kPin2),
+                                         Req(3, kPin2), Req(4, kE),
+                                         Req(5, kF)};
+  const auto result = sched.ComputeUpperEnvelope(requests);
+  EXPECT_EQ(result.assignment.at(4).tape, 2);
+  EXPECT_EQ(result.assignment.at(4).position, 80);
+  EXPECT_EQ(result.assignment.at(5).tape, 2);
+  EXPECT_EQ(result.assignment.at(5).position, 160);
+  EXPECT_EQ(result.envelope[1], 16);   // tape 1 never extends
+  EXPECT_EQ(result.envelope[2], 176);
+  EXPECT_EQ(sched.counters().extension_rounds, 1);
+  // Round 1 scores only the two tapes with extension candidates.
+  EXPECT_EQ(sched.counters().tapes_rescored, 2);
+}
+
+TEST_F(EnvelopeTieBreakTest, BandwidthAndCountTieGoesToJukeboxOrder) {
+  EnvelopeScheduler sched(&rig_.jukebox(), &*catalog_,
+                          TapePolicy::kMaxRequests);
+  // One request per anchor: bandwidth and counts both tie, so the scan
+  // order from the mounted tape (0) picks tape 1 over tape 2.
+  const std::vector<Request> requests = {Req(1, kPin1), Req(2, kPin2),
+                                         Req(3, kE), Req(4, kF)};
+  const auto result = sched.ComputeUpperEnvelope(requests);
+  EXPECT_EQ(result.assignment.at(3).tape, 1);
+  EXPECT_EQ(result.assignment.at(3).position, 48);
+  EXPECT_EQ(result.assignment.at(4).tape, 1);
+  EXPECT_EQ(result.assignment.at(4).position, 160);
+  EXPECT_EQ(result.envelope[1], 176);
+  EXPECT_EQ(result.envelope[2], 16);
+}
+
+// Randomized equivalence fuzz: the incremental kernel must produce results
+// byte-identical to the from-scratch reference on arbitrary instances, and
+// every assignment must be a real catalog replica (regression for the
+// synthetic `position / block_mb` Replica the old step 4 fabricated).
+class EnvelopeKernelFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnvelopeKernelFuzz, IncrementalMatchesReferenceKernel) {
+  Rng rng(GetParam());
+  TinyRig rig(4, /*capacity_mb=*/400, /*block_size_mb=*/16);
+  std::set<std::pair<TapeId, int64_t>> used;
+  auto place_random = [&](BlockId block, TapeId tape, int64_t lo,
+                          int64_t hi) {
+    for (;;) {
+      const int64_t slot =
+          lo + static_cast<int64_t>(
+                   rng.UniformUint64(static_cast<uint64_t>(hi - lo)));
+      if (used.insert({tape, slot}).second) {
+        rig.Place(block, tape, slot);
+        return;
+      }
+    }
+  };
+  BlockId next_block = 0;
+  // 1-3 non-replicated anchors near the tape starts pin the envelope.
+  const int num_anchors = 1 + static_cast<int>(rng.UniformUint64(3));
+  for (int i = 0; i < num_anchors; ++i) {
+    place_random(next_block++, static_cast<TapeId>(rng.UniformUint64(4)), 0,
+                 5);
+  }
+  // 3-7 replicated blocks with 2-4 copies on distinct tapes, farther out.
+  const int num_replicated = 3 + static_cast<int>(rng.UniformUint64(5));
+  for (int i = 0; i < num_replicated; ++i) {
+    const int copies = 2 + static_cast<int>(rng.UniformUint64(3));
+    std::set<TapeId> tapes;
+    while (static_cast<int>(tapes.size()) < copies) {
+      tapes.insert(static_cast<TapeId>(rng.UniformUint64(4)));
+    }
+    for (const TapeId t : tapes) place_random(next_block, t, 3, 25);
+    ++next_block;
+  }
+  const Catalog catalog = rig.BuildCatalog();
+  rig.jukebox().SwitchTo(static_cast<TapeId>(rng.UniformUint64(4)));
+
+  EnvelopeScheduler sched(&rig.jukebox(), &catalog,
+                          TapePolicy::kMaxRequests);
+  std::vector<Request> requests;
+  RequestId id = 0;
+  for (BlockId b = 0; b < next_block; ++b) {
+    requests.push_back(Request{id++, b, 0.0});
+  }
+  // A couple of duplicate requests exercise same-position list entries and
+  // the post-extension absorb path.
+  for (int i = 0; i < 2; ++i) {
+    requests.push_back(Request{
+        id++,
+        static_cast<BlockId>(
+            rng.UniformUint64(static_cast<uint64_t>(next_block))),
+        0.0});
+  }
+
+  const auto incremental = sched.ComputeUpperEnvelope(requests);
+  const auto reference = sched.ComputeUpperEnvelopeReference(requests);
+  EXPECT_EQ(incremental.envelope, reference.envelope);
+  EXPECT_EQ(incremental.scheduled_per_tape, reference.scheduled_per_tape);
+  EXPECT_EQ(incremental.initial_envelope, reference.initial_envelope);
+  ASSERT_EQ(incremental.assignment.size(), reference.assignment.size());
+  for (const auto& [rid, replica] : incremental.assignment) {
+    ASSERT_TRUE(reference.assignment.contains(rid));
+    EXPECT_EQ(replica, reference.assignment.at(rid));
+  }
+  for (const Request& request : requests) {
+    ASSERT_TRUE(incremental.assignment.contains(request.id));
+    const Replica& chosen = incremental.assignment.at(request.id);
+    bool in_catalog = false;
+    for (const Replica& replica : catalog.ReplicasOf(request.block)) {
+      in_catalog |= replica == chosen;
+    }
+    EXPECT_TRUE(in_catalog)
+        << "request " << request.id << " assigned a non-catalog replica";
+  }
+  sched.CrossCheckEnvelope(requests);  // TJ_CHECK-fails on divergence
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EnvelopeKernelFuzz,
+                         ::testing::Range<uint64_t>(1, 31));
 
 }  // namespace
 }  // namespace tapejuke

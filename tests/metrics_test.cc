@@ -56,6 +56,55 @@ TEST(Metrics, CounterDeltasAgainstWarmupSnapshot) {
   EXPECT_DOUBLE_EQ(result.transfer_utilization, 200.0 / 300.0);
 }
 
+TEST(Metrics, CompletionExactlyAtWarmupBoundaryIsExcluded) {
+  MetricsCollector metrics(/*warmup_seconds=*/100, 16);
+  metrics.OnArrival(0.0);
+  metrics.OnArrival(0.0);
+  metrics.OnCompletion(0.0, 100.0);  // now == warm-up: still warm-up
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  metrics.OnCompletion(0.0, 100.0 + 1e-6);  // just past: counted
+  const SimulationResult result =
+      metrics.Finalize(200.0, JukeboxCounters{});
+  EXPECT_EQ(result.completed_requests, 1);
+}
+
+TEST(Metrics, ZeroDelayCompletionCounts) {
+  MetricsCollector metrics(/*warmup_seconds=*/0, 16);
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  metrics.OnArrival(50.0);
+  metrics.OnCompletion(50.0, 50.0);  // arrival == completion
+  const SimulationResult result =
+      metrics.Finalize(100.0, JukeboxCounters{});
+  EXPECT_EQ(result.completed_requests, 1);
+  EXPECT_DOUBLE_EQ(result.mean_delay_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.max_delay_seconds, 0.0);
+}
+
+TEST(Metrics, OutstandingAreaClipsAtWarmupBoundary) {
+  MetricsCollector metrics(/*warmup_seconds=*/100, 16);
+  metrics.OnArrival(0.0);  // outstanding during warm-up: not measured
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  metrics.OnCompletion(0.0, 150.0);  // 1 outstanding over [100, 150)
+  const SimulationResult result =
+      metrics.Finalize(200.0, JukeboxCounters{});
+  // (1*50 + 0*50) / 100 measured seconds.
+  EXPECT_DOUBLE_EQ(result.mean_outstanding, 0.5);
+}
+
+TEST(Metrics, UnmarkedWarmupDeltasAgainstZeroBaseline) {
+  MetricsCollector metrics(/*warmup_seconds=*/0, 16);
+  JukeboxCounters final_counters;
+  final_counters.tape_switches = 4;
+  final_counters.read_seconds = 30.0;
+  final_counters.locate_seconds = 10.0;
+  const SimulationResult result = metrics.Finalize(3600.0, final_counters);
+  // Without MarkWarmupBoundary the baseline snapshot stays all-zero, so
+  // the deltas are the final counters themselves.
+  EXPECT_EQ(result.counters.tape_switches, 4);
+  EXPECT_DOUBLE_EQ(result.tape_switches_per_hour, 4.0);
+  EXPECT_DOUBLE_EQ(result.transfer_utilization, 30.0 / 40.0);
+}
+
 TEST(Metrics, MeanOutstandingIsTimeAverage) {
   MetricsCollector metrics(/*warmup_seconds=*/0, 16);
   metrics.MarkWarmupBoundary(JukeboxCounters{});

@@ -148,7 +148,8 @@ TEST_P(Theorem2Property, EnvelopeWithinHarmonicBoundOfOptimal) {
   problem.initial_envelope = result.initial_envelope;
   std::vector<int> envelope_choice;
   for (const Request& request : result.initially_unscheduled) {
-    problem.options.push_back(catalog.ReplicasOf(request.block));
+    const ReplicaSpan replicas = catalog.ReplicasOf(request.block);
+    problem.options.emplace_back(replicas.begin(), replicas.end());
     const Replica& chosen = result.assignment.at(request.id);
     int index = -1;
     for (size_t i = 0; i < problem.options.back().size(); ++i) {

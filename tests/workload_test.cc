@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "layout/placement.h"
 #include "tape/jukebox.h"
 
@@ -114,6 +116,53 @@ TEST_F(WorkloadTest, SameSeedSameStream) {
     ASSERT_EQ(a.NextBlock(), b.NextBlock());
     ASSERT_DOUBLE_EQ(a.NextInterarrival(), b.NextInterarrival());
   }
+}
+
+TEST_F(WorkloadTest, ZipfQuantileBoundariesStayInRange) {
+  WorkloadConfig config;
+  config.skew = SkewModel::kZipf;
+  config.zipf_theta = 0.8;
+  WorkloadGenerator gen(&*catalog_, config);
+  const BlockId last = catalog_->num_blocks() - 1;
+  EXPECT_EQ(gen.ZipfBlockForQuantile(0.0), 0);
+  // The largest double below 1.0 — the worst case UniformDouble can emit.
+  EXPECT_EQ(gen.ZipfBlockForQuantile(std::nextafter(1.0, 0.0)), last);
+  // Quantiles at or above the final CDF entry must clamp to the last
+  // block, not mint a BlockId one past the catalog.
+  EXPECT_EQ(gen.ZipfBlockForQuantile(1.0), last);
+  EXPECT_EQ(gen.ZipfBlockForQuantile(std::nextafter(1.0, 2.0)), last);
+}
+
+TEST_F(WorkloadTest, ZipfDrawsStayInRangeAndSkewToLowRanks) {
+  WorkloadConfig config;
+  config.skew = SkewModel::kZipf;
+  config.zipf_theta = 1.2;
+  config.seed = 17;
+  WorkloadGenerator gen(&*catalog_, config);
+  int64_t low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const BlockId b = gen.NextBlock();
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, catalog_->num_blocks());
+    if (b < catalog_->num_blocks() / 10) ++low;
+  }
+  // Under Zipf(1.2) the most popular 10% of ranks carry well over half the
+  // request mass.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST_F(WorkloadTest, ZipfThetaZeroIsUniform) {
+  WorkloadConfig config;
+  config.skew = SkewModel::kZipf;
+  config.zipf_theta = 0.0;
+  config.seed = 19;
+  WorkloadGenerator gen(&*catalog_, config);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(gen.NextBlock());
+  const double l = static_cast<double>(catalog_->num_blocks());
+  EXPECT_NEAR(sum / n, (l - 1) / 2, l * 0.02);
 }
 
 TEST_F(WorkloadTest, InterarrivalMeanMatches) {
