@@ -13,6 +13,11 @@ Status FarmConfig::Validate() const {
   if (num_jukeboxes < 1) {
     return Status::InvalidArgument("farm needs at least one jukebox");
   }
+  if (per_jukebox.sim.faults.enabled()) {
+    return Status::InvalidArgument(
+        "fault injection is not supported by the farm simulator; use the "
+        "single- or multi-drive simulators");
+  }
   return per_jukebox.Validate();
 }
 

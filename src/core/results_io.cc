@@ -205,12 +205,48 @@ void WriteJson(JsonWriter* w, const WorkloadConfig& workload) {
   w->EndObject();
 }
 
+void WriteJson(JsonWriter* w, const FaultConfig& faults) {
+  w->BeginObject();
+  w->Field("transient_read_error_prob", faults.transient_read_error_prob);
+  w->Field("max_read_retries",
+           static_cast<int64_t>(faults.max_read_retries));
+  w->Field("permanent_media_error_prob", faults.permanent_media_error_prob);
+  w->Field("whole_tape_fraction", faults.whole_tape_fraction);
+  w->Field("drive_mtbf_seconds", faults.drive_mtbf_seconds);
+  w->Field("drive_mttr_seconds", faults.drive_mttr_seconds);
+  w->Field("robot_fault_prob", faults.robot_fault_prob);
+  w->Field("seed", faults.seed);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const FaultStats& stats) {
+  w->BeginObject();
+  w->Field("transient_read_errors", stats.transient_read_errors);
+  w->Field("read_retries", stats.read_retries);
+  w->Field("reads_escalated", stats.reads_escalated);
+  w->Field("permanent_media_errors", stats.permanent_media_errors);
+  w->Field("dead_tapes", stats.dead_tapes);
+  w->Field("replicas_masked", stats.replicas_masked);
+  w->Field("drive_failures", stats.drive_failures);
+  w->Field("drive_repair_seconds", stats.drive_repair_seconds);
+  w->Field("robot_faults", stats.robot_faults);
+  w->Field("robot_retry_seconds", stats.robot_retry_seconds);
+  w->Field("failovers", stats.failovers);
+  w->EndObject();
+}
+
 void WriteJson(JsonWriter* w, const SimulationConfig& sim) {
   w->BeginObject();
   w->Field("duration_seconds", sim.duration_seconds);
   w->Field("warmup_seconds", sim.warmup_seconds);
   w->Key("workload");
   WriteJson(w, sim.workload);
+  // Emitted only when fault injection is on, so fault-free documents stay
+  // byte-identical to pre-fault-subsystem output.
+  if (sim.faults.enabled()) {
+    w->Key("faults");
+    WriteJson(w, sim.faults);
+  }
   w->EndObject();
 }
 
@@ -264,6 +300,17 @@ void WriteJson(JsonWriter* w, const SimulationResult& result) {
   w->Field("transfer_utilization", result.transfer_utilization);
   w->Key("counters");
   WriteJson(w, result.counters);
+  // Fault-injection block: emitted only for runs that had faults enabled,
+  // keeping fault-free documents byte-identical to pre-fault output.
+  if (result.fault_injection) {
+    w->Field("issued_requests", result.issued_requests);
+    w->Field("completed_total", result.completed_total);
+    w->Field("failed_requests", result.failed_requests);
+    w->Field("outstanding_at_end", result.outstanding_at_end);
+    w->Field("availability", result.availability);
+    w->Key("faults");
+    WriteJson(w, result.faults);
+  }
   w->EndObject();
 }
 

@@ -89,6 +89,8 @@ std::string JsonDouble(double value);
 void WriteJson(JsonWriter* w, const JukeboxConfig& config);
 void WriteJson(JsonWriter* w, const LayoutSpec& layout);
 void WriteJson(JsonWriter* w, const WorkloadConfig& workload);
+void WriteJson(JsonWriter* w, const FaultConfig& faults);
+void WriteJson(JsonWriter* w, const FaultStats& stats);
 void WriteJson(JsonWriter* w, const SimulationConfig& sim);
 void WriteJson(JsonWriter* w, const ExperimentConfig& config);
 void WriteJson(JsonWriter* w, const JukeboxCounters& counters);

@@ -37,14 +37,27 @@ Status SweepRunner::RunIndexed(
   const int threads = options_.threads > 0 ? options_.threads
                                            : ThreadPool::DefaultThreads();
   std::vector<Status> statuses(num_points, Status::Ok());
+  // An exception escaping a point must not kill the process (or, worse, a
+  // pool worker): capture it into that point's status slot so it is
+  // reported like any other per-point failure.
+  const auto guarded = [&fn](size_t i) -> Status {
+    try {
+      return fn(i);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("uncaught exception: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("uncaught exception of unknown type");
+    }
+  };
   if (threads == 1) {
-    for (size_t i = 0; i < num_points; ++i) statuses[i] = fn(i);
+    for (size_t i = 0; i < num_points; ++i) statuses[i] = guarded(i);
   } else {
     ThreadPool pool(threads);
     pool.ParallelFor(0, static_cast<int64_t>(num_points),
                      [&](int64_t i) {
                        statuses[static_cast<size_t>(i)] =
-                           fn(static_cast<size_t>(i));
+                           guarded(static_cast<size_t>(i));
                      });
   }
   for (size_t i = 0; i < num_points; ++i) {

@@ -79,7 +79,8 @@ class SweepRunner {
   /// fn(point_index) for every index across the pool and returns the
   /// first non-OK status (lowest index wins, deterministically). `fn` is
   /// called concurrently for distinct indices and must only touch
-  /// per-index state.
+  /// per-index state. An exception escaping `fn` is captured as an
+  /// Internal status for that point rather than terminating the process.
   Status RunIndexed(size_t num_points,
                     const std::function<Status(size_t)>& fn) const;
 

@@ -35,6 +35,54 @@ const Replica* Catalog::ReplicaOn(BlockId block, TapeId tape) const {
   return nullptr;
 }
 
+const Replica* Catalog::LiveReplicaOn(BlockId block, TapeId tape) const {
+  const Replica* r = ReplicaOn(block, tape);
+  if (r != nullptr && !IsAlive(*r)) return nullptr;
+  return r;
+}
+
+bool Catalog::HasLiveReplica(BlockId block) const {
+  if (dead_count_ == 0) return true;  // the ctor guarantees >= 1 replica
+  for (const Replica& r : ReplicasOf(block)) {
+    if (IsAlive(r)) return true;
+  }
+  return false;
+}
+
+int64_t Catalog::LiveReplicaCount(BlockId block) const {
+  const ReplicaSpan span = ReplicasOf(block);
+  if (dead_count_ == 0) return static_cast<int64_t>(span.size());
+  int64_t live = 0;
+  for (const Replica& r : span) {
+    if (IsAlive(r)) ++live;
+  }
+  return live;
+}
+
+bool Catalog::MarkReplicaDead(BlockId block, TapeId tape) {
+  const Replica* r = ReplicaOn(block, tape);
+  if (r == nullptr) return false;
+  if (dead_.empty()) dead_.assign(flat_.size(), 0);
+  const size_t idx = static_cast<size_t>(r - flat_.data());
+  if (dead_[idx] != 0) return false;
+  dead_[idx] = 1;
+  ++dead_count_;
+  return true;
+}
+
+int64_t Catalog::MarkTapeDead(TapeId tape) {
+  if (dead_.empty()) dead_.assign(flat_.size(), 0);
+  int64_t newly_masked = 0;
+  for (size_t i = 0; i < flat_.size(); ++i) {
+    if (flat_[i].tape == tape && dead_[i] == 0) {
+      dead_[i] = 1;
+      ++newly_masked;
+    }
+  }
+  dead_count_ += newly_masked;
+  return newly_masked;
+}
+
 void Catalog::AddReplica(BlockId block, const Replica& replica) {
   TJ_CHECK(block >= 0 && block < num_blocks());
   TJ_CHECK(ReplicaOn(block, replica.tape) == nullptr)
@@ -48,7 +96,12 @@ void Catalog::AddReplica(BlockId block, const Replica& replica) {
   const auto insert_at =
       flat_.begin() +
       static_cast<std::ptrdiff_t>(offsets_[static_cast<size_t>(block) + 1]);
+  const size_t insert_idx = offsets_[static_cast<size_t>(block) + 1];
   flat_.insert(insert_at, replica);
+  if (!dead_.empty()) {
+    // Keep the dead mask index-parallel with flat_; new copies are alive.
+    dead_.insert(dead_.begin() + static_cast<std::ptrdiff_t>(insert_idx), 0);
+  }
   for (size_t b = static_cast<size_t>(block) + 1; b < offsets_.size(); ++b) {
     ++offsets_[b];
   }

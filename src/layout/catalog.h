@@ -94,6 +94,44 @@ class Catalog {
   /// The replica of `block` on `tape`, or nullptr if none.
   const Replica* ReplicaOn(BlockId block, TapeId tape) const;
 
+  /// Like ReplicaOn, but returns nullptr when the copy exists and has been
+  /// masked dead by a permanent media error.
+  const Replica* LiveReplicaOn(BlockId block, TapeId tape) const;
+
+  /// True unless `r` was masked dead by MarkReplicaDead/MarkTapeDead. `r`
+  /// must reference an element of this catalog's storage (any replica
+  /// obtained from ReplicasOf/ReplicaOn qualifies).
+  bool IsAlive(const Replica& r) const {
+    if (dead_count_ == 0) return true;  // fault-free fast path
+    const std::ptrdiff_t idx = &r - flat_.data();
+    TJ_DCHECK(idx >= 0 && idx < static_cast<std::ptrdiff_t>(flat_.size()));
+    return dead_[static_cast<size_t>(idx)] == 0;
+  }
+
+  /// True if `block` still has at least one live replica.
+  bool HasLiveReplica(BlockId block) const;
+
+  /// Number of live replicas of `block`.
+  int64_t LiveReplicaCount(BlockId block) const;
+
+  /// True if any block anywhere still has a live replica (cheap: total
+  /// copies vs. dead count).
+  bool HasAnyLive() const {
+    return dead_count_ < static_cast<int64_t>(flat_.size());
+  }
+
+  /// Total replicas currently masked dead.
+  int64_t dead_replicas() const { return dead_count_; }
+
+  /// Masks the copy of `block` on `tape` dead (a permanent media error on
+  /// that region). Returns true if the replica existed and was newly
+  /// masked; false if absent or already dead.
+  bool MarkReplicaDead(BlockId block, TapeId tape);
+
+  /// Masks every replica on `tape` dead (the whole tape is lost). Returns
+  /// the number of replicas newly masked.
+  int64_t MarkTapeDead(TapeId tape);
+
   /// Registers an additional copy of `block` (the §4.8 gradual-fill
   /// lifecycle writes replicas into spare capacity while the system runs).
   /// The tape must not already hold a copy of the block. Invalidates all
@@ -106,6 +144,11 @@ class Catalog {
   std::vector<Replica> flat_;
   std::vector<size_t> offsets_;
   int64_t num_hot_;
+  /// Dead-replica mask, parallel to flat_ (1 = masked dead). Allocated
+  /// lazily on the first MarkReplicaDead/MarkTapeDead so fault-free runs
+  /// never touch it.
+  std::vector<uint8_t> dead_;
+  int64_t dead_count_ = 0;
 };
 
 }  // namespace tapejuke

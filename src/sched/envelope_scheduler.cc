@@ -200,6 +200,7 @@ bool EnvelopeScheduler::TryAbsorb(const Request& request, KernelState* state,
   const auto& env = state->result.envelope;
   std::vector<const Replica*> inside;
   for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    if (!catalog_->IsAlive(replica)) continue;
     if (replica.position + block_mb <=
         env[static_cast<size_t>(replica.tape)]) {
       inside.push_back(&replica);
@@ -228,12 +229,23 @@ void EnvelopeScheduler::BuildInitialEnvelope(
   auto& env = state->result.envelope;
 
   // Step 1: the highest non-replicated request on each tape pins the
-  // initial envelope; the mounted tape's envelope covers the head.
+  // initial envelope; the mounted tape's envelope covers the head. A block
+  // with exactly one *live* replica counts as non-replicated (dead copies
+  // cannot serve it).
   for (const Request& request : requests) {
-    const ReplicaSpan replicas = catalog_->ReplicasOf(request.block);
-    if (replicas.size() == 1) {
-      Position& edge = env[static_cast<size_t>(replicas.front().tape)];
-      edge = std::max(edge, replicas.front().position + block_mb);
+    const Replica* sole_live = nullptr;
+    bool multiple_live = false;
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
+      if (sole_live != nullptr) {
+        multiple_live = true;
+        break;
+      }
+      sole_live = &replica;
+    }
+    if (sole_live != nullptr && !multiple_live) {
+      Position& edge = env[static_cast<size_t>(sole_live->tape)];
+      edge = std::max(edge, sole_live->position + block_mb);
     }
   }
   if (mounted != kInvalidTape) {
@@ -277,6 +289,7 @@ void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
       if (edge_pos + block_mb != env[static_cast<size_t>(a)]) continue;
       bool movable = false;
       for (const Replica& replica : catalog_->ReplicasOf(edge_req.block)) {
+        if (!catalog_->IsAlive(replica)) continue;
         if (replica.tape != a &&
             replica.position + block_mb <=
                 env[static_cast<size_t>(replica.tape)]) {
@@ -303,6 +316,7 @@ void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
     const Request moved = edge_it->second;
     std::vector<const Replica*> inside;
     for (const Replica& replica : catalog_->ReplicasOf(moved.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
       if (replica.tape != shrink_tape &&
           replica.position + block_mb <=
               env[static_cast<size_t>(replica.tape)]) {
@@ -348,6 +362,7 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
   for (size_t i = 0; i < n; ++i) {
     for (const Replica& replica :
          catalog_->ReplicasOf(unscheduled[i].block)) {
+      if (!catalog_->IsAlive(replica)) continue;
       TJ_DCHECK(replica.position >= env[static_cast<size_t>(replica.tape)]);
       ext[static_cast<size_t>(replica.tape)].push_back(
           Ext{replica.position, i, &replica});
@@ -400,7 +415,7 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
           if (done[i]) continue;
           for (const Replica& replica :
                catalog_->ReplicasOf(unscheduled[i].block)) {
-            if (replica.tape != t) continue;
+            if (replica.tape != t || !catalog_->IsAlive(replica)) continue;
             fresh.push_back(Ext{replica.position, i, &replica});
           }
         }
@@ -500,6 +515,7 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunReferenceKernel(
       if (done[i]) continue;
       for (const Replica& replica :
            catalog_->ReplicasOf(unscheduled[i].block)) {
+        if (!catalog_->IsAlive(replica)) continue;
         TJ_DCHECK(replica.position >=
                   env[static_cast<size_t>(replica.tape)]);
         ext[static_cast<size_t>(replica.tape)].push_back(
@@ -601,6 +617,7 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   const RequestId oldest = pending_.front().id;
   for (const Request& request : requests) {
     for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
       if (replica.position + block_mb <=
           result.envelope[static_cast<size_t>(replica.tape)]) {
         TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
@@ -620,6 +637,11 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   envelope_ = std::move(result.envelope);
   envelope_valid_ = true;
   return tape;
+}
+
+std::vector<Request> EnvelopeScheduler::DrainSweep() {
+  envelope_valid_ = false;
+  return Scheduler::DrainSweep();
 }
 
 void EnvelopeScheduler::DeferInOrder(const Request& request) {
@@ -653,7 +675,8 @@ void EnvelopeScheduler::ShrinkActiveSweep(TapeId extended_tape,
         envelope_[static_cast<size_t>(mounted)]) {
       return;
     }
-    const Replica* replica = catalog_->ReplicaOn(edge_block, extended_tape);
+    const Replica* replica =
+        catalog_->LiveReplicaOn(edge_block, extended_tape);
     if (replica == nullptr ||
         replica->position + block_mb >
             envelope_[static_cast<size_t>(extended_tape)]) {
@@ -690,7 +713,7 @@ void EnvelopeScheduler::OnArrival(const Request& request,
 
   // (a) Satisfiable by the mounted tape within the upper envelope: insert
   // into the running sweep like the dynamic incremental scheduler.
-  const Replica* on_mounted = catalog_->ReplicaOn(request.block, mounted);
+  const Replica* on_mounted = catalog_->LiveReplicaOn(request.block, mounted);
   if (on_mounted != nullptr &&
       on_mounted->position + block_mb <=
           envelope_[static_cast<size_t>(mounted)] &&
@@ -703,6 +726,7 @@ void EnvelopeScheduler::OnArrival(const Request& request,
   // (b) A replica inside some tape's envelope: no extension needed; the
   // request waits for that tape's next visit.
   for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    if (!catalog_->IsAlive(replica)) continue;
     if (replica.position + block_mb <=
         envelope_[static_cast<size_t>(replica.tape)]) {
       pending_.push_back(request);
@@ -715,6 +739,7 @@ void EnvelopeScheduler::OnArrival(const Request& request,
   const Replica* best = nullptr;
   double best_cost = 0;
   for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    if (!catalog_->IsAlive(replica)) continue;
     const Position edge = envelope_[static_cast<size_t>(replica.tape)];
     const double surcharge =
         (edge == 0 && replica.tape != mounted) ? model.SwitchTime() : 0.0;

@@ -54,6 +54,10 @@ class EnvelopeScheduler : public Scheduler {
 
   TapeId MajorReschedule() override;
 
+  /// Fault recovery: abandons the sweep and invalidates the persisted
+  /// envelope (it described a schedule that included the drained work).
+  std::vector<Request> DrainSweep() override;
+
   /// Output of the upper-envelope computation (exposed for tests and the
   /// Theorem-2 validation).
   struct EnvelopeResult {

@@ -19,10 +19,20 @@ TapeId FifoScheduler::MajorReschedule() {
   const Request oldest = pending_.front();
   pending_.pop_front();
 
-  // Prefer a replica on the mounted tape; otherwise the first replica.
+  // Prefer a live replica on the mounted tape; otherwise the first live
+  // replica. The simulator evicts requests with no live replica before any
+  // reschedule, so one always exists.
   const Replica* chosen =
-      catalog_->ReplicaOn(oldest.block, jukebox_->mounted_tape());
-  if (chosen == nullptr) chosen = &catalog_->ReplicasOf(oldest.block).front();
+      catalog_->LiveReplicaOn(oldest.block, jukebox_->mounted_tape());
+  if (chosen == nullptr) {
+    for (const Replica& replica : catalog_->ReplicasOf(oldest.block)) {
+      if (catalog_->IsAlive(replica)) {
+        chosen = &replica;
+        break;
+      }
+    }
+  }
+  TJ_CHECK(chosen != nullptr) << "pending request with no live replica";
 
   ServiceEntry entry{chosen->position, oldest.block, {oldest}};
   // Other pending requests for the same block ride along for free.

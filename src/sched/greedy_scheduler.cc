@@ -24,7 +24,7 @@ void GreedyScheduler::OnArrival(const Request& request,
     const Replica* replica =
         (mounted == kInvalidTape)
             ? nullptr
-            : catalog_->ReplicaOn(request.block, mounted);
+            : catalog_->LiveReplicaOn(request.block, mounted);
     if (replica != nullptr &&
         sweep_.InsertRequest(request, replica->position, committed_head,
                              options_.allow_reverse_phase)) {

@@ -110,6 +110,7 @@ std::vector<TapeCandidate> Scheduler::BuildCandidates() const {
       pending_.empty() ? kInvalidBlock : pending_.front().block;
   for (const Request& request : pending_) {
     for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
       TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
       ++c.num_requests;
       c.positions.push_back(replica.position);
@@ -119,6 +120,28 @@ std::vector<TapeCandidate> Scheduler::BuildCandidates() const {
     }
   }
   return candidates;
+}
+
+std::vector<Request> Scheduler::DrainSweep() {
+  std::vector<Request> drained;
+  while (std::optional<ServiceEntry> entry = sweep_.Pop()) {
+    for (const Request& request : entry->requests) drained.push_back(request);
+  }
+  return drained;
+}
+
+std::vector<Request> Scheduler::EvictUnservablePending() {
+  std::vector<Request> evicted;
+  std::deque<Request> keep;
+  for (const Request& request : pending_) {
+    if (catalog_->HasLiveReplica(request.block)) {
+      keep.push_back(request);
+    } else {
+      evicted.push_back(request);
+    }
+  }
+  pending_ = std::move(keep);
+  return evicted;
 }
 
 void Scheduler::ExtractAndBuildSweep(TapeId tape,

@@ -115,6 +115,17 @@ class Scheduler {
     return !pending_.empty() || !sweep_.empty();
   }
 
+  /// Fault recovery: abandons the active sweep and returns every request it
+  /// held, so the simulator can fail them over (the mounted tape died or
+  /// its drive failed). Subclasses with derived sweep state override to
+  /// invalidate it.
+  virtual std::vector<Request> DrainSweep();
+
+  /// Fault recovery: removes and returns every pending request whose block
+  /// no longer has any live replica (the simulator completes them with an
+  /// error). Called after replicas are masked dead.
+  virtual std::vector<Request> EvictUnservablePending();
+
   const Sweep& sweep() const { return sweep_; }
   const std::deque<Request>& pending() const { return pending_; }
 

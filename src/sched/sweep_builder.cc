@@ -17,7 +17,7 @@ void ExtractSweepForTape(const Catalog& catalog, TapeId tape,
   std::map<Position, ServiceEntry> by_position;
   std::deque<Request> keep;
   for (const Request& request : *pending) {
-    const Replica* replica = catalog.ReplicaOn(request.block, tape);
+    const Replica* replica = catalog.LiveReplicaOn(request.block, tape);
     const bool within =
         replica != nullptr &&
         (envelope_limit == nullptr ||

@@ -55,6 +55,27 @@ TapeId ValidatingScheduler::MajorReschedule() {
   return tape;
 }
 
+std::vector<Request> ValidatingScheduler::DrainSweep() {
+  std::vector<Request> drained = inner_->DrainSweep();
+  TJ_CHECK(inner_->sweep_empty());
+  for (const Request& request : drained) {
+    TJ_CHECK(outstanding_.erase(request.id) == 1)
+        << "drained request" << request.id << "was not outstanding";
+  }
+  // The sweep is gone; any pop before the next major reschedule is a bug.
+  sweep_tape_ = kInvalidTape;
+  return drained;
+}
+
+std::vector<Request> ValidatingScheduler::EvictUnservablePending() {
+  std::vector<Request> evicted = inner_->EvictUnservablePending();
+  for (const Request& request : evicted) {
+    TJ_CHECK(outstanding_.erase(request.id) == 1)
+        << "evicted request" << request.id << "was not outstanding";
+  }
+  return evicted;
+}
+
 std::optional<ServiceEntry> ValidatingScheduler::PopNext() {
   std::optional<ServiceEntry> entry = inner_->PopNext();
   if (!entry.has_value()) return entry;

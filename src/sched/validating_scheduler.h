@@ -53,6 +53,12 @@ class ValidatingScheduler : public Scheduler {
   size_t pending_size() const override { return inner_->pending_size(); }
   bool HasWork() const override { return inner_->HasWork(); }
 
+  /// Fault-recovery forwarding: the returned requests leave the scheduler
+  /// (the simulator fails them or re-enqueues them via OnArrival), so they
+  /// are dropped from the outstanding set.
+  std::vector<Request> DrainSweep() override;
+  std::vector<Request> EvictUnservablePending() override;
+
   /// Requests seen / completed so far (for conservation checks in tests).
   int64_t arrivals_seen() const { return arrivals_seen_; }
   int64_t requests_served() const { return requests_served_; }

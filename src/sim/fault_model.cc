@@ -1,0 +1,128 @@
+#include "sim/fault_model.h"
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+Status FaultConfig::Validate() const {
+  if (transient_read_error_prob < 0.0 || transient_read_error_prob >= 1.0) {
+    return Status::InvalidArgument(
+        "transient_read_error_prob must be in [0, 1)");
+  }
+  if (max_read_retries < 0) {
+    return Status::InvalidArgument("max_read_retries must be >= 0");
+  }
+  if (permanent_media_error_prob < 0.0 || permanent_media_error_prob >= 1.0) {
+    return Status::InvalidArgument(
+        "permanent_media_error_prob must be in [0, 1)");
+  }
+  if (whole_tape_fraction < 0.0 || whole_tape_fraction > 1.0) {
+    return Status::InvalidArgument("whole_tape_fraction must be in [0, 1]");
+  }
+  if (drive_mtbf_seconds < 0.0) {
+    return Status::InvalidArgument("drive_mtbf_seconds must be >= 0");
+  }
+  if (drive_mtbf_seconds > 0.0 && drive_mttr_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "drive_mtbf_seconds > 0 requires drive_mttr_seconds > 0");
+  }
+  if (drive_mttr_seconds < 0.0) {
+    return Status::InvalidArgument("drive_mttr_seconds must be >= 0");
+  }
+  if (robot_fault_prob < 0.0 || robot_fault_prob >= 1.0) {
+    return Status::InvalidArgument("robot_fault_prob must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  transient_read_errors += other.transient_read_errors;
+  read_retries += other.read_retries;
+  reads_escalated += other.reads_escalated;
+  permanent_media_errors += other.permanent_media_errors;
+  dead_tapes += other.dead_tapes;
+  replicas_masked += other.replicas_masked;
+  drive_failures += other.drive_failures;
+  drive_repair_seconds += other.drive_repair_seconds;
+  robot_faults += other.robot_faults;
+  robot_retry_seconds += other.robot_retry_seconds;
+  failovers += other.failovers;
+  return *this;
+}
+
+bool FaultStats::operator==(const FaultStats& other) const {
+  return transient_read_errors == other.transient_read_errors &&
+         read_retries == other.read_retries &&
+         reads_escalated == other.reads_escalated &&
+         permanent_media_errors == other.permanent_media_errors &&
+         dead_tapes == other.dead_tapes &&
+         replicas_masked == other.replicas_masked &&
+         drive_failures == other.drive_failures &&
+         drive_repair_seconds == other.drive_repair_seconds &&
+         robot_faults == other.robot_faults &&
+         robot_retry_seconds == other.robot_retry_seconds &&
+         failovers == other.failovers;
+}
+
+namespace {
+
+// Mixes the workload seed into a distinct fault-stream seed so the two
+// streams never collide even when FaultConfig::seed is left at 0.
+uint64_t DeriveFaultSeed(uint64_t workload_seed) {
+  uint64_t state = workload_seed ^ 0xfa17ab1e5eedULL;
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultConfig& config, uint64_t workload_seed)
+    : config_(config),
+      rng_(config.seed != 0 ? config.seed : DeriveFaultSeed(workload_seed)) {
+  TJ_CHECK(config.Validate().ok()) << config.Validate().message();
+}
+
+ReadOutcome FaultModel::NextReadOutcome() {
+  ReadOutcome outcome;
+  // Permanent errors are drawn first: a read that lands on bad media fails
+  // outright, no matter how many transient retries the drive would allow.
+  if (config_.permanent_media_error_prob > 0.0 &&
+      rng_.Bernoulli(config_.permanent_media_error_prob)) {
+    outcome.permanent_error = true;
+    outcome.whole_tape = config_.whole_tape_fraction > 0.0 &&
+                         rng_.Bernoulli(config_.whole_tape_fraction);
+    return outcome;
+  }
+  if (config_.transient_read_error_prob <= 0.0) return outcome;
+  // Each attempt independently suffers a transient error; the retry budget
+  // bounds the chain, and exhausting it escalates to a permanent error.
+  while (rng_.Bernoulli(config_.transient_read_error_prob)) {
+    if (outcome.retries == config_.max_read_retries) {
+      outcome.permanent_error = true;
+      outcome.escalated = true;
+      outcome.whole_tape = config_.whole_tape_fraction > 0.0 &&
+                           rng_.Bernoulli(config_.whole_tape_fraction);
+      return outcome;
+    }
+    ++outcome.retries;
+  }
+  return outcome;
+}
+
+int FaultModel::NextRobotFaults() {
+  if (config_.robot_fault_prob <= 0.0) return 0;
+  int faults = 0;
+  while (rng_.Bernoulli(config_.robot_fault_prob)) ++faults;
+  return faults;
+}
+
+double FaultModel::NextFailureGap() {
+  TJ_CHECK_GT(config_.drive_mtbf_seconds, 0.0);
+  return rng_.Exponential(config_.drive_mtbf_seconds);
+}
+
+double FaultModel::NextRepairTime() {
+  TJ_CHECK_GT(config_.drive_mttr_seconds, 0.0);
+  return rng_.Exponential(config_.drive_mttr_seconds);
+}
+
+}  // namespace tapejuke

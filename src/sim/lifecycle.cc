@@ -33,6 +33,8 @@ LifecycleSimulator::LifecycleSimulator(Jukebox* jukebox, Catalog* catalog,
   TJ_CHECK(status.ok()) << status.ToString();
   status = lifecycle.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK(!sim.faults.enabled())
+      << "fault injection is not supported by the lifecycle simulator";
   TJ_CHECK_LE(lifecycle.target_copies, jukebox->num_tapes());
 
   const int32_t num_tapes = jukebox->num_tapes();

@@ -34,6 +34,7 @@ void MetricsCollector::AccumulateOutstandingArea(double now) {
 void MetricsCollector::OnArrival(double now) {
   AccumulateOutstandingArea(now);
   ++outstanding_;
+  ++issued_total_;
 }
 
 void MetricsCollector::OnCompletion(double arrival, double now) {
@@ -41,10 +42,19 @@ void MetricsCollector::OnCompletion(double arrival, double now) {
   AccumulateOutstandingArea(now);
   --outstanding_;
   TJ_CHECK_GE(outstanding_, 0);
+  ++completed_total_;
   if (now <= warmup_seconds_) return;
   ++completed_;
   delay_.Add(now - arrival);
   delay_histogram_.Add(now - arrival);
+}
+
+void MetricsCollector::OnFailure(double arrival, double now) {
+  TJ_CHECK_LE(arrival, now + 1e-9);
+  AccumulateOutstandingArea(now);
+  --outstanding_;
+  TJ_CHECK_GE(outstanding_, 0);
+  ++failed_total_;
 }
 
 void MetricsCollector::MarkWarmupBoundary(const JukeboxCounters& counters) {
@@ -98,6 +108,20 @@ SimulationResult MetricsCollector::Finalize(
   }
   const double busy = delta.BusySeconds();
   result.transfer_utilization = busy > 0 ? delta.read_seconds / busy : 0.0;
+
+  // Whole-run conservation totals. The simulator fills fault_injection and
+  // result.faults; the identity below holds for every run.
+  result.issued_requests = issued_total_;
+  result.completed_total = completed_total_;
+  result.failed_requests = failed_total_;
+  result.outstanding_at_end = outstanding_;
+  const int64_t settled = completed_total_ + failed_total_;
+  result.availability =
+      settled > 0 ? static_cast<double>(completed_total_) /
+                        static_cast<double>(settled)
+                  : 1.0;
+  TJ_CHECK_EQ(completed_total_ + failed_total_ + outstanding_, issued_total_)
+      << "request conservation violated";
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "sim/fault_model.h"
 #include "tape/jukebox.h"
 #include "util/stats.h"
 
@@ -40,6 +41,25 @@ struct SimulationResult {
   double tape_switches_per_hour = 0;
   /// Fraction of busy time spent transferring data (vs positioning).
   double transfer_utilization = 0;
+
+  /// Fault injection. The fields below are populated (and serialized) only
+  /// when the run had fault injection enabled; `fault_injection` stays
+  /// false otherwise so fault-free results are bit-identical to builds
+  /// without the fault subsystem.
+  bool fault_injection = false;
+  /// Whole-run request conservation (not warm-up trimmed):
+  /// completed_total + failed_requests + outstanding_at_end ==
+  /// issued_requests in every run, fault injection or not.
+  int64_t issued_requests = 0;
+  int64_t completed_total = 0;
+  /// Requests completed with an error because every replica of their block
+  /// was lost to permanent media errors.
+  int64_t failed_requests = 0;
+  int64_t outstanding_at_end = 0;
+  /// completed_total / (completed_total + failed_requests); 1.0 when
+  /// nothing failed.
+  double availability = 1.0;
+  FaultStats faults;
 };
 
 /// Accumulates completions and outstanding-population area during a run.
@@ -54,6 +74,17 @@ class MetricsCollector {
   /// Records a completed request that arrived at `arrival` and finished at
   /// `now`.
   void OnCompletion(double arrival, double now);
+
+  /// Records a request that completed with an error at `now` (every
+  /// replica of its block was lost). Excluded from throughput and delay
+  /// statistics; counted in the whole-run conservation totals.
+  void OnFailure(double arrival, double now);
+
+  /// Whole-run totals (not warm-up trimmed), for conservation accounting.
+  int64_t issued_total() const { return issued_total_; }
+  int64_t completed_total() const { return completed_total_; }
+  int64_t failed_total() const { return failed_total_; }
+  int64_t outstanding_now() const { return outstanding_; }
 
   /// Snapshot of the jukebox counters at the warm-up boundary; call once
   /// when the clock first passes the warm-up time.
@@ -74,6 +105,10 @@ class MetricsCollector {
   RunningStat delay_;
   Histogram delay_histogram_;
   int64_t completed_ = 0;
+
+  int64_t issued_total_ = 0;
+  int64_t completed_total_ = 0;
+  int64_t failed_total_ = 0;
 
   int64_t outstanding_ = 0;
   double last_transition_ = 0;

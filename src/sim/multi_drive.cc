@@ -34,9 +34,47 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
       << "more drives than tapes is pointless";
   status = sim.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK(!sim.faults.enabled())
+      << "fault injection requires the mutable-catalog MultiDriveSimulator "
+         "constructor (permanent media errors mask catalog replicas)";
   drives_.reserve(static_cast<size_t>(drives.num_drives));
   for (int32_t d = 0; d < drives.num_drives; ++d) {
     drives_.emplace_back(&jukebox->model());
+  }
+}
+
+MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
+                                         const MultiDriveConfig& drives,
+                                         const SimulationConfig& sim)
+    : jukebox_(jukebox),
+      catalog_(catalog),
+      mutable_catalog_(catalog),
+      drives_config_(drives),
+      sim_config_(sim),
+      workload_(catalog, sim.workload),
+      metrics_(sim.warmup_seconds, jukebox->config().block_size_mb),
+      cost_(&jukebox->model(), jukebox->config().block_size_mb) {
+  TJ_CHECK(jukebox != nullptr);
+  TJ_CHECK(catalog != nullptr);
+  Status status = drives.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK_LE(drives.num_drives, jukebox->num_tapes())
+      << "more drives than tapes is pointless";
+  status = sim.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  drives_.reserve(static_cast<size_t>(drives.num_drives));
+  for (int32_t d = 0; d < drives.num_drives; ++d) {
+    drives_.emplace_back(&jukebox->model());
+  }
+  if (sim_config_.faults.enabled()) {
+    faults_.emplace(sim_config_.faults, sim_config_.workload.seed);
+    if (sim_config_.faults.drive_mtbf_seconds > 0) {
+      drive_faults_ = true;
+      // Epochs drawn in drive order so the fault stream is deterministic.
+      for (DriveState& ds : drives_) {
+        ds.next_failure = faults_->NextFailureGap();
+      }
+    }
   }
 }
 
@@ -53,21 +91,48 @@ void MultiDriveSimulator::BeginNextRead(int d, double now) {
   DriveState& ds = drives_[static_cast<size_t>(d)];
   std::optional<ServiceEntry> entry = ds.sweep.Pop();
   TJ_CHECK(entry.has_value());
+  const int64_t block_mb = jukebox_->config().block_size_mb;
   const double locate = ds.unit.LocateTo(entry->position);
   counters_.locate_seconds += locate;
-  const double read = ds.unit.Read(jukebox_->config().block_size_mb);
+  const double read = ds.unit.Read(block_mb);
   counters_.read_seconds += read;
   ++counters_.blocks_read;
-  counters_.mb_read += jukebox_->config().block_size_mb;
+  counters_.mb_read += block_mb;
+  double op_seconds = locate + read;
+  ReadOutcome outcome;
+  if (faults_.has_value()) {
+    outcome = faults_->NextReadOutcome();
+    // Each transient retry locates back to the block start and re-reads.
+    for (int r = 0; r < outcome.retries; ++r) {
+      const double back = ds.unit.LocateTo(entry->position);
+      counters_.locate_seconds += back;
+      const double again = ds.unit.Read(block_mb);
+      counters_.read_seconds += again;
+      ++counters_.blocks_read;
+      counters_.mb_read += block_mb;
+      op_seconds += back + again;
+    }
+    fault_stats_.transient_read_errors +=
+        outcome.retries + (outcome.escalated ? 1 : 0);
+    fault_stats_.read_retries += outcome.retries;
+    if (outcome.escalated) ++fault_stats_.reads_escalated;
+  }
   ds.committed_head = ds.unit.head();
   ds.in_flight = std::move(entry);
+  ds.in_flight_outcome = outcome;
   ds.busy = true;
-  events_.Schedule(now + locate + read, d);
+  events_.Schedule(now + op_seconds, d);
 }
 
 void MultiDriveSimulator::Dispatch(int d, double now) {
   DriveState& ds = drives_[static_cast<size_t>(d)];
   if (ds.busy) return;
+  if (drive_faults_ && ds.next_failure <= now) {
+    // A failure epoch the clock has passed is charged lazily, when the
+    // drive next acts (mirrors the single-drive simulator).
+    FailDrive(d, now);
+    return;
+  }
   if (!ds.sweep.empty()) {
     BeginNextRead(d, now);
     return;
@@ -84,6 +149,7 @@ void MultiDriveSimulator::Dispatch(int d, double now) {
   const RequestId oldest = pending_.front().id;
   for (const Request& request : pending_) {
     for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
       if (ClaimedElsewhere(replica.tape, d)) {
         saw_claimed_work = true;
         continue;
@@ -130,7 +196,20 @@ void MultiDriveSimulator::Dispatch(int d, double now) {
   const double robot_start = std::max(local_done, robot_free_at_);
   stats_.robot_wait_seconds += robot_start - local_done;
   const double robot_seconds = jukebox_->model().params().robot_seconds;
-  robot_free_at_ = robot_start + robot_seconds;
+  double robot_busy = robot_seconds;
+  if (faults_.has_value()) {
+    // Robot handoff faults: each slip repeats the robot move, extending
+    // the serialized arm occupancy other drives queue behind.
+    const int slips = faults_->NextRobotFaults();
+    if (slips > 0) {
+      const double extra = slips * robot_seconds;
+      fault_stats_.robot_faults += slips;
+      fault_stats_.robot_retry_seconds += extra;
+      counters_.switch_seconds += extra;
+      robot_busy += extra;
+    }
+  }
+  robot_free_at_ = robot_start + robot_busy;
   counters_.switch_seconds += robot_seconds;
   const double load = ds.unit.Load(tape);
   counters_.switch_seconds += load;
@@ -140,12 +219,13 @@ void MultiDriveSimulator::Dispatch(int d, double now) {
   events_.Schedule(robot_free_at_ + load, d);
 }
 
-void MultiDriveSimulator::Arrive(const Request& request, double now) {
-  metrics_.OnArrival(now);
+void MultiDriveSimulator::Route(const Request& request, double now) {
+  (void)now;
   if (drives_config_.dynamic_insertion) {
     for (DriveState& ds : drives_) {
       if (ds.sweep.empty() || ds.claim == kInvalidTape) continue;
-      const Replica* replica = catalog_->ReplicaOn(request.block, ds.claim);
+      const Replica* replica =
+          catalog_->LiveReplicaOn(request.block, ds.claim);
       if (replica != nullptr &&
           ds.sweep.InsertRequest(request, replica->position,
                                  ds.committed_head,
@@ -158,6 +238,105 @@ void MultiDriveSimulator::Arrive(const Request& request, double now) {
   pending_.push_back(request);
 }
 
+bool MultiDriveSimulator::DeliverOrFail(const Request& request, double now) {
+  metrics_.OnArrival(now);
+  if (faults_.has_value() && !catalog_->HasLiveReplica(request.block)) {
+    metrics_.OnFailure(request.arrival_time, now);
+    return false;
+  }
+  Route(request, now);
+  return true;
+}
+
+void MultiDriveSimulator::IssueClosedRequest(double now) {
+  // Draw until a servable request is issued. A draw for a block whose
+  // every replica is dead completes instantly with an error (counted as
+  // issued + failed, so conservation holds) and the process retries; once
+  // the whole archive is lost the process stops issuing.
+  while (true) {
+    if (DeliverOrFail(workload_.NextRequest(now), now)) return;
+    if (!catalog_->HasAnyLive()) return;
+  }
+}
+
+void MultiDriveSimulator::FailRequest(const Request& request, double now) {
+  metrics_.OnFailure(request.arrival_time, now);
+  if (closed_) IssueClosedRequest(now);
+}
+
+void MultiDriveSimulator::Requeue(const std::vector<Request>& requests,
+                                  double now) {
+  for (const Request& request : requests) {
+    if (catalog_->HasLiveReplica(request.block)) {
+      ++fault_stats_.failovers;
+      pending_.push_back(request);
+    } else {
+      FailRequest(request, now);
+    }
+  }
+}
+
+void MultiDriveSimulator::EvictUnservablePending(double now) {
+  std::vector<Request> dead;
+  std::deque<Request> keep;
+  for (const Request& request : pending_) {
+    if (catalog_->HasLiveReplica(request.block)) {
+      keep.push_back(request);
+    } else {
+      dead.push_back(request);
+    }
+  }
+  pending_.swap(keep);
+  // Failed after the swap: closed-model regeneration pushes into pending_.
+  for (const Request& request : dead) FailRequest(request, now);
+}
+
+void MultiDriveSimulator::HandlePermanentError(int d,
+                                               const ServiceEntry& entry,
+                                               bool whole_tape, double now) {
+  DriveState& ds = drives_[static_cast<size_t>(d)];
+  const TapeId tape = ds.claim;
+  TJ_CHECK_NE(tape, kInvalidTape);
+  ++fault_stats_.permanent_media_errors;
+  if (whole_tape) {
+    ++fault_stats_.dead_tapes;
+    fault_stats_.replicas_masked += mutable_catalog_->MarkTapeDead(tape);
+    // The rest of this drive's sweep read the dead tape (claims are
+    // exclusive, so no other drive's sweep does); fail each request over
+    // to a surviving replica.
+    while (!ds.sweep.empty()) {
+      Requeue(ds.sweep.Pop()->requests, now);
+    }
+  } else if (mutable_catalog_->MarkReplicaDead(entry.block, tape)) {
+    ++fault_stats_.replicas_masked;
+  }
+  Requeue(entry.requests, now);
+  EvictUnservablePending(now);
+}
+
+void MultiDriveSimulator::FailDrive(int d, double now) {
+  DriveState& ds = drives_[static_cast<size_t>(d)];
+  ++fault_stats_.drive_failures;
+  const double repair = faults_->NextRepairTime();
+  fault_stats_.drive_repair_seconds += repair;
+  // Void in-flight work and hand everything back to the shared pending
+  // list so surviving drives pick it up. The tape stays jammed in this
+  // drive — the claim is kept, so requests living only on it wait out the
+  // repair (claim conflicts, not deadlock: the repair event is scheduled).
+  if (ds.in_flight.has_value()) {
+    const ServiceEntry entry = std::move(*ds.in_flight);
+    ds.in_flight.reset();
+    ds.in_flight_outcome = ReadOutcome{};
+    Requeue(entry.requests, now);
+  }
+  while (!ds.sweep.empty()) {
+    Requeue(ds.sweep.Pop()->requests, now);
+  }
+  ds.busy = true;
+  ds.next_failure = now + repair + faults_->NextFailureGap();
+  events_.Schedule(now + repair, drives_config_.num_drives + d);
+}
+
 void MultiDriveSimulator::WakeIdleDrives(double now) {
   for (size_t d = 0; d < drives_.size(); ++d) {
     if (!drives_[d].busy) Dispatch(static_cast<int>(d), now);
@@ -167,12 +346,12 @@ void MultiDriveSimulator::WakeIdleDrives(double now) {
 SimulationResult MultiDriveSimulator::Run() {
   TJ_CHECK(!ran_) << "Run may be called once";
   ran_ = true;
-  const bool closed = sim_config_.workload.model == QueuingModel::kClosed;
+  closed_ = sim_config_.workload.model == QueuingModel::kClosed;
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  if (closed) {
+  if (closed_) {
     for (int64_t i = 0; i < sim_config_.workload.queue_length; ++i) {
-      Arrive(workload_.NextRequest(0.0), 0.0);
+      DeliverOrFail(workload_.NextRequest(0.0), 0.0);
     }
   } else {
     next_arrival_ = workload_.NextInterarrival();
@@ -185,27 +364,53 @@ SimulationResult MultiDriveSimulator::Run() {
 
   while (clock_ < sim_config_.duration_seconds) {
     const double event_time = events_.empty() ? kInf : events_.NextTime();
-    const double arrival_time = closed ? kInf : next_arrival_;
+    const double arrival_time = closed_ ? kInf : next_arrival_;
     const double next = std::min(event_time, arrival_time);
     if (next == kInf || next > sim_config_.duration_seconds) break;
     clock_ = next;
 
     if (arrival_time <= event_time) {
-      Arrive(workload_.NextRequest(clock_), clock_);
+      DeliverOrFail(workload_.NextRequest(clock_), clock_);
       next_arrival_ = clock_ + workload_.NextInterarrival();
     } else {
-      const auto [time, d] = events_.Pop();
-      DriveState& ds = drives_[static_cast<size_t>(d)];
-      ds.busy = false;
-      if (ds.in_flight.has_value()) {
-        const ServiceEntry entry = std::move(*ds.in_flight);
-        ds.in_flight.reset();
-        for (const Request& request : entry.requests) {
-          metrics_.OnCompletion(request.arrival_time, clock_);
-          if (closed) Arrive(workload_.NextRequest(clock_), clock_);
+      const auto [time, payload] = events_.Pop();
+      (void)time;
+      if (payload >= drives_config_.num_drives) {
+        // Repair complete: the drive rejoins the farm.
+        const int d = payload - drives_config_.num_drives;
+        drives_[static_cast<size_t>(d)].busy = false;
+        Dispatch(d, clock_);
+      } else {
+        const int d = payload;
+        DriveState& ds = drives_[static_cast<size_t>(d)];
+        if (drive_faults_ && ds.next_failure <= clock_) {
+          // The drive failed during this operation: void it and repair.
+          FailDrive(d, clock_);
+        } else {
+          ds.busy = false;
+          if (ds.in_flight.has_value()) {
+            const ServiceEntry entry = std::move(*ds.in_flight);
+            ds.in_flight.reset();
+            const ReadOutcome outcome = ds.in_flight_outcome;
+            ds.in_flight_outcome = ReadOutcome{};
+            if (outcome.permanent_error) {
+              HandlePermanentError(d, entry, outcome.whole_tape, clock_);
+            } else {
+              for (const Request& request : entry.requests) {
+                metrics_.OnCompletion(request.arrival_time, clock_);
+                if (closed_) {
+                  if (faults_.has_value()) {
+                    IssueClosedRequest(clock_);
+                  } else {
+                    DeliverOrFail(workload_.NextRequest(clock_), clock_);
+                  }
+                }
+              }
+            }
+          }
+          Dispatch(d, clock_);
         }
       }
-      Dispatch(d, clock_);
     }
     WakeIdleDrives(clock_);
     if (!warmup_marked_ && clock_ >= sim_config_.warmup_seconds) {
@@ -214,7 +419,12 @@ SimulationResult MultiDriveSimulator::Run() {
     }
   }
   if (!warmup_marked_) metrics_.MarkWarmupBoundary(counters_);
-  return metrics_.Finalize(clock_, counters_);
+  SimulationResult result = metrics_.Finalize(clock_, counters_);
+  if (faults_.has_value()) {
+    result.fault_injection = true;
+    result.faults = fault_stats_;
+  }
+  return result;
 }
 
 }  // namespace tapejuke

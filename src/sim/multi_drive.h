@@ -19,6 +19,7 @@
 #define TAPEJUKE_SIM_MULTI_DRIVE_H_
 
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "layout/catalog.h"
@@ -26,6 +27,7 @@
 #include "sched/scheduler.h"
 #include "sched/sweep.h"
 #include "sim/event_queue.h"
+#include "sim/fault_model.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
@@ -60,8 +62,17 @@ class MultiDriveSimulator {
  public:
   /// `jukebox` supplies the tape pool, timing model, and layout geometry
   /// (its built-in single drive is unused). All pointers must outlive the
-  /// simulator.
+  /// simulator. This overload is fault-free only: sim.faults must be
+  /// disabled (permanent media errors mask catalog replicas, which needs
+  /// the mutable-catalog overload below).
   MultiDriveSimulator(Jukebox* jukebox, const Catalog* catalog,
+                      const MultiDriveConfig& drives,
+                      const SimulationConfig& sim);
+
+  /// Mutable-catalog overload: enables fault injection per sim.faults.
+  /// Drive failures reroute queued and in-flight requests to surviving
+  /// drives; permanent media errors mask replicas in `catalog`.
+  MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
                       const MultiDriveConfig& drives,
                       const SimulationConfig& sim);
 
@@ -81,6 +92,11 @@ class MultiDriveSimulator {
     Position committed_head = 0;
     /// In-flight service entry (completions fire when the op ends).
     std::optional<ServiceEntry> in_flight;
+    /// Fault draw for the in-flight read, processed at completion.
+    ReadOutcome in_flight_outcome;
+    /// Next failure epoch for this drive (meaningful only with drive
+    /// faults enabled; processed lazily when the drive next acts).
+    double next_failure = 0;
     bool busy = false;
   };
 
@@ -94,14 +110,47 @@ class MultiDriveSimulator {
   /// Starts the next sweep entry on drive `d` (sweep must be non-empty).
   void BeginNextRead(int d, double now);
 
-  /// Routes one arrival through the incremental rule.
-  void Arrive(const Request& request, double now);
+  /// Routes one request through the incremental rule (no metrics side
+  /// effects; the caller has already counted the arrival).
+  void Route(const Request& request, double now);
+
+  /// Counts the arrival and routes it. With faults on, an arrival whose
+  /// every replica is dead completes instantly with an error instead.
+  /// Returns true if the request was routed.
+  bool DeliverOrFail(const Request& request, double now);
+
+  /// Closed model under faults: draws until a servable request is issued
+  /// (dead draws count as issued + failed), or the whole archive is lost.
+  void IssueClosedRequest(double now);
+
+  /// Completes `request` with an error; in the closed model the issuing
+  /// process then issues its next request.
+  void FailRequest(const Request& request, double now);
+
+  /// Hands requests back to the shared pending list (a failover) or fails
+  /// those whose every replica is dead.
+  void Requeue(const std::vector<Request>& requests, double now);
+
+  /// Fails every pending request whose last live replica is gone.
+  void EvictUnservablePending(double now);
+
+  /// Masks the media under drive `d`'s failed read and fails the affected
+  /// requests over to surviving replicas.
+  void HandlePermanentError(int d, const ServiceEntry& entry,
+                            bool whole_tape, double now);
+
+  /// Takes drive `d` down for an Exponential(MTTR) repair: voids its
+  /// in-flight read, hands its sweep back to the pending list, and
+  /// schedules the repair-complete event (payload num_drives + d).
+  void FailDrive(int d, double now);
 
   /// Wakes every idle drive (called after arrivals and completions).
   void WakeIdleDrives(double now);
 
   Jukebox* jukebox_;
   const Catalog* catalog_;
+  /// Non-null only via the mutable-catalog constructor (fault injection).
+  Catalog* mutable_catalog_ = nullptr;
   MultiDriveConfig drives_config_;
   SimulationConfig sim_config_;
   WorkloadGenerator workload_;
@@ -116,6 +165,12 @@ class MultiDriveSimulator {
   double next_arrival_ = 0;
   bool warmup_marked_ = false;
   bool ran_ = false;
+  bool closed_ = false;
+
+  /// Engaged by the mutable-catalog constructor when any fault rate is set.
+  std::optional<FaultModel> faults_;
+  FaultStats fault_stats_;
+  bool drive_faults_ = false;
 
   JukeboxCounters counters_;
   MultiDriveStats stats_;

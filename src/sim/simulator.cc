@@ -12,6 +12,8 @@ Status SimulationConfig::Validate() const {
     return Status::InvalidArgument(
         "warmup must be in [0, duration_seconds)");
   }
+  const Status fault_status = faults.Validate();
+  if (!fault_status.ok()) return fault_status;
   return workload.Validate();
 }
 
@@ -28,6 +30,32 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
   TJ_CHECK(scheduler != nullptr);
   const Status status = config.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK(!config.faults.enabled())
+      << "fault injection requires the mutable-catalog Simulator "
+         "constructor (permanent media errors mask catalog replicas)";
+}
+
+Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
+                     const SimulationConfig& config)
+    : jukebox_(jukebox),
+      catalog_(catalog),
+      mutable_catalog_(catalog),
+      scheduler_(scheduler),
+      config_(config),
+      workload_(catalog, config.workload),
+      metrics_(config.warmup_seconds, jukebox->config().block_size_mb) {
+  TJ_CHECK(jukebox != nullptr);
+  TJ_CHECK(catalog != nullptr);
+  TJ_CHECK(scheduler != nullptr);
+  const Status status = config.Validate();
+  TJ_CHECK(status.ok()) << status.ToString();
+  if (config_.faults.enabled()) {
+    faults_.emplace(config_.faults, config_.workload.seed);
+    if (config_.faults.drive_mtbf_seconds > 0) {
+      drive_faults_ = true;
+      next_drive_failure_ = faults_->NextFailureGap();
+    }
+  }
 }
 
 Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
@@ -48,13 +76,102 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
   }
 }
 
+bool Simulator::DeliverOrFail(const Request& request,
+                              Position committed_head) {
+  if (faults_.has_value() && !catalog_->HasLiveReplica(request.block)) {
+    metrics_.OnFailure(request.arrival_time, request.arrival_time);
+    return false;
+  }
+  scheduler_->OnArrival(request, committed_head);
+  return true;
+}
+
+void Simulator::IssueClosedRequest(double now, Position committed_head) {
+  // Draw until a servable request is issued. A draw for a block whose
+  // every replica is dead completes instantly with an error (counted as
+  // issued + failed, so conservation holds) and the process retries; once
+  // the whole archive is lost the process stops issuing.
+  while (true) {
+    const Request request = workload_.NextRequest(now);
+    metrics_.OnArrival(now);
+    if (DeliverOrFail(request, committed_head)) return;
+    if (!catalog_->HasAnyLive()) return;
+  }
+}
+
+void Simulator::FailRequest(const Request& request) {
+  metrics_.OnFailure(request.arrival_time, clock_);
+  if (closed_) {
+    // The issuing process continues: it issues its next request,
+    // immediately or after a think period, exactly as on completion.
+    if (config_.workload.think_time_seconds > 0) {
+      thinking_.Schedule(clock_ + workload_.NextThinkTime(), 0);
+    } else {
+      IssueClosedRequest(clock_, jukebox_->head());
+    }
+  }
+}
+
+void Simulator::Requeue(const Request& request) {
+  if (catalog_->HasLiveReplica(request.block)) {
+    ++fault_stats_.failovers;
+    scheduler_->OnArrival(request, jukebox_->head());
+  } else {
+    FailRequest(request);
+  }
+}
+
+void Simulator::HandlePermanentError(const ServiceEntry& entry,
+                                     bool whole_tape) {
+  const TapeId tape = jukebox_->mounted_tape();
+  ++fault_stats_.permanent_media_errors;
+  if (whole_tape) {
+    ++fault_stats_.dead_tapes;
+    fault_stats_.replicas_masked += mutable_catalog_->MarkTapeDead(tape);
+    // Every remaining sweep entry read this tape; drain them and fail each
+    // request over to a surviving replica.
+    for (const Request& request : scheduler_->DrainSweep()) {
+      Requeue(request);
+    }
+  } else if (mutable_catalog_->MarkReplicaDead(entry.block, tape)) {
+    ++fault_stats_.replicas_masked;
+  }
+  // The requests this read was serving fail over (or fail outright).
+  for (const Request& request : entry.requests) Requeue(request);
+  // Pending requests whose last replica just died can never be served.
+  for (const Request& request : scheduler_->EvictUnservablePending()) {
+    FailRequest(request);
+  }
+}
+
+void Simulator::AdvancePastDriveRepairs() {
+  if (!drive_faults_) return;
+  // Failure epochs are processed lazily, when the drive next starts work:
+  // each one the clock has passed charges a repair interval during which
+  // the drive is down. Arrivals keep flowing while it is repaired.
+  while (next_drive_failure_ <= clock_) {
+    const double repair = faults_->NextRepairTime();
+    ++fault_stats_.drive_failures;
+    fault_stats_.drive_repair_seconds += repair;
+    const double end = clock_ + repair;
+    DeliverArrivalsUpTo(end, jukebox_->head());
+    clock_ = end;
+    MaybeMarkWarmup();
+    next_drive_failure_ = clock_ + faults_->NextFailureGap();
+  }
+}
+
 void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
   // Closed-model think-time expirations: the process issues its next
   // request when its think period ends.
   while (auto expired = thinking_.PopUntil(until)) {
-    const Request request = workload_.NextRequest(expired->first);
-    metrics_.OnArrival(expired->first);
-    scheduler_->OnArrival(request, committed_head);
+    if (faults_.has_value()) {
+      IssueClosedRequest(expired->first, committed_head);
+    } else {
+      const Request request = workload_.NextRequest(expired->first);
+      metrics_.OnArrival(expired->first);
+      scheduler_->OnArrival(request, committed_head);
+    }
   }
   if (trace_mode_) {
     while (trace_pos_ < trace_.size() &&
@@ -72,7 +189,7 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
   while (next_arrival_ <= until) {
     const Request request = workload_.NextRequest(next_arrival_);
     metrics_.OnArrival(next_arrival_);
-    scheduler_->OnArrival(request, committed_head);
+    DeliverOrFail(request, committed_head);
     next_arrival_ += workload_.NextInterarrival();
   }
 }
@@ -90,6 +207,7 @@ SimulationResult Simulator::Run() {
 
   const bool closed =
       !trace_mode_ && config_.workload.model == QueuingModel::kClosed;
+  closed_ = closed;
   if (trace_mode_) {
     next_arrival_ = trace_.empty() ? config_.duration_seconds + 1
                                    : trace_.front().arrival_time;
@@ -125,11 +243,23 @@ SimulationResult Simulator::Run() {
         MaybeMarkWarmup();
         continue;
       }
-      // Step 1: major reschedule; step 2: switch if needed.
+      // Step 1: major reschedule; step 2: switch if needed. A failed drive
+      // must be repaired before it can work again.
+      AdvancePastDriveRepairs();
       const TapeId tape = scheduler_->MajorReschedule();
       TJ_CHECK_NE(tape, kInvalidTape)
           << "scheduler reported work but produced no schedule";
-      const double switch_seconds = jukebox_->SwitchTo(tape);
+      double switch_seconds = jukebox_->SwitchTo(tape);
+      if (faults_.has_value() && switch_seconds > 0) {
+        // Robot handoff faults: each slip repeats the robot move.
+        const int slips = faults_->NextRobotFaults();
+        if (slips > 0) {
+          const double extra = jukebox_->ChargeRobotRetries(slips);
+          fault_stats_.robot_faults += slips;
+          fault_stats_.robot_retry_seconds += extra;
+          switch_seconds += extra;
+        }
+      }
       const double end = clock_ + switch_seconds;
       // During the switch the committed head is the post-load position.
       DeliverArrivalsUpTo(end, jukebox_->head());
@@ -139,14 +269,34 @@ SimulationResult Simulator::Run() {
     }
 
     // Step 3: execute the next service-list entry.
+    AdvancePastDriveRepairs();
     const std::optional<ServiceEntry> entry = scheduler_->PopNext();
     TJ_CHECK(entry.has_value());
-    const double op_seconds = jukebox_->ReadBlockAt(entry->position);
+    double op_seconds = jukebox_->ReadBlockAt(entry->position);
+    ReadOutcome outcome;
+    if (faults_.has_value()) {
+      outcome = faults_->NextReadOutcome();
+      // Each transient retry locates back to the block start and re-reads.
+      for (int r = 0; r < outcome.retries; ++r) {
+        op_seconds += jukebox_->ReadBlockAt(entry->position);
+      }
+      fault_stats_.transient_read_errors +=
+          outcome.retries + (outcome.escalated ? 1 : 0);
+      fault_stats_.read_retries += outcome.retries;
+      if (outcome.escalated) ++fault_stats_.reads_escalated;
+    }
     const double end = clock_ + op_seconds;
     // Arrivals during the operation see the head the drive is committed to.
     DeliverArrivalsUpTo(end, jukebox_->head());
     clock_ = end;
     MaybeMarkWarmup();
+
+    if (outcome.permanent_error) {
+      // The media under this read is gone: mask it and fail the requests
+      // over to surviving replicas (or fail them outright).
+      HandlePermanentError(*entry, outcome.whole_tape);
+      continue;
+    }
 
     for (const Request& request : entry->requests) {
       metrics_.OnCompletion(request.arrival_time, clock_);
@@ -155,6 +305,8 @@ SimulationResult Simulator::Run() {
         // (the paper's I/O-bound processes) or after a think period.
         if (config_.workload.think_time_seconds > 0) {
           thinking_.Schedule(clock_ + workload_.NextThinkTime(), 0);
+        } else if (faults_.has_value()) {
+          IssueClosedRequest(clock_, jukebox_->head());
         } else {
           const Request next = workload_.NextRequest(clock_);
           metrics_.OnArrival(clock_);
@@ -164,7 +316,12 @@ SimulationResult Simulator::Run() {
     }
   }
   MaybeMarkWarmup();
-  return metrics_.Finalize(clock_, jukebox_->counters());
+  SimulationResult result = metrics_.Finalize(clock_, jukebox_->counters());
+  if (faults_.has_value()) {
+    result.fault_injection = true;
+    result.faults = fault_stats_;
+  }
+  return result;
 }
 
 }  // namespace tapejuke

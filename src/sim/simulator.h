@@ -18,9 +18,12 @@
 #ifndef TAPEJUKE_SIM_SIMULATOR_H_
 #define TAPEJUKE_SIM_SIMULATOR_H_
 
+#include <optional>
+
 #include "layout/catalog.h"
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
+#include "sim/fault_model.h"
 #include "sim/metrics.h"
 #include "sim/workload.h"
 #include "tape/jukebox.h"
@@ -36,6 +39,10 @@ struct SimulationConfig {
   /// Leading window excluded from all statistics.
   double warmup_seconds = 100'000;
   WorkloadConfig workload;
+  /// Fault injection (all rates zero by default: nothing is injected and
+  /// the run is bit-identical to a fault-free build). Enabling any rate
+  /// requires constructing the Simulator with a mutable Catalog.
+  FaultConfig faults;
 
   Status Validate() const;
 };
@@ -44,8 +51,14 @@ struct SimulationConfig {
 class Simulator {
  public:
   /// All pointers must outlive the simulator. The jukebox must already hold
-  /// the layout the catalog describes.
+  /// the layout the catalog describes. This overload cannot mutate the
+  /// catalog, so `config.faults` must be disabled (TJ_CHECK).
   Simulator(Jukebox* jukebox, const Catalog* catalog, Scheduler* scheduler,
+            const SimulationConfig& config);
+
+  /// Mutable-catalog overload: required when `config.faults` is enabled
+  /// (permanent media errors mask replicas dead in the catalog).
+  Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
             const SimulationConfig& config);
 
   /// Trace-replay constructor: arrivals come verbatim from `trace`
@@ -67,12 +80,50 @@ class Simulator {
   /// Marks the metrics warm-up boundary the first time the clock passes it.
   void MaybeMarkWarmup();
 
+  /// Delivers `request` (arrival already counted by the caller) to the
+  /// scheduler, or fails it immediately when every replica of its block is
+  /// dead. Returns true if the request entered the scheduler.
+  bool DeliverOrFail(const Request& request, Position committed_head);
+
+  /// Closed model: a process issues its next request at `now`, redrawing
+  /// past blocks whose every replica is dead (each dead draw is counted as
+  /// issued + failed, so conservation holds). Stops issuing when the whole
+  /// archive is lost.
+  void IssueClosedRequest(double now, Position committed_head);
+
+  /// Completes `request` with an error (every replica of its block is
+  /// dead) and, in the closed model, lets the issuing process continue.
+  void FailRequest(const Request& request);
+
+  /// Re-enqueues a request displaced by a fault onto a surviving replica,
+  /// or fails it when none is left.
+  void Requeue(const Request& request);
+
+  /// Masks the media lost by a permanent error during the read of `entry`
+  /// on the mounted tape and fails over every displaced request.
+  void HandlePermanentError(const ServiceEntry& entry, bool whole_tape);
+
+  /// Lazily processes drive-failure epochs that the clock has passed: each
+  /// charges an Exponential(MTTR) repair during which the drive is down
+  /// (arrivals are still delivered). Called before the drive starts work.
+  void AdvancePastDriveRepairs();
+
   Jukebox* jukebox_;
   const Catalog* catalog_;
+  /// Non-null only via the mutable-catalog constructor; required (and
+  /// used) only when fault injection is enabled.
+  Catalog* mutable_catalog_ = nullptr;
   Scheduler* scheduler_;
   SimulationConfig config_;
   WorkloadGenerator workload_;
   MetricsCollector metrics_;
+
+  /// Engaged iff config_.faults.enabled().
+  std::optional<FaultModel> faults_;
+  FaultStats fault_stats_;
+  double next_drive_failure_ = 0;  ///< absolute time; only with MTBF > 0
+  bool drive_faults_ = false;
+  bool closed_ = false;
 
   double clock_ = 0;
   double next_arrival_ = 0;  ///< open model only

@@ -39,6 +39,8 @@ WritebackSimulator::WritebackSimulator(Jukebox* jukebox,
   TJ_CHECK(status.ok()) << status.ToString();
   status = writes.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK(!sim.faults.enabled())
+      << "fault injection is not supported by the writeback simulator";
 }
 
 void WritebackSimulator::AcceptWrite(BlockId block, double now) {

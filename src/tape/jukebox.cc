@@ -81,6 +81,13 @@ double Jukebox::ReadBlockAt(Position position) {
   return locate + read;
 }
 
+double Jukebox::ChargeRobotRetries(int count) {
+  TJ_CHECK_GE(count, 0);
+  const double extra = count * model_.params().robot_seconds;
+  counters_.switch_seconds += extra;
+  return extra;
+}
+
 double Jukebox::Rewind() {
   TJ_CHECK(drive_.has_tape()) << "rewind with no tape mounted";
   const double rewind = drive_.Rewind();

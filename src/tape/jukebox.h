@@ -86,6 +86,10 @@ class Jukebox {
   /// Rewinds the mounted tape (explicit idle-time rewind). Returns seconds.
   double Rewind();
 
+  /// Charges `count` extra robot cycles (a fault-injected load/eject
+  /// handoff slip repeats the robot move). Returns the seconds charged.
+  double ChargeRobotRetries(int count);
+
   const JukeboxCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = JukeboxCounters{}; }
 

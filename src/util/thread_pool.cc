@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <utility>
 
 namespace tapejuke {
@@ -37,7 +38,15 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t)>& fn) {
   if (begin >= end) return;
   if (num_threads() == 1 || end - begin == 1) {
-    for (int64_t i = begin; i < end; ++i) fn(i);
+    std::exception_ptr first;
+    for (int64_t i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
     return;
   }
   // One task per index: sweep points are coarse-grained (whole simulation
@@ -48,7 +57,18 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   for (int64_t i = begin; i < end; ++i) {
     pending.push_back(Submit([&fn, i] { fn(i); }));
   }
-  for (std::future<void>& future : pending) future.wait();
+  // Harvest in submission order so the same (lowest) failing index wins
+  // regardless of which worker hit it first; every index completes before
+  // the exception surfaces.
+  std::exception_ptr first;
+  for (std::future<void>& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 int ThreadPool::DefaultThreads() {

@@ -3,7 +3,9 @@
 // The pool owns N worker threads that drain a shared FIFO task queue.
 // Submit() returns a std::future for one task; ParallelFor() fans a
 // half-open index range out over the workers and blocks until every index
-// has been processed. Tasks must not throw.
+// has been processed. A task that throws never takes down a worker thread:
+// Submit() delivers the exception through the returned future, and
+// ParallelFor() rethrows the first one after the whole range has run.
 //
 // Determinism note: the pool imposes no ordering between tasks, so any
 // task that must produce results independent of the execution schedule has
@@ -37,13 +39,17 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues `fn` and returns a future for its completion.
+  /// Enqueues `fn` and returns a future for its completion. If `fn`
+  /// throws, the exception is captured and rethrown by future.get().
   std::future<void> Submit(std::function<void()> fn);
 
   /// Runs fn(i) for every i in [begin, end) across the pool and returns
   /// when all calls have finished. Calls with distinct i may run
   /// concurrently; `fn` must be safe under that. With one worker the range
-  /// is processed inline, in order — identical to a serial loop.
+  /// is processed inline, in order — identical to a serial loop. If any
+  /// call throws, every index still runs to completion and the exception
+  /// from the lowest-submitted failing index is then rethrown to the
+  /// caller (the same index wins regardless of thread count).
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& fn);
 

@@ -35,6 +35,102 @@ TEST(Catalog, ReplicaOnFindsByTape) {
   EXPECT_EQ(catalog.ReplicaOn(0, 1), nullptr);
 }
 
+Catalog ThreeBlockCatalog() {
+  // block 0: copies on tapes 0 and 1; block 1: copies on tapes 1 and 2;
+  // block 2: single copy on tape 1.
+  std::vector<std::vector<Replica>> replicas = {
+      {{0, 0, 0}, {1, 3, 48}},
+      {{1, 0, 0}, {2, 2, 32}},
+      {{1, 5, 80}},
+  };
+  return Catalog(std::move(replicas), /*num_hot=*/1);
+}
+
+TEST(CatalogDeadMask, FreshCatalogIsFullyLive) {
+  const Catalog catalog = ThreeBlockCatalog();
+  EXPECT_EQ(catalog.dead_replicas(), 0);
+  EXPECT_TRUE(catalog.HasAnyLive());
+  for (BlockId b = 0; b < catalog.num_blocks(); ++b) {
+    EXPECT_TRUE(catalog.HasLiveReplica(b));
+    EXPECT_EQ(catalog.LiveReplicaCount(b),
+              static_cast<int64_t>(catalog.ReplicasOf(b).size()));
+    for (const Replica& r : catalog.ReplicasOf(b)) {
+      EXPECT_TRUE(catalog.IsAlive(r));
+    }
+  }
+}
+
+TEST(CatalogDeadMask, MarkReplicaDeadMasksExactlyOneCopy) {
+  Catalog catalog = ThreeBlockCatalog();
+  EXPECT_TRUE(catalog.MarkReplicaDead(0, 1));
+  EXPECT_EQ(catalog.dead_replicas(), 1);
+  EXPECT_FALSE(catalog.IsAlive(*catalog.ReplicaOn(0, 1)));
+  EXPECT_TRUE(catalog.IsAlive(*catalog.ReplicaOn(0, 0)));
+  EXPECT_EQ(catalog.LiveReplicaCount(0), 1);
+  EXPECT_TRUE(catalog.HasLiveReplica(0));
+  // The same tape's copies of other blocks are untouched.
+  EXPECT_TRUE(catalog.IsAlive(*catalog.ReplicaOn(1, 1)));
+  EXPECT_TRUE(catalog.IsAlive(*catalog.ReplicaOn(2, 1)));
+  // LiveReplicaOn: masked copy is invisible, existing-but-dead != absent.
+  EXPECT_EQ(catalog.LiveReplicaOn(0, 1), nullptr);
+  EXPECT_NE(catalog.ReplicaOn(0, 1), nullptr);
+  EXPECT_NE(catalog.LiveReplicaOn(0, 0), nullptr);
+}
+
+TEST(CatalogDeadMask, MarkReplicaDeadIsIdempotentAndChecksExistence) {
+  Catalog catalog = ThreeBlockCatalog();
+  EXPECT_TRUE(catalog.MarkReplicaDead(0, 1));
+  EXPECT_FALSE(catalog.MarkReplicaDead(0, 1)) << "already dead";
+  EXPECT_FALSE(catalog.MarkReplicaDead(0, 2)) << "no copy on tape 2";
+  EXPECT_EQ(catalog.dead_replicas(), 1);
+}
+
+TEST(CatalogDeadMask, MarkTapeDeadMasksEveryCopyOnTheTape) {
+  Catalog catalog = ThreeBlockCatalog();
+  EXPECT_EQ(catalog.MarkTapeDead(1), 3);  // blocks 0, 1, and 2 each lose one
+  EXPECT_EQ(catalog.dead_replicas(), 3);
+  EXPECT_EQ(catalog.LiveReplicaCount(0), 1);
+  EXPECT_EQ(catalog.LiveReplicaCount(1), 1);
+  EXPECT_EQ(catalog.LiveReplicaCount(2), 0);
+  EXPECT_FALSE(catalog.HasLiveReplica(2)) << "block 2 lost its only copy";
+  EXPECT_TRUE(catalog.HasAnyLive());
+  // Re-masking the same tape masks nothing new.
+  EXPECT_EQ(catalog.MarkTapeDead(1), 0);
+  EXPECT_EQ(catalog.dead_replicas(), 3);
+}
+
+TEST(CatalogDeadMask, WholeArchiveCanDie) {
+  Catalog catalog = ThreeBlockCatalog();
+  catalog.MarkTapeDead(0);
+  catalog.MarkTapeDead(1);
+  EXPECT_TRUE(catalog.HasAnyLive()) << "block 1 still lives on tape 2";
+  catalog.MarkTapeDead(2);
+  EXPECT_FALSE(catalog.HasAnyLive());
+  for (BlockId b = 0; b < catalog.num_blocks(); ++b) {
+    EXPECT_FALSE(catalog.HasLiveReplica(b));
+  }
+}
+
+TEST(CatalogDeadMask, AddReplicaAfterMaskingKeepsIndicesAligned) {
+  // AddReplica inserts into the middle of the CSR array; the dead mask
+  // must shift with it so previously masked replicas stay masked.
+  Catalog catalog = ThreeBlockCatalog();
+  EXPECT_TRUE(catalog.MarkReplicaDead(1, 2));
+  EXPECT_TRUE(catalog.MarkReplicaDead(2, 1));
+  // Insert a copy of block 0 on tape 3 — everything after block 0 shifts.
+  catalog.AddReplica(0, Replica{3, 1, 16});
+  EXPECT_EQ(catalog.dead_replicas(), 2);
+  EXPECT_TRUE(catalog.IsAlive(*catalog.ReplicaOn(0, 3)));
+  EXPECT_FALSE(catalog.IsAlive(*catalog.ReplicaOn(1, 2)));
+  EXPECT_FALSE(catalog.IsAlive(*catalog.ReplicaOn(2, 1)));
+  EXPECT_TRUE(catalog.IsAlive(*catalog.ReplicaOn(1, 1)));
+  // A new copy restores availability for a fully dead block.
+  EXPECT_FALSE(catalog.HasLiveReplica(2));
+  catalog.AddReplica(2, Replica{0, 7, 112});
+  EXPECT_TRUE(catalog.HasLiveReplica(2));
+  EXPECT_EQ(catalog.LiveReplicaCount(2), 1);
+}
+
 TEST(CatalogDeathTest, RejectsEmptyReplicaList) {
   std::vector<std::vector<Replica>> replicas = {{}};
   EXPECT_DEATH(Catalog(std::move(replicas), 0), "at least one replica");

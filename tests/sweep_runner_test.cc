@@ -8,6 +8,7 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,28 @@ TEST(SweepRunner, RunIndexedReportsLowestFailingIndex) {
   EXPECT_NE(status.message().find("sweep point 3"), std::string::npos)
       << status;
   EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(SweepRunner, RunIndexedCapturesExceptionsAsInternalStatus) {
+  for (const int threads : {1, 4}) {
+    SweepOptions options;
+    options.threads = threads;
+    std::vector<std::atomic<int>> visits(16);
+    const Status status =
+        SweepRunner(options).RunIndexed(visits.size(), [&](size_t i) {
+          ++visits[i];
+          if (i == 5) throw std::runtime_error("point 5 blew up");
+          return Status::Ok();
+        });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_NE(status.message().find("sweep point 5"), std::string::npos)
+        << status;
+    EXPECT_NE(status.message().find("point 5 blew up"), std::string::npos)
+        << status;
+    // The throwing point must not have cancelled the others.
+    for (size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i], 1) << i;
+  }
 }
 
 TEST(SweepRunner, FarmGridRunsAndMatchesSerial) {

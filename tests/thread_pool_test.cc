@@ -8,6 +8,7 @@
 #include <chrono>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -86,6 +87,55 @@ TEST(ThreadPool, SingleThreadRunsInline) {
   });
   ASSERT_EQ(order.size(), 8u);
   for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, SubmitDeliversExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<void> done =
+      pool.Submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(done.get(), std::runtime_error);
+  // The worker survived the throw and still runs subsequent tasks.
+  std::atomic<int> value{0};
+  pool.Submit([&] { value = 7; }).wait();
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAfterCompletingRange) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 64;
+  std::vector<std::atomic<int>> visits(kCount);
+  try {
+    pool.ParallelFor(0, kCount, [&](int64_t i) {
+      ++visits[i];
+      if (i == 13) throw std::runtime_error("index 13");
+    });
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 13");
+  }
+  // The failing index must not have cancelled the rest of the range.
+  for (int64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i], 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndexInline) {
+  // The single-worker inline path must agree with the pooled path: every
+  // index runs and the lowest failing index's exception wins.
+  ThreadPool pool(1);
+  std::vector<int> visits(8, 0);
+  try {
+    pool.ParallelFor(0, 8, [&](int64_t i) {
+      ++visits[static_cast<size_t>(i)];
+      if (i == 2 || i == 5) {
+        throw std::runtime_error("index " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected the exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 2");
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(visits[static_cast<size_t>(i)], 1);
 }
 
 TEST(ThreadPool, ParallelForUsesMultipleThreads) {
