@@ -45,6 +45,21 @@ struct BenchOptions {
   /// Reduced load grid (3 points instead of 7) for CI smoke runs.
   bool quick = false;
 
+  /// Fault injection (all default to zero: nothing injected, output
+  /// byte-identical to a fault-free run). Applied by PaperBaseConfig.
+  double fault_transient_rate = 0.0;  ///< --fault-transient-rate
+  double fault_perm_rate = 0.0;       ///< --fault-perm-rate
+  double fault_whole_tape = 0.0;      ///< --fault-whole-tape
+  double fault_drive_mtbf = 0.0;      ///< --fault-drive-mtbf (seconds)
+  double fault_drive_mttr = 0.0;      ///< --fault-drive-mttr (seconds)
+  double fault_robot_rate = 0.0;      ///< --fault-robot-rate
+  int64_t fault_retries = 3;          ///< --fault-retries
+
+  /// Scrub/repair (requires at least one fault rate above).
+  bool repair = false;           ///< --repair
+  double scrub_interval = 0.0;   ///< --scrub-interval (seconds; 0 = off)
+  double repair_bw = 0.0;        ///< --repair-bw (MB/s; 0 = unmetered)
+
   /// Parses argv; returns false if the process should exit (help or error;
   /// error sets a nonzero *exit_code).
   bool Parse(int argc, char** argv, const std::string& summary,

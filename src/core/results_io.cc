@@ -232,6 +232,38 @@ void WriteJson(JsonWriter* w, const FaultStats& stats) {
   w->Field("robot_faults", stats.robot_faults);
   w->Field("robot_retry_seconds", stats.robot_retry_seconds);
   w->Field("failovers", stats.failovers);
+  w->Field("degraded_reads", stats.degraded_reads);
+  w->Field("blocks_lost", stats.blocks_lost);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const RepairConfig& repair) {
+  w->BeginObject();
+  w->Field("enable_repair", repair.enable_repair);
+  w->Field("scrub_interval_seconds", repair.scrub_interval_seconds);
+  w->Field("repair_bandwidth_mb_per_s", repair.repair_bandwidth_mb_per_s);
+  w->Field("repair_burst_mb", repair.repair_burst_mb);
+  w->EndObject();
+}
+
+void WriteJson(JsonWriter* w, const RepairStats& stats) {
+  w->BeginObject();
+  w->Field("scrub_passes", stats.scrub_passes);
+  w->Field("scrub_mounts", stats.scrub_mounts);
+  w->Field("scrub_blocks_read", stats.scrub_blocks_read);
+  w->Field("scrub_errors_detected", stats.scrub_errors_detected);
+  w->Field("scrub_seconds", stats.scrub_seconds);
+  w->Field("repairs_enqueued", stats.repairs_enqueued);
+  w->Field("repairs_completed", stats.repairs_completed);
+  w->Field("repairs_abandoned", stats.repairs_abandoned);
+  w->Field("repairs_impossible", stats.repairs_impossible);
+  w->Field("source_reads", stats.source_reads);
+  w->Field("repair_mounts", stats.repair_mounts);
+  w->Field("repair_write_seconds", stats.repair_write_seconds);
+  w->Field("backlog_peak", stats.backlog_peak);
+  w->Field("backlog_final", stats.backlog_final);
+  w->Field("reprotect_seconds_sum", stats.reprotect_seconds_sum);
+  w->Field("reprotect_seconds_max", stats.reprotect_seconds_max);
   w->EndObject();
 }
 
@@ -246,6 +278,10 @@ void WriteJson(JsonWriter* w, const SimulationConfig& sim) {
   if (sim.faults.enabled()) {
     w->Key("faults");
     WriteJson(w, sim.faults);
+  }
+  if (sim.repair.enabled()) {
+    w->Key("repair");
+    WriteJson(w, sim.repair);
   }
   w->EndObject();
 }
@@ -308,8 +344,13 @@ void WriteJson(JsonWriter* w, const SimulationResult& result) {
     w->Field("failed_requests", result.failed_requests);
     w->Field("outstanding_at_end", result.outstanding_at_end);
     w->Field("availability", result.availability);
+    w->Field("live_replica_fraction", result.live_replica_fraction);
     w->Key("faults");
     WriteJson(w, result.faults);
+  }
+  if (result.repair_enabled) {
+    w->Key("repair");
+    WriteJson(w, result.repair);
   }
   w->EndObject();
 }

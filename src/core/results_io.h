@@ -91,6 +91,8 @@ void WriteJson(JsonWriter* w, const LayoutSpec& layout);
 void WriteJson(JsonWriter* w, const WorkloadConfig& workload);
 void WriteJson(JsonWriter* w, const FaultConfig& faults);
 void WriteJson(JsonWriter* w, const FaultStats& stats);
+void WriteJson(JsonWriter* w, const RepairConfig& repair);
+void WriteJson(JsonWriter* w, const RepairStats& stats);
 void WriteJson(JsonWriter* w, const SimulationConfig& sim);
 void WriteJson(JsonWriter* w, const ExperimentConfig& config);
 void WriteJson(JsonWriter* w, const JukeboxCounters& counters);

@@ -41,46 +41,44 @@ const Replica* Catalog::LiveReplicaOn(BlockId block, TapeId tape) const {
   return r;
 }
 
-bool Catalog::HasLiveReplica(BlockId block) const {
-  if (dead_count_ == 0) return true;  // the ctor guarantees >= 1 replica
-  for (const Replica& r : ReplicasOf(block)) {
-    if (IsAlive(r)) return true;
+void Catalog::EnsureDeadMask() {
+  if (!dead_.empty()) return;
+  dead_.assign(flat_.size(), 0);
+  live_count_.resize(static_cast<size_t>(num_blocks()));
+  for (size_t b = 0; b < live_count_.size(); ++b) {
+    live_count_[b] = static_cast<int32_t>(offsets_[b + 1] - offsets_[b]);
   }
-  return false;
-}
-
-int64_t Catalog::LiveReplicaCount(BlockId block) const {
-  const ReplicaSpan span = ReplicasOf(block);
-  if (dead_count_ == 0) return static_cast<int64_t>(span.size());
-  int64_t live = 0;
-  for (const Replica& r : span) {
-    if (IsAlive(r)) ++live;
-  }
-  return live;
 }
 
 bool Catalog::MarkReplicaDead(BlockId block, TapeId tape) {
   const Replica* r = ReplicaOn(block, tape);
   if (r == nullptr) return false;
-  if (dead_.empty()) dead_.assign(flat_.size(), 0);
+  EnsureDeadMask();
   const size_t idx = static_cast<size_t>(r - flat_.data());
   if (dead_[idx] != 0) return false;
   dead_[idx] = 1;
   ++dead_count_;
+  --live_count_[static_cast<size_t>(block)];
   return true;
 }
 
-int64_t Catalog::MarkTapeDead(TapeId tape) {
-  if (dead_.empty()) dead_.assign(flat_.size(), 0);
-  int64_t newly_masked = 0;
-  for (size_t i = 0; i < flat_.size(); ++i) {
-    if (flat_[i].tape == tape && dead_[i] == 0) {
-      dead_[i] = 1;
-      ++newly_masked;
+int64_t Catalog::MarkTapeDead(TapeId tape,
+                              std::vector<BlockId>* newly_masked) {
+  EnsureDeadMask();
+  int64_t count = 0;
+  for (BlockId block = 0; block < num_blocks(); ++block) {
+    for (size_t i = offsets_[static_cast<size_t>(block)];
+         i < offsets_[static_cast<size_t>(block) + 1]; ++i) {
+      if (flat_[i].tape == tape && dead_[i] == 0) {
+        dead_[i] = 1;
+        ++count;
+        --live_count_[static_cast<size_t>(block)];
+        if (newly_masked != nullptr) newly_masked->push_back(block);
+      }
     }
   }
-  dead_count_ += newly_masked;
-  return newly_masked;
+  dead_count_ += count;
+  return count;
 }
 
 void Catalog::AddReplica(BlockId block, const Replica& replica) {
@@ -101,10 +99,31 @@ void Catalog::AddReplica(BlockId block, const Replica& replica) {
   if (!dead_.empty()) {
     // Keep the dead mask index-parallel with flat_; new copies are alive.
     dead_.insert(dead_.begin() + static_cast<std::ptrdiff_t>(insert_idx), 0);
+    ++live_count_[static_cast<size_t>(block)];
   }
   for (size_t b = static_cast<size_t>(block) + 1; b < offsets_.size(); ++b) {
     ++offsets_[b];
   }
+}
+
+void Catalog::RepairReplica(BlockId block, TapeId old_tape,
+                            const Replica& replacement) {
+  TJ_CHECK(block >= 0 && block < num_blocks());
+  TJ_CHECK_GE(replacement.tape, 0);
+  TJ_CHECK_GE(replacement.slot, 0);
+  TJ_CHECK_GE(replacement.position, 0);
+  TJ_CHECK(ReplicaOn(block, replacement.tape) == nullptr)
+      << "block already has a copy on tape" << replacement.tape;
+  const Replica* r = ReplicaOn(block, old_tape);
+  TJ_CHECK(r != nullptr)
+      << "block" << block << "has no replica on tape" << old_tape;
+  const size_t idx = static_cast<size_t>(r - flat_.data());
+  TJ_CHECK(!dead_.empty() && dead_[idx] != 0)
+      << "only dead replicas can be repaired";
+  flat_[idx] = replacement;
+  dead_[idx] = 0;
+  --dead_count_;
+  ++live_count_[static_cast<size_t>(block)];
 }
 
 }  // namespace tapejuke

@@ -108,11 +108,19 @@ class Catalog {
     return dead_[static_cast<size_t>(idx)] == 0;
   }
 
-  /// True if `block` still has at least one live replica.
-  bool HasLiveReplica(BlockId block) const;
+  /// True if `block` still has at least one live replica. O(1): answered
+  /// from the per-block live-count cache once any replica has died.
+  bool HasLiveReplica(BlockId block) const {
+    if (dead_count_ == 0) return true;  // the ctor guarantees >= 1 replica
+    return live_count_[static_cast<size_t>(block)] > 0;
+  }
 
-  /// Number of live replicas of `block`.
-  int64_t LiveReplicaCount(BlockId block) const;
+  /// Number of live replicas of `block`. O(1) via the live-count cache.
+  int64_t LiveReplicaCount(BlockId block) const {
+    const ReplicaSpan span = ReplicasOf(block);
+    if (dead_count_ == 0) return static_cast<int64_t>(span.size());
+    return live_count_[static_cast<size_t>(block)];
+  }
 
   /// True if any block anywhere still has a live replica (cheap: total
   /// copies vs. dead count).
@@ -129,8 +137,11 @@ class Catalog {
   bool MarkReplicaDead(BlockId block, TapeId tape);
 
   /// Masks every replica on `tape` dead (the whole tape is lost). Returns
-  /// the number of replicas newly masked.
-  int64_t MarkTapeDead(TapeId tape);
+  /// the number of replicas newly masked. When `newly_masked` is non-null,
+  /// the block of each newly masked replica is appended to it (so a repair
+  /// manager can enqueue re-replication work per lost copy).
+  int64_t MarkTapeDead(TapeId tape, std::vector<BlockId>* newly_masked);
+  int64_t MarkTapeDead(TapeId tape) { return MarkTapeDead(tape, nullptr); }
 
   /// Registers an additional copy of `block` (the §4.8 gradual-fill
   /// lifecycle writes replicas into spare capacity while the system runs).
@@ -138,7 +149,18 @@ class Catalog {
   /// outstanding ReplicaSpans.
   void AddReplica(BlockId block, const Replica& replica);
 
+  /// Resurrects the dead copy of `block` on `old_tape` by rewriting its
+  /// CSR entry in place to `replacement` (a fresh physical copy written
+  /// during repair) and clearing the dead bit. `replacement.tape` must not
+  /// already hold a copy of the block. TotalCopies is unchanged, so no
+  /// spans are invalidated.
+  void RepairReplica(BlockId block, TapeId old_tape,
+                     const Replica& replacement);
+
  private:
+  /// Allocates the dead mask and the per-block live-count cache (lazily,
+  /// so fault-free runs never touch either).
+  void EnsureDeadMask();
   /// CSR storage: block b's replicas live at flat_[offsets_[b],
   /// offsets_[b+1]); offsets_ has num_blocks() + 1 entries.
   std::vector<Replica> flat_;
@@ -149,6 +171,10 @@ class Catalog {
   /// never touch it.
   std::vector<uint8_t> dead_;
   int64_t dead_count_ = 0;
+  /// Per-block live-replica counts, allocated with dead_ and kept in sync
+  /// by every mask/resurrect/add, so HasLiveReplica/LiveReplicaCount are
+  /// O(1) instead of scanning the block's span.
+  std::vector<int32_t> live_count_;
 };
 
 }  // namespace tapejuke

@@ -594,8 +594,10 @@ void EnvelopeScheduler::CrossCheckEnvelope(
 TapeId EnvelopeScheduler::MajorReschedule() {
   TJ_CHECK(sweep_.empty());
   if (pending_.empty()) {
+    // No client work: the envelope does not apply to background-only
+    // sweeps, so fall back to the shared background rescheduler.
     envelope_valid_ = false;
-    return kInvalidTape;
+    return BackgroundReschedule();
   }
   const int64_t block_mb = jukebox_->config().block_size_mb;
   const std::vector<Request> requests(pending_.begin(), pending_.end());
@@ -634,6 +636,11 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   const Position limit = result.envelope[static_cast<size_t>(tape)];
   ExtractAndBuildSweep(tape, &limit);
   TJ_CHECK(!sweep_.empty());
+  // Background riders may lie beyond the envelope edge: the mount is paid
+  // for anyway, and client insertions never depend on riders (the sweep
+  // edge check in ShrinkActiveSweep compares against the envelope, which
+  // riders by definition exceed, so shrinking simply stops there).
+  PiggybackBackground(tape);
   envelope_ = std::move(result.envelope);
   envelope_valid_ = true;
   return tape;
@@ -645,10 +652,14 @@ std::vector<Request> EnvelopeScheduler::DrainSweep() {
 }
 
 void EnvelopeScheduler::DeferInOrder(const Request& request) {
+  // A trimmed block's riders go back to the background queue, not the
+  // client pending list (they must never pin a client envelope).
+  std::deque<Request>& queue =
+      request.cls == RequestClass::kBackground ? background_ : pending_;
   auto it = std::lower_bound(
-      pending_.begin(), pending_.end(), request.id,
+      queue.begin(), queue.end(), request.id,
       [](const Request& r, RequestId id) { return r.id < id; });
-  pending_.insert(it, request);
+  queue.insert(it, request);
 }
 
 void EnvelopeScheduler::ShrinkActiveSweep(TapeId extended_tape,

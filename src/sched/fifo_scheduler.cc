@@ -15,7 +15,7 @@ void FifoScheduler::OnArrival(const Request& request,
 }
 
 TapeId FifoScheduler::MajorReschedule() {
-  if (pending_.empty()) return kInvalidTape;
+  if (pending_.empty()) return BackgroundReschedule();
   const Request oldest = pending_.front();
   pending_.pop_front();
 
@@ -53,6 +53,7 @@ TapeId FifoScheduler::MajorReschedule() {
   } else {
     sweep_.AppendReverse(entry);
   }
+  PiggybackBackground(chosen->tape);
   return chosen->tape;
 }
 

@@ -36,13 +36,14 @@ void GreedyScheduler::OnArrival(const Request& request,
 
 TapeId GreedyScheduler::MajorReschedule() {
   TJ_CHECK(sweep_.empty());
-  if (pending_.empty()) return kInvalidTape;
+  if (pending_.empty()) return BackgroundReschedule();
   const TapeId tape =
       SelectTape(policy_, BuildCandidates(), jukebox_->mounted_tape(),
                  jukebox_->head(), jukebox_->num_tapes(), cost_);
   TJ_CHECK_NE(tape, kInvalidTape);
   ExtractAndBuildSweep(tape, /*envelope_limit=*/nullptr);
   TJ_CHECK(!sweep_.empty());
+  PiggybackBackground(tape);
   return tape;
 }
 

@@ -17,11 +17,25 @@ namespace tapejuke {
 /// Unique request identifier; ids increase in arrival order.
 using RequestId = int64_t;
 
+/// Service class of a request. Background requests (repair-source reads
+/// issued by the RepairManager) are ordered strictly behind client work: a
+/// tape is chosen for them only when no client request is pending, though
+/// they piggyback for free on client sweeps that pass their replica.
+enum class RequestClass : uint8_t {
+  kClient,
+  kBackground,
+};
+
+/// Base id for background requests, far above any client id so the two
+/// streams never collide (client ids count up from 0).
+inline constexpr RequestId kBackgroundIdBase = RequestId{1} << 40;
+
 /// One pending block-read request.
 struct Request {
   RequestId id = -1;
   BlockId block = kInvalidBlock;
   double arrival_time = 0.0;
+  RequestClass cls = RequestClass::kClient;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

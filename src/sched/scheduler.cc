@@ -141,7 +141,70 @@ std::vector<Request> Scheduler::EvictUnservablePending() {
     }
   }
   pending_ = std::move(keep);
+  keep.clear();
+  for (const Request& request : background_) {
+    if (catalog_->HasLiveReplica(request.block)) {
+      keep.push_back(request);
+    } else {
+      evicted.push_back(request);
+    }
+  }
+  background_ = std::move(keep);
   return evicted;
+}
+
+void Scheduler::EnqueueBackground(const Request& request) {
+  TJ_DCHECK(request.cls == RequestClass::kBackground);
+  background_.push_back(request);
+}
+
+TapeId Scheduler::BackgroundReschedule() {
+  if (background_.empty()) return kInvalidTape;
+  // Client candidates are empty here, so candidate work is exactly the
+  // background queue; max-requests batches the most source reads per
+  // mount, which is what repair throughput wants.
+  std::vector<TapeCandidate> candidates(
+      static_cast<size_t>(jukebox_->num_tapes()));
+  for (TapeId t = 0; t < jukebox_->num_tapes(); ++t) {
+    candidates[static_cast<size_t>(t)].tape = t;
+  }
+  for (const Request& request : background_) {
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
+      TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
+      ++c.num_requests;
+      c.positions.push_back(replica.position);
+    }
+  }
+  const TapeId tape =
+      SelectTape(TapePolicy::kMaxRequests, candidates,
+                 jukebox_->mounted_tape(), jukebox_->head(),
+                 jukebox_->num_tapes(), cost_);
+  TJ_CHECK_NE(tape, kInvalidTape)
+      << "background request with no live replica";
+  const Position start_head =
+      (tape == jukebox_->mounted_tape()) ? jukebox_->head() : 0;
+  ExtractSweepForTape(*catalog_, tape, start_head,
+                      jukebox_->config().block_size_mb,
+                      /*envelope_limit=*/nullptr, &background_, &sweep_);
+  TJ_CHECK(!sweep_.empty());
+  return tape;
+}
+
+void Scheduler::PiggybackBackground(TapeId tape) {
+  if (background_.empty()) return;
+  const Position start_head =
+      (tape == jukebox_->mounted_tape()) ? jukebox_->head() : 0;
+  std::deque<Request> keep;
+  for (const Request& request : background_) {
+    const Replica* replica = catalog_->LiveReplicaOn(request.block, tape);
+    if (replica == nullptr ||
+        !sweep_.InsertRequest(request, replica->position, start_head,
+                              options_.allow_reverse_phase)) {
+      keep.push_back(request);
+    }
+  }
+  background_ = std::move(keep);
 }
 
 void Scheduler::ExtractAndBuildSweep(TapeId tape,

@@ -108,11 +108,19 @@ class Scheduler {
   /// stream.)
   virtual std::optional<ServiceEntry> PopNext() { return sweep_.Pop(); }
 
+  /// Enqueues a background (repair-source) read. Background requests are
+  /// never handed to OnArrival: they are ordered strictly behind client
+  /// work — MajorReschedule only builds a sweep for them when the pending
+  /// list is empty — but they piggyback for free on any client sweep that
+  /// visits a tape holding a live replica of their block.
+  virtual void EnqueueBackground(const Request& request);
+
   virtual bool sweep_empty() const { return sweep_.empty(); }
   virtual size_t sweep_size() const { return sweep_.size(); }
   virtual size_t pending_size() const { return pending_.size(); }
+  virtual size_t background_size() const { return background_.size(); }
   virtual bool HasWork() const {
-    return !pending_.empty() || !sweep_.empty();
+    return !pending_.empty() || !sweep_.empty() || !background_.empty();
   }
 
   /// Fault recovery: abandons the active sweep and returns every request it
@@ -128,8 +136,20 @@ class Scheduler {
 
   const Sweep& sweep() const { return sweep_; }
   const std::deque<Request>& pending() const { return pending_; }
+  const std::deque<Request>& background() const { return background_; }
 
  protected:
+  /// MajorReschedule fallback when no client work is pending: picks the
+  /// tape satisfying the most background requests (ties in jukebox order)
+  /// and builds their sweep. Returns kInvalidTape when the background
+  /// queue is empty too.
+  TapeId BackgroundReschedule();
+
+  /// Folds every queued background request with a live replica on `tape`
+  /// into the just-built sweep (free piggyback riders on the client pass);
+  /// the rest stay queued.
+  void PiggybackBackground(TapeId tape);
+
   /// Builds per-tape candidates from the current pending list.
   std::vector<TapeCandidate> BuildCandidates() const;
 
@@ -146,6 +166,7 @@ class Scheduler {
   SchedulerOptions options_;
   ScheduleCost cost_;
   std::deque<Request> pending_;
+  std::deque<Request> background_;
   Sweep sweep_;
 };
 

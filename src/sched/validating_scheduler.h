@@ -42,6 +42,7 @@ class ValidatingScheduler : public Scheduler {
   std::string name() const override;
 
   void OnArrival(const Request& request, Position committed_head) override;
+  void EnqueueBackground(const Request& request) override;
   TapeId MajorReschedule() override;
 
   /// Validated pop: checks replica placement and sweep-order invariants
@@ -51,6 +52,9 @@ class ValidatingScheduler : public Scheduler {
   bool sweep_empty() const override { return inner_->sweep_empty(); }
   size_t sweep_size() const override { return inner_->sweep_size(); }
   size_t pending_size() const override { return inner_->pending_size(); }
+  size_t background_size() const override {
+    return inner_->background_size();
+  }
   bool HasWork() const override { return inner_->HasWork(); }
 
   /// Fault-recovery forwarding: the returned requests leave the scheduler

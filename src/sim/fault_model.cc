@@ -47,6 +47,8 @@ FaultStats& FaultStats::operator+=(const FaultStats& other) {
   robot_faults += other.robot_faults;
   robot_retry_seconds += other.robot_retry_seconds;
   failovers += other.failovers;
+  degraded_reads += other.degraded_reads;
+  blocks_lost += other.blocks_lost;
   return *this;
 }
 
@@ -61,7 +63,9 @@ bool FaultStats::operator==(const FaultStats& other) const {
          drive_repair_seconds == other.drive_repair_seconds &&
          robot_faults == other.robot_faults &&
          robot_retry_seconds == other.robot_retry_seconds &&
-         failovers == other.failovers;
+         failovers == other.failovers &&
+         degraded_reads == other.degraded_reads &&
+         blocks_lost == other.blocks_lost;
 }
 
 namespace {

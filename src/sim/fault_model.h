@@ -99,6 +99,12 @@ struct FaultStats {
   double robot_retry_seconds = 0.0;
   /// Requests rerouted to a surviving replica or drive after a fault.
   int64_t failovers = 0;
+  /// Client reads completed while their block was missing at least one
+  /// replica (service continued at degraded redundancy).
+  int64_t degraded_reads = 0;
+  /// Durability events: blocks whose last live replica was lost (each
+  /// block counted once, at the moment it became unreadable).
+  int64_t blocks_lost = 0;
 
   FaultStats& operator+=(const FaultStats& other);
   bool operator==(const FaultStats& other) const;

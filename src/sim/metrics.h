@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "sim/fault_model.h"
+#include "sim/repair.h"
 #include "tape/jukebox.h"
 #include "util/stats.h"
 
@@ -59,7 +60,15 @@ struct SimulationResult {
   /// completed_total / (completed_total + failed_requests); 1.0 when
   /// nothing failed.
   double availability = 1.0;
+  /// Live catalog replicas at end of run / total replicas (1.0 when no
+  /// permanent error ever masked a replica, or without fault injection).
+  double live_replica_fraction = 1.0;
   FaultStats faults;
+
+  /// Scrub/repair. Populated (and serialized) only when the run had the
+  /// repair subsystem enabled.
+  bool repair_enabled = false;
+  RepairStats repair;
 };
 
 /// Accumulates completions and outstanding-population area during a run.

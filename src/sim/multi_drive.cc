@@ -37,6 +37,8 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
   TJ_CHECK(!sim.faults.enabled())
       << "fault injection requires the mutable-catalog MultiDriveSimulator "
          "constructor (permanent media errors mask catalog replicas)";
+  TJ_CHECK(!sim.repair.enabled())
+      << "scrub/repair is single-drive only (use Simulator)";
   drives_.reserve(static_cast<size_t>(drives.num_drives));
   for (int32_t d = 0; d < drives.num_drives; ++d) {
     drives_.emplace_back(&jukebox->model());
@@ -62,6 +64,8 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
       << "more drives than tapes is pointless";
   status = sim.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
+  TJ_CHECK(!sim.repair.enabled())
+      << "scrub/repair is single-drive only (use Simulator)";
   drives_.reserve(static_cast<size_t>(drives.num_drives));
   for (int32_t d = 0; d < drives.num_drives; ++d) {
     drives_.emplace_back(&jukebox->model());
@@ -300,7 +304,12 @@ void MultiDriveSimulator::HandlePermanentError(int d,
   ++fault_stats_.permanent_media_errors;
   if (whole_tape) {
     ++fault_stats_.dead_tapes;
-    fault_stats_.replicas_masked += mutable_catalog_->MarkTapeDead(tape);
+    std::vector<BlockId> newly_masked;
+    fault_stats_.replicas_masked +=
+        mutable_catalog_->MarkTapeDead(tape, &newly_masked);
+    for (const BlockId block : newly_masked) {
+      if (!catalog_->HasLiveReplica(block)) ++fault_stats_.blocks_lost;
+    }
     // The rest of this drive's sweep read the dead tape (claims are
     // exclusive, so no other drive's sweep does); fail each request over
     // to a surviving replica.
@@ -309,6 +318,7 @@ void MultiDriveSimulator::HandlePermanentError(int d,
     }
   } else if (mutable_catalog_->MarkReplicaDead(entry.block, tape)) {
     ++fault_stats_.replicas_masked;
+    if (!catalog_->HasLiveReplica(entry.block)) ++fault_stats_.blocks_lost;
   }
   Requeue(entry.requests, now);
   EvictUnservablePending(now);
@@ -397,6 +407,12 @@ SimulationResult MultiDriveSimulator::Run() {
               HandlePermanentError(d, entry, outcome.whole_tape, clock_);
             } else {
               for (const Request& request : entry.requests) {
+                if (faults_.has_value() &&
+                    catalog_->LiveReplicaCount(request.block) <
+                        static_cast<int64_t>(
+                            catalog_->ReplicasOf(request.block).size())) {
+                  ++fault_stats_.degraded_reads;
+                }
                 metrics_.OnCompletion(request.arrival_time, clock_);
                 if (closed_) {
                   if (faults_.has_value()) {
@@ -423,6 +439,12 @@ SimulationResult MultiDriveSimulator::Run() {
   if (faults_.has_value()) {
     result.fault_injection = true;
     result.faults = fault_stats_;
+    const int64_t total = catalog_->TotalCopies();
+    if (total > 0) {
+      result.live_replica_fraction =
+          static_cast<double>(total - catalog_->dead_replicas()) /
+          static_cast<double>(total);
+    }
   }
   return result;
 }

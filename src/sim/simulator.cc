@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace tapejuke {
@@ -14,6 +16,12 @@ Status SimulationConfig::Validate() const {
   }
   const Status fault_status = faults.Validate();
   if (!fault_status.ok()) return fault_status;
+  const Status repair_status = repair.Validate();
+  if (!repair_status.ok()) return repair_status;
+  if (repair.enabled() && !faults.enabled()) {
+    return Status::InvalidArgument(
+        "scrub/repair requires fault injection (config.faults)");
+  }
   return workload.Validate();
 }
 
@@ -54,6 +62,10 @@ Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
     if (config_.faults.drive_mtbf_seconds > 0) {
       drive_faults_ = true;
       next_drive_failure_ = faults_->NextFailureGap();
+    }
+    if (config_.repair.enabled()) {
+      repair_.emplace(config_.repair, jukebox_, mutable_catalog_, scheduler_,
+                      &*faults_, &fault_stats_);
     }
   }
 }
@@ -113,6 +125,12 @@ void Simulator::FailRequest(const Request& request) {
 }
 
 void Simulator::Requeue(const Request& request) {
+  if (request.cls == RequestClass::kBackground) {
+    // A displaced repair source read goes back to the repair manager,
+    // which re-issues or abandons it; it never counts as a failover.
+    if (repair_.has_value()) repair_->OnBackgroundDisplaced(request, clock_);
+    return;
+  }
   if (catalog_->HasLiveReplica(request.block)) {
     ++fault_stats_.failovers;
     scheduler_->OnArrival(request, jukebox_->head());
@@ -127,20 +145,36 @@ void Simulator::HandlePermanentError(const ServiceEntry& entry,
   ++fault_stats_.permanent_media_errors;
   if (whole_tape) {
     ++fault_stats_.dead_tapes;
-    fault_stats_.replicas_masked += mutable_catalog_->MarkTapeDead(tape);
+    std::vector<BlockId> newly_masked;
+    fault_stats_.replicas_masked +=
+        mutable_catalog_->MarkTapeDead(tape, &newly_masked);
+    for (const BlockId block : newly_masked) {
+      if (!catalog_->HasLiveReplica(block)) ++fault_stats_.blocks_lost;
+    }
     // Every remaining sweep entry read this tape; drain them and fail each
     // request over to a surviving replica.
     for (const Request& request : scheduler_->DrainSweep()) {
       Requeue(request);
     }
+    if (repair_.has_value()) repair_->OnTapeDead(tape, newly_masked, clock_);
   } else if (mutable_catalog_->MarkReplicaDead(entry.block, tape)) {
     ++fault_stats_.replicas_masked;
+    if (!catalog_->HasLiveReplica(entry.block)) ++fault_stats_.blocks_lost;
+    if (repair_.has_value()) repair_->OnReplicaDead(entry.block, tape, clock_);
   }
   // The requests this read was serving fail over (or fail outright).
   for (const Request& request : entry.requests) Requeue(request);
   // Pending requests whose last replica just died can never be served.
+  EvictUnservable();
+}
+
+void Simulator::EvictUnservable() {
   for (const Request& request : scheduler_->EvictUnservablePending()) {
-    FailRequest(request);
+    if (request.cls == RequestClass::kBackground) {
+      if (repair_.has_value()) repair_->OnBackgroundEvicted(request.block);
+    } else {
+      FailRequest(request);
+    }
   }
 }
 
@@ -226,7 +260,39 @@ SimulationResult Simulator::Run() {
   while (clock_ < config_.duration_seconds) {
     if (scheduler_->sweep_empty()) {
       if (!scheduler_->HasWork()) {
-        // Step 4: wait for an arrival (or a thinking process to wake).
+        // Step 4: the drive is idle. With repair enabled, background
+        // scrub/repair quanta use the idle drive until the next client
+        // event; each quantum is at most one block, so arrivals preempt
+        // background work at block granularity.
+        if (repair_.has_value()) {
+          AdvancePastDriveRepairs();
+          const double next_event =
+              closed ? (thinking_.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : thinking_.NextTime())
+                     : next_arrival_;
+          const double next_work = repair_->NextIdleWorkTime(clock_);
+          if (next_work <= clock_ && clock_ < config_.duration_seconds) {
+            const RepairManager::Quantum quantum =
+                repair_->IdleQuantum(clock_);
+            const double end = clock_ + quantum.seconds;
+            DeliverArrivalsUpTo(end, jukebox_->head());
+            clock_ = end;
+            MaybeMarkWarmup();
+            if (quantum.masked_replicas) EvictUnservable();
+            continue;
+          }
+          if (next_work < next_event &&
+              next_work <= config_.duration_seconds) {
+            // Background work is due before the next client event: wake
+            // for it (e.g. a scrub pass or a refilled token bucket).
+            clock_ = next_work;
+            DeliverArrivalsUpTo(clock_, jukebox_->head());
+            MaybeMarkWarmup();
+            continue;
+          }
+        }
+        // Wait for an arrival (or a thinking process to wake).
         if (closed) {
           if (thinking_.empty() ||
               thinking_.NextTime() > config_.duration_seconds) {
@@ -246,6 +312,17 @@ SimulationResult Simulator::Run() {
       // Step 1: major reschedule; step 2: switch if needed. A failed drive
       // must be repaired before it can work again.
       AdvancePastDriveRepairs();
+      if (repair_.has_value()) {
+        // Tape-switch boundary: flush staged repair writes targeting the
+        // mounted tape before the schedule switches away from it.
+        const double flush = repair_->AtSweepBoundary(clock_);
+        if (flush > 0) {
+          const double end = clock_ + flush;
+          DeliverArrivalsUpTo(end, jukebox_->head());
+          clock_ = end;
+          MaybeMarkWarmup();
+        }
+      }
       const TapeId tape = scheduler_->MajorReschedule();
       TJ_CHECK_NE(tape, kInvalidTape)
           << "scheduler reported work but produced no schedule";
@@ -299,6 +376,18 @@ SimulationResult Simulator::Run() {
     }
 
     for (const Request& request : entry->requests) {
+      if (request.cls == RequestClass::kBackground) {
+        // A repair source read finished: its payload is buffered. Not a
+        // client completion — no metrics, no closed-model reissue.
+        repair_->OnSourceReadComplete(request.block, clock_);
+        continue;
+      }
+      if (faults_.has_value() &&
+          catalog_->LiveReplicaCount(request.block) <
+              static_cast<int64_t>(
+                  catalog_->ReplicasOf(request.block).size())) {
+        ++fault_stats_.degraded_reads;
+      }
       metrics_.OnCompletion(request.arrival_time, clock_);
       if (closed) {
         // The completing process issues its next request, immediately
@@ -320,6 +409,16 @@ SimulationResult Simulator::Run() {
   if (faults_.has_value()) {
     result.fault_injection = true;
     result.faults = fault_stats_;
+    const int64_t total = catalog_->TotalCopies();
+    if (total > 0) {
+      result.live_replica_fraction =
+          static_cast<double>(total - catalog_->dead_replicas()) /
+          static_cast<double>(total);
+    }
+  }
+  if (repair_.has_value()) {
+    result.repair_enabled = true;
+    result.repair = repair_->Finalize();
   }
   return result;
 }

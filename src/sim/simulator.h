@@ -25,6 +25,7 @@
 #include "sim/event_queue.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
+#include "sim/repair.h"
 #include "sim/workload.h"
 #include "tape/jukebox.h"
 #include "util/status.h"
@@ -43,6 +44,9 @@ struct SimulationConfig {
   /// the run is bit-identical to a fault-free build). Enabling any rate
   /// requires constructing the Simulator with a mutable Catalog.
   FaultConfig faults;
+  /// Background scrub and repair (disabled by default). Requires fault
+  /// injection — without faults there is nothing to scrub for or repair.
+  RepairConfig repair;
 
   Status Validate() const;
 };
@@ -96,8 +100,13 @@ class Simulator {
   void FailRequest(const Request& request);
 
   /// Re-enqueues a request displaced by a fault onto a surviving replica,
-  /// or fails it when none is left.
+  /// or fails it when none is left. Background requests route back to the
+  /// repair manager instead.
   void Requeue(const Request& request);
+
+  /// Evicts now-unservable queued requests: client requests fail, repair
+  /// source reads are handed back to the repair manager.
+  void EvictUnservable();
 
   /// Masks the media lost by a permanent error during the read of `entry`
   /// on the mounted tape and fails over every displaced request.
@@ -121,6 +130,8 @@ class Simulator {
   /// Engaged iff config_.faults.enabled().
   std::optional<FaultModel> faults_;
   FaultStats fault_stats_;
+  /// Engaged iff config_.repair.enabled() (which implies faults_).
+  std::optional<RepairManager> repair_;
   double next_drive_failure_ = 0;  ///< absolute time; only with MTBF > 0
   bool drive_faults_ = false;
   bool closed_ = false;

@@ -1,0 +1,167 @@
+// Regression tests for the catalog's O(1) per-block live-replica cache:
+// randomized kill / whole-tape-kill / resurrect sequences, with the cached
+// HasLiveReplica / LiveReplicaCount answers checked after every operation
+// against a from-scratch scan of the dead mask.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "layout/catalog.h"
+#include "test_util.h"
+
+namespace tapejuke {
+namespace {
+
+/// Scan-based oracle: counts live replicas of `block` via IsAlive on every
+/// element of its span (the ground-truth dead bitmask), never the cache.
+int64_t ScannedLiveCount(const Catalog& catalog, BlockId block) {
+  int64_t live = 0;
+  for (const Replica& r : catalog.ReplicasOf(block)) {
+    if (catalog.IsAlive(r)) ++live;
+  }
+  return live;
+}
+
+void ExpectCacheMatchesScan(const Catalog& catalog) {
+  int64_t total_dead = 0;
+  for (BlockId b = 0; b < catalog.num_blocks(); ++b) {
+    const int64_t scanned = ScannedLiveCount(catalog, b);
+    EXPECT_EQ(catalog.LiveReplicaCount(b), scanned) << "block " << b;
+    EXPECT_EQ(catalog.HasLiveReplica(b), scanned > 0) << "block " << b;
+    total_dead +=
+        static_cast<int64_t>(catalog.ReplicasOf(b).size()) - scanned;
+  }
+  EXPECT_EQ(catalog.dead_replicas(), total_dead);
+  EXPECT_EQ(catalog.HasAnyLive(), total_dead < catalog.TotalCopies());
+}
+
+TEST(CatalogLiveCache, FaultFreeAnswersNeedNoMask) {
+  TinyRig rig(/*num_tapes=*/3);
+  rig.Place(0, 0, 0);
+  rig.Place(0, 1, 1);
+  rig.Place(1, 2, 0);
+  const Catalog catalog = rig.BuildCatalog(/*num_hot=*/1);
+  EXPECT_EQ(catalog.LiveReplicaCount(0), 2);
+  EXPECT_EQ(catalog.LiveReplicaCount(1), 1);
+  EXPECT_TRUE(catalog.HasLiveReplica(1));
+  EXPECT_EQ(catalog.dead_replicas(), 0);
+}
+
+TEST(CatalogLiveCache, RepairReplicaRestoresTheCount) {
+  TinyRig rig(/*num_tapes=*/3);
+  rig.Place(0, 0, 0);
+  rig.Place(0, 1, 1);
+  Catalog catalog = rig.BuildCatalog();
+  ASSERT_TRUE(catalog.MarkReplicaDead(0, 0));
+  EXPECT_EQ(catalog.LiveReplicaCount(0), 1);
+  // The rebuilt copy lands on tape 2 (tape 1 already holds one).
+  catalog.RepairReplica(0, /*old_tape=*/0,
+                        Replica{/*tape=*/2, /*slot=*/4, /*position=*/64});
+  EXPECT_EQ(catalog.LiveReplicaCount(0), 2);
+  EXPECT_EQ(catalog.dead_replicas(), 0);
+  EXPECT_EQ(catalog.ReplicaOn(0, 0), nullptr)
+      << "the dead copy's CSR entry was rewritten in place";
+  ASSERT_NE(catalog.ReplicaOn(0, 2), nullptr);
+  EXPECT_TRUE(catalog.IsAlive(*catalog.ReplicaOn(0, 2)));
+}
+
+TEST(CatalogLiveCache, MarkTapeDeadReportsNewlyMaskedBlocksOnly) {
+  TinyRig rig(/*num_tapes=*/3);
+  rig.Place(0, 0, 0);
+  rig.Place(1, 0, 1);
+  rig.Place(2, 0, 2);
+  rig.Place(0, 1, 0);
+  Catalog catalog = rig.BuildCatalog();
+  // Block 1's copy on tape 0 dies first; the whole-tape loss then reports
+  // only the other two (already-dead replicas are not re-masked).
+  ASSERT_TRUE(catalog.MarkReplicaDead(1, 0));
+  std::vector<BlockId> newly_masked;
+  EXPECT_EQ(catalog.MarkTapeDead(0, &newly_masked), 2);
+  std::sort(newly_masked.begin(), newly_masked.end());
+  EXPECT_EQ(newly_masked, (std::vector<BlockId>{0, 2}));
+  ExpectCacheMatchesScan(catalog);
+}
+
+TEST(CatalogLiveCache, RandomizedKillAndResurrectAgreesWithScan) {
+  // 6 tapes x 10 slots, ~20 blocks with 1-3 copies each; 400 random
+  // operations (region kill / whole-tape kill / repair-resurrect), the
+  // cache checked against the scan oracle after every one.
+  std::mt19937_64 rng(20260806);
+  TinyRig rig(/*num_tapes=*/6);
+  const int64_t kBlocks = 20;
+  std::vector<std::set<TapeId>> tapes_of(kBlocks);
+  std::vector<int64_t> next_slot(6, 0);
+  for (BlockId b = 0; b < kBlocks; ++b) {
+    const int copies = 1 + static_cast<int>(rng() % 3);
+    for (int c = 0; c < copies; ++c) {
+      const TapeId t = static_cast<TapeId>(rng() % 6);
+      if (tapes_of[b].count(t) != 0 || next_slot[t] >= 10) continue;
+      rig.Place(b, t, next_slot[t]++);
+      tapes_of[b].insert(t);
+    }
+    if (tapes_of[b].empty()) {  // every draw collided: force one copy
+      for (TapeId t = 0; t < 6; ++t) {
+        if (next_slot[t] < 10) {
+          rig.Place(b, t, next_slot[t]++);
+          tapes_of[b].insert(t);
+          break;
+        }
+      }
+    }
+  }
+  Catalog catalog = rig.BuildCatalog(/*num_hot=*/4);
+
+  for (int op = 0; op < 400; ++op) {
+    const BlockId b = static_cast<BlockId>(rng() % kBlocks);
+    switch (rng() % 4) {
+      case 0: {  // region error on a (possibly absent / dead) replica
+        const TapeId t = static_cast<TapeId>(rng() % 6);
+        const bool was_live = catalog.LiveReplicaOn(b, t) != nullptr;
+        EXPECT_EQ(catalog.MarkReplicaDead(b, t), was_live) << "op " << op;
+        break;
+      }
+      case 1: {  // whole-tape loss
+        const TapeId t = static_cast<TapeId>(rng() % 6);
+        std::vector<BlockId> newly_masked;
+        const int64_t before = catalog.dead_replicas();
+        const int64_t masked = catalog.MarkTapeDead(t, &newly_masked);
+        EXPECT_EQ(masked, catalog.dead_replicas() - before);
+        EXPECT_EQ(static_cast<int64_t>(newly_masked.size()), masked);
+        break;
+      }
+      default: {  // repair: resurrect one dead copy of b, if any
+        const ReplicaSpan span = catalog.ReplicasOf(b);
+        TapeId old_tape = kInvalidTape;
+        std::set<TapeId> held;
+        for (const Replica& r : span) {
+          held.insert(r.tape);
+          if (!catalog.IsAlive(r)) old_tape = r.tape;
+        }
+        if (old_tape == kInvalidTape) break;  // nothing dead to repair
+        TapeId target = kInvalidTape;
+        for (TapeId t = 0; t < 6; ++t) {
+          if (held.count(t) == 0) {
+            target = t;
+            break;
+          }
+        }
+        if (target == kInvalidTape) break;  // copies everywhere already
+        const int64_t live_before = catalog.LiveReplicaCount(b);
+        catalog.RepairReplica(
+            b, old_tape,
+            Replica{target, /*slot=*/static_cast<int64_t>(rng() % 10),
+                    /*position=*/static_cast<Position>(rng() % 160)});
+        EXPECT_EQ(catalog.LiveReplicaCount(b), live_before + 1);
+        break;
+      }
+    }
+    ExpectCacheMatchesScan(catalog);
+  }
+}
+
+}  // namespace
+}  // namespace tapejuke
