@@ -46,6 +46,18 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
   flags.AddDouble("repair-bw", &repair_bw,
                   "token-bucket budget for scrub/repair I/O, MB/s "
                   "(0 = unmetered)");
+  flags.AddString("trace-out", &trace_out,
+                  "Chrome trace_event JSON output path for the traced grid "
+                  "point; load in Perfetto (empty disables tracing)");
+  flags.AddString("decision-log", &decision_log,
+                  "scheduler decision JSONL output path for the traced "
+                  "grid point (empty disables the log)");
+  flags.AddInt64("trace-sample", &trace_sample,
+                 "trace the lifecycle of every Nth request (1 = all; "
+                 "drive states and decisions are never sampled)");
+  flags.AddInt64("trace-point", &trace_point,
+                 "index of the grid point to trace, in the first sweep "
+                 "large enough to contain it");
   const Status status = flags.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) {  // --help
     *exit_code = 0;
@@ -63,6 +75,16 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
   }
   if (threads < 0) {
     std::cerr << "--threads must be >= 0\n";
+    *exit_code = 2;
+    return false;
+  }
+  if (trace_sample < 1) {
+    std::cerr << "--trace-sample must be >= 1\n";
+    *exit_code = 2;
+    return false;
+  }
+  if (trace_point < 0) {
+    std::cerr << "--trace-point must be >= 0\n";
     *exit_code = 2;
     return false;
   }
@@ -151,6 +173,14 @@ std::vector<ExperimentResult> BenchContext::RunGrid(
   std::vector<ExperimentConfig> points;
   points.reserve(grid.size());
   for (const GridPoint& point : grid) points.push_back(point.config);
+  const obs::TraceConfig trace = options_.Trace();
+  if (trace.enabled() && !trace_attached_) {
+    const size_t target = static_cast<size_t>(options_.trace_point);
+    if (target < points.size()) {
+      points[target].sim.obs = trace;
+      trace_attached_ = true;
+    }
+  }
   StatusOr<std::vector<ExperimentResult>> results = runner.Run(points);
   TJ_CHECK(results.ok()) << results.status().ToString();
   std::vector<RecordedPoint> recorded;

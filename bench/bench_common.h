@@ -28,6 +28,7 @@
 #include "core/results_io.h"
 #include "core/sweep_runner.h"
 #include "core/tapejuke.h"
+#include "obs/recorder.h"
 
 namespace tapejuke {
 namespace bench {
@@ -60,6 +61,14 @@ struct BenchOptions {
   double scrub_interval = 0.0;   ///< --scrub-interval (seconds; 0 = off)
   double repair_bw = 0.0;        ///< --repair-bw (MB/s; 0 = unmetered)
 
+  /// Observability (docs/OBSERVABILITY.md). Tracing is opt-in and never
+  /// changes results output: with both paths empty the bench's JSON is
+  /// byte-identical to an untraced run.
+  std::string trace_out;         ///< --trace-out (Chrome trace JSON path)
+  std::string decision_log;      ///< --decision-log (JSONL path)
+  int64_t trace_sample = 1;      ///< --trace-sample (every Nth request)
+  int64_t trace_point = 0;       ///< --trace-point (grid index to trace)
+
   /// Parses argv; returns false if the process should exit (help or error;
   /// error sets a nonzero *exit_code).
   bool Parse(int argc, char** argv, const std::string& summary,
@@ -67,6 +76,16 @@ struct BenchOptions {
 
   QueuingModel Model() const {
     return queuing == "open" ? QueuingModel::kOpen : QueuingModel::kClosed;
+  }
+
+  /// The trace configuration implied by these flags (disabled when both
+  /// output paths are empty).
+  obs::TraceConfig Trace() const {
+    obs::TraceConfig config;
+    config.trace_out = trace_out;
+    config.decision_log = decision_log;
+    config.sample = trace_sample;
+    return config;
   }
 
   /// Sweep-runner options implied by these flags.
@@ -139,6 +158,10 @@ class BenchContext {
   /// returns results in grid order. Every point (effective config + full
   /// result) is recorded in the JSON document. TJ_CHECK-fails on error,
   /// matching the old serial `.value()` behavior.
+  ///
+  /// With --trace-out/--decision-log set, the first grid whose size
+  /// exceeds --trace-point runs that one point with the trace recorder
+  /// attached (recording observes only: results stay byte-identical).
   std::vector<ExperimentResult> RunGrid(const std::vector<GridPoint>& grid);
 
   /// Farm variant of RunGrid.
@@ -194,6 +217,8 @@ class BenchContext {
 
   std::string bench_name_;
   BenchOptions options_;
+  /// A requested trace has been attached to some grid point already.
+  bool trace_attached_ = false;
   std::vector<std::vector<RecordedPoint>> sweeps_;
   std::vector<std::vector<RecordedFarmPoint>> farm_sweeps_;
   std::vector<RecordedExtra> extra_results_;

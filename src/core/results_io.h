@@ -7,12 +7,12 @@
 // without re-simulating. See docs/RESULTS.md for the field-by-field
 // schema.
 //
-// The writer is a small streaming JSON emitter — no third-party
-// dependency — with deterministic output: doubles are printed in their
-// shortest round-trip form (std::to_chars), keys are emitted in fixed
-// order, and NaN/Inf become null. Identical results serialize to
-// byte-identical JSON, which is what the thread-count invariance test
-// compares.
+// The writer itself (JsonWriter, util/json.h) is a small streaming JSON
+// emitter — no third-party dependency — with deterministic output:
+// doubles are printed in their shortest round-trip form (std::to_chars),
+// keys are emitted in fixed order, and NaN/Inf become null. Identical
+// results serialize to byte-identical JSON, which is what the
+// thread-count invariance test compares.
 
 #ifndef TAPEJUKE_CORE_RESULTS_IO_H_
 #define TAPEJUKE_CORE_RESULTS_IO_H_
@@ -24,65 +24,11 @@
 
 #include "core/experiment.h"
 #include "core/farm.h"
+#include "util/json.h"
 #include "util/status.h"
 #include "util/table.h"
 
 namespace tapejuke {
-
-/// Streaming JSON writer with 2-space pretty printing. Usage:
-///
-///   JsonWriter w(&os);
-///   w.BeginObject();
-///   w.Key("name"); w.Value("fig04");
-///   w.Key("points"); w.BeginArray(); ... w.EndArray();
-///   w.EndObject();
-///
-/// The writer TJ_CHECKs on malformed call sequences (value without a key
-/// inside an object, unbalanced End calls).
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream* os);
-
-  void BeginObject();
-  void EndObject();
-  void BeginArray();
-  void EndArray();
-
-  void Key(const std::string& name);
-
-  void Value(const std::string& value);
-  void Value(const char* value);
-  void Value(double value);
-  void Value(int64_t value);
-  void Value(uint64_t value);
-  void Value(int value) { Value(static_cast<int64_t>(value)); }
-  void Value(bool value);
-  void Null();
-
-  /// Key + Value in one call.
-  template <typename T>
-  void Field(const std::string& name, const T& value) {
-    Key(name);
-    Value(value);
-  }
-
- private:
-  enum class Scope { kObject, kArray };
-  void BeforeValue();
-  void NewlineIndent();
-
-  std::ostream* os_;
-  std::vector<Scope> stack_;
-  std::vector<int> counts_;  ///< values emitted in each open scope
-  bool pending_key_ = false;
-};
-
-/// Backslash-escapes `s` for use inside a JSON string literal (quotes not
-/// included).
-std::string JsonEscape(const std::string& s);
-
-/// Shortest round-trip decimal form of `value`; "null" for NaN/Inf.
-std::string JsonDouble(double value);
 
 // Serializers for the experiment types: each writes one JSON object (the
 // writer must be positioned where a value is expected).
@@ -103,9 +49,6 @@ void WriteJson(JsonWriter* w, const FarmConfig& config);
 void WriteJson(JsonWriter* w, const FarmResult& result);
 /// A table as {"columns": [...], "rows": [[...], ...]}.
 void WriteJson(JsonWriter* w, const Table& table);
-
-/// Writes `content` to `path`, creating parent directories as needed.
-Status WriteTextFile(const std::string& path, const std::string& content);
 
 }  // namespace tapejuke
 

@@ -1,0 +1,139 @@
+// TraceRecorder: Chrome trace_event capture of a simulation run.
+//
+// Records three kinds of events in *simulated* time and exports them as
+// a Chrome trace_event JSON document loadable in Perfetto or
+// chrome://tracing (docs/OBSERVABILITY.md describes the format):
+//
+//  * per-drive state slices ("X" complete events, one Perfetto thread
+//    per drive) fed by TimeInStateAccounting;
+//  * per-request lifecycle spans (async nestable "b"/"e" pairs keyed by
+//    request id on a shared "requests" thread, with "n" async instants
+//    for scheduled / retry / failover transitions);
+//  * scheduler decision and repair instants ("i" thread instants on a
+//    "scheduler" thread), with an optional JSONL stream carrying the
+//    full candidate lists (one compact object per line).
+//
+// Everything is buffered in memory and written once at Finalize, sorted
+// by timestamp, so output is deterministic: timestamps come from the
+// simulated clock only and the same seed yields a byte-identical trace
+// at any --threads. Recording is strictly opt-in — a default-constructed
+// TraceConfig disables everything and every hook is one branch.
+
+#ifndef TAPEJUKE_OBS_RECORDER_H_
+#define TAPEJUKE_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/decision.h"
+#include "obs/time_in_state.h"
+#include "tape/types.h"
+#include "util/status.h"
+
+namespace tapejuke {
+namespace obs {
+
+/// Opt-in observability knobs, carried inside SimulationConfig. Never
+/// serialized into results JSON: tracing must not change results output.
+struct TraceConfig {
+  /// Chrome trace_event JSON output path; empty disables the trace.
+  std::string trace_out;
+  /// Decision JSONL output path; empty disables the decision log.
+  std::string decision_log;
+  /// Record the lifecycle of every Nth request (by id); drive state
+  /// slices and decision records are never sampled.
+  int64_t sample = 1;
+
+  bool enabled() const {
+    return !trace_out.empty() || !decision_log.empty();
+  }
+};
+
+/// How a request span ended; rendered into the closing event's args.
+enum class RequestOutcome { kCompleted, kFailed, kOpenAtEnd };
+
+/// Buffers simulation events and writes trace/decision files at the end
+/// of a run. All timestamps are simulated seconds.
+class TraceRecorder : public DecisionSink {
+ public:
+  explicit TraceRecorder(TraceConfig config);
+
+  bool enabled() const { return config_.enabled(); }
+  bool trace_enabled() const { return !config_.trace_out.empty(); }
+
+  /// Names the Perfetto process/threads; call once before recording.
+  void SetTopology(const std::string& process_name, int num_drives);
+
+  /// Sets the simulated clock used to timestamp decision records (the
+  /// schedulers pushing them do not know the clock).
+  void SetNow(double now) { now_ = now; }
+
+  /// True if request `id`'s lifecycle should be recorded (sampling).
+  bool SampleRequest(int64_t id) const;
+
+  // Request lifecycle. Callers are expected to gate on SampleRequest so
+  // unsampled requests cost one branch.
+  void RequestArrived(int64_t id, BlockId block, bool background,
+                      double t);
+  void RequestScheduled(int64_t id, TapeId tape, double t);
+  void RequestRetry(int64_t id, int attempt, double t);
+  void RequestFailover(int64_t id, double t);
+  void RequestDone(int64_t id, RequestOutcome outcome, double t);
+
+  /// One drive state interval [start, end); zero-length slices ignored.
+  void DriveStateSlice(int drive, DriveActivity activity, double start,
+                       double end);
+
+  /// Free-form instant on the scheduler thread (repair/scrub milestones).
+  /// `args_json` is a pre-rendered JSON object ("{...}") or empty.
+  void Instant(const std::string& name, double t,
+               const std::string& args_json = std::string());
+
+  /// DecisionSink: records an instant (and a JSONL line when configured).
+  void RecordDecision(const DecisionRecord& record) override;
+
+  /// Closes still-open request spans at `end_time`, then writes the
+  /// trace JSON and decision log files.
+  Status Finalize(double end_time);
+
+  // Introspection for tests.
+  int64_t num_events() const { return static_cast<int64_t>(events_.size()); }
+  int64_t num_decisions() const { return decisions_recorded_; }
+
+ private:
+  struct Event {
+    double ts = 0;       ///< seconds
+    double dur = 0;      ///< seconds; only for 'X'
+    char phase = 'i';    ///< 'X', 'b', 'e', 'n', 'i'
+    int tid = 0;
+    int64_t id = -1;     ///< async span id; -1 for non-async events
+    std::string name;
+    std::string args_json;  ///< pre-rendered "{...}" or empty
+  };
+
+  void Append(Event event);
+  std::string RenderTraceJson() const;
+
+  TraceConfig config_;
+  std::string process_name_ = "jukebox";
+  int num_drives_ = 1;
+  double now_ = 0;
+
+  std::vector<Event> events_;
+  /// Request id -> open span (guards balanced b/e emission).
+  std::unordered_map<int64_t, bool> open_requests_;
+  std::vector<std::string> decision_lines_;
+  int64_t decisions_recorded_ = 0;
+};
+
+// Perfetto thread ids: drives are 1..num_drives, then the scheduler and
+// the shared request track.
+inline constexpr int kSchedulerTid = 1000;
+inline constexpr int kRequestsTid = 1001;
+
+}  // namespace obs
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_OBS_RECORDER_H_

@@ -1,0 +1,78 @@
+#include "obs/time_in_state.h"
+
+#include <algorithm>
+
+#include "obs/recorder.h"
+#include "util/check.h"
+
+namespace tapejuke {
+namespace obs {
+
+const char* DriveActivityName(DriveActivity activity) {
+  switch (activity) {
+    case DriveActivity::kIdle:
+      return "idle";
+    case DriveActivity::kSwitching:
+      return "switching";
+    case DriveActivity::kRobot:
+      return "robot";
+    case DriveActivity::kLocating:
+      return "locating";
+    case DriveActivity::kReading:
+      return "reading";
+    case DriveActivity::kRewinding:
+      return "rewinding";
+    case DriveActivity::kBackground:
+      return "background";
+    case DriveActivity::kDown:
+      return "down";
+  }
+  TJ_CHECK(false) << "unknown DriveActivity "
+                  << static_cast<int>(activity);
+  return "?";
+}
+
+double DriveTimeInState::Total() const {
+  double total = 0;
+  for (const double s : seconds) total += s;
+  return total;
+}
+
+double DriveTimeInState::BusySeconds() const {
+  return Total() - (*this)[DriveActivity::kIdle] -
+         (*this)[DriveActivity::kDown];
+}
+
+TimeInStateAccounting::TimeInStateAccounting(int num_drives,
+                                             double warmup_end)
+    : warmup_end_(warmup_end),
+      per_drive_(num_drives),
+      cursors_(num_drives, 0.0) {
+  TJ_CHECK_GT(num_drives, 0);
+  TJ_CHECK_GE(warmup_end, 0.0);
+}
+
+void TimeInStateAccounting::ChargeTo(int drive, DriveActivity activity,
+                                     double until) {
+  TJ_CHECK_GE(drive, 0);
+  TJ_CHECK_LT(drive, static_cast<int>(cursors_.size()));
+  double& cursor = cursors_[drive];
+  if (until <= cursor) return;
+  const double measured_from = std::max(cursor, warmup_end_);
+  if (until > measured_from) {
+    per_drive_[drive][activity] += until - measured_from;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->DriveStateSlice(drive, activity, cursor, until);
+  }
+  cursor = until;
+}
+
+void TimeInStateAccounting::FinishAt(double end_time) {
+  for (int drive = 0; drive < num_drives(); ++drive) {
+    ChargeTo(drive, DriveActivity::kIdle, end_time);
+  }
+}
+
+}  // namespace obs
+}  // namespace tapejuke

@@ -602,6 +602,8 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   const int64_t block_mb = jukebox_->config().block_size_mb;
   const std::vector<Request> requests(pending_.begin(), pending_.end());
   ++counters_.major_reschedules;
+  const int64_t rounds_before = counters_.extension_rounds;
+  const int64_t rescored_before = counters_.tapes_rescored;
   EnvelopeResult result = ComputeUpperEnvelope(requests);
   if (options_.validate_envelope) {
     EnvelopeCounters scratch;
@@ -633,6 +635,9 @@ TapeId EnvelopeScheduler::MajorReschedule() {
       SelectTape(policy_, candidates, jukebox_->mounted_tape(),
                  jukebox_->head(), jukebox_->num_tapes(), cost_);
   TJ_CHECK_NE(tape, kInvalidTape);
+  RecordDecision(/*background=*/false, tape, candidates,
+                 counters_.extension_rounds - rounds_before,
+                 counters_.tapes_rescored - rescored_before);
   const Position limit = result.envelope[static_cast<size_t>(tape)];
   ExtractAndBuildSweep(tape, &limit);
   TJ_CHECK(!sweep_.empty());

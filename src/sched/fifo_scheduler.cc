@@ -34,6 +34,16 @@ TapeId FifoScheduler::MajorReschedule() {
   }
   TJ_CHECK(chosen != nullptr) << "pending request with no live replica";
 
+  if (decision_sink_ != nullptr) {
+    // FIFO considers exactly one candidate: the replica it picked.
+    TapeCandidate only;
+    only.tape = chosen->tape;
+    only.num_requests = 1;
+    only.positions.push_back(chosen->position);
+    only.serves_oldest = true;
+    RecordDecision(/*background=*/false, chosen->tape, {only});
+  }
+
   ServiceEntry entry{chosen->position, oldest.block, {oldest}};
   // Other pending requests for the same block ride along for free.
   std::deque<Request> keep;

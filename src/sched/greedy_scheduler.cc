@@ -37,10 +37,12 @@ void GreedyScheduler::OnArrival(const Request& request,
 TapeId GreedyScheduler::MajorReschedule() {
   TJ_CHECK(sweep_.empty());
   if (pending_.empty()) return BackgroundReschedule();
+  const std::vector<TapeCandidate> candidates = BuildCandidates();
   const TapeId tape =
-      SelectTape(policy_, BuildCandidates(), jukebox_->mounted_tape(),
+      SelectTape(policy_, candidates, jukebox_->mounted_tape(),
                  jukebox_->head(), jukebox_->num_tapes(), cost_);
   TJ_CHECK_NE(tape, kInvalidTape);
+  RecordDecision(/*background=*/false, tape, candidates);
   ExtractAndBuildSweep(tape, /*envelope_limit=*/nullptr);
   TJ_CHECK(!sweep_.empty());
   PiggybackBackground(tape);

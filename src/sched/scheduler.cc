@@ -122,6 +122,35 @@ std::vector<TapeCandidate> Scheduler::BuildCandidates() const {
   return candidates;
 }
 
+void Scheduler::RecordDecision(bool background, TapeId chosen,
+                               const std::vector<TapeCandidate>& candidates,
+                               int64_t envelope_rounds,
+                               int64_t tapes_rescored) const {
+  if (decision_sink_ == nullptr) return;
+  obs::DecisionRecord record;
+  record.scheduler = name();
+  record.background = background;
+  record.chosen = chosen;
+  record.mounted = jukebox_->mounted_tape();
+  record.pending = static_cast<int64_t>(pending_.size());
+  record.background_queue = static_cast<int64_t>(background_.size());
+  record.envelope_rounds = envelope_rounds;
+  record.tapes_rescored = tapes_rescored;
+  const Position head = jukebox_->head();
+  for (const TapeCandidate& c : candidates) {
+    if (c.num_requests <= 0) continue;
+    obs::TapeCandidateScore score;
+    score.tape = c.tape;
+    score.num_requests = c.num_requests;
+    score.bandwidth_mbps =
+        cost_.EstimateVisit(c.tape, record.mounted, head, c.positions)
+            .BandwidthMBps();
+    score.serves_oldest = c.serves_oldest;
+    record.candidates.push_back(score);
+  }
+  decision_sink_->RecordDecision(record);
+}
+
 std::vector<Request> Scheduler::DrainSweep() {
   std::vector<Request> drained;
   while (std::optional<ServiceEntry> entry = sweep_.Pop()) {
@@ -182,6 +211,7 @@ TapeId Scheduler::BackgroundReschedule() {
                  jukebox_->num_tapes(), cost_);
   TJ_CHECK_NE(tape, kInvalidTape)
       << "background request with no live replica";
+  RecordDecision(/*background=*/true, tape, candidates);
   const Position start_head =
       (tape == jukebox_->mounted_tape()) ? jukebox_->head() : 0;
   ExtractSweepForTape(*catalog_, tape, start_head,

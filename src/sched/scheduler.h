@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "layout/catalog.h"
+#include "obs/decision.h"
 #include "sched/request.h"
 #include "sched/schedule_cost.h"
 #include "sched/sweep.h"
@@ -134,9 +135,20 @@ class Scheduler {
   /// error). Called after replicas are masked dead.
   virtual std::vector<Request> EvictUnservablePending();
 
-  const Sweep& sweep() const { return sweep_; }
+  /// The active sweep (virtual so decorators expose the wrapped one; the
+  /// simulator reads it to trace scheduled-into-sweep transitions).
+  virtual const Sweep& sweep() const { return sweep_; }
   const std::deque<Request>& pending() const { return pending_; }
   const std::deque<Request>& background() const { return background_; }
+
+  /// Observability: attaches a sink that receives one DecisionRecord per
+  /// major reschedule (candidates, scores, the chosen tape). Null (the
+  /// default) detaches; with no sink attached the hook costs one branch.
+  /// Decorators override to forward to the wrapped scheduler.
+  virtual void set_decision_sink(obs::DecisionSink* sink) {
+    decision_sink_ = sink;
+  }
+  obs::DecisionSink* decision_sink() const { return decision_sink_; }
 
  protected:
   /// MajorReschedule fallback when no client work is pending: picks the
@@ -153,6 +165,15 @@ class Scheduler {
   /// Builds per-tape candidates from the current pending list.
   std::vector<TapeCandidate> BuildCandidates() const;
 
+  /// Pushes one DecisionRecord to the attached sink; no-op without one.
+  /// Call after tape selection but before extracting the sweep, so queue
+  /// depths reflect the decision's inputs. Candidates without work are
+  /// dropped; the rest are scored with the bandwidth estimator.
+  void RecordDecision(bool background, TapeId chosen,
+                      const std::vector<TapeCandidate>& candidates,
+                      int64_t envelope_rounds = 0,
+                      int64_t tapes_rescored = 0) const;
+
   /// Removes every pending request with a replica on `tape` and builds the
   /// sweep for them (grouped by block, forward phase from the start head,
   /// below-head blocks in the reverse phase). The start head is the current
@@ -168,6 +189,7 @@ class Scheduler {
   std::deque<Request> pending_;
   std::deque<Request> background_;
   Sweep sweep_;
+  obs::DecisionSink* decision_sink_ = nullptr;
 };
 
 }  // namespace tapejuke

@@ -49,6 +49,7 @@ class ValidatingScheduler : public Scheduler {
   /// before handing the entry to the simulator.
   std::optional<ServiceEntry> PopNext() override;
 
+  const Sweep& sweep() const override { return inner_->sweep(); }
   bool sweep_empty() const override { return inner_->sweep_empty(); }
   size_t sweep_size() const override { return inner_->sweep_size(); }
   size_t pending_size() const override { return inner_->pending_size(); }
@@ -62,6 +63,11 @@ class ValidatingScheduler : public Scheduler {
   /// are dropped from the outstanding set.
   std::vector<Request> DrainSweep() override;
   std::vector<Request> EvictUnservablePending() override;
+
+  /// Decisions are made by (and recorded from) the wrapped scheduler.
+  void set_decision_sink(obs::DecisionSink* sink) override {
+    inner_->set_decision_sink(sink);
+  }
 
   /// Requests seen / completed so far (for conservation checks in tests).
   int64_t arrivals_seen() const { return arrivals_seen_; }

@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -64,7 +65,8 @@ void MetricsCollector::MarkWarmupBoundary(const JukeboxCounters& counters) {
 }
 
 SimulationResult MetricsCollector::Finalize(
-    double end_time, const JukeboxCounters& final_counters) const {
+    double end_time, const JukeboxCounters& final_counters,
+    const obs::TimeInStateAccounting* accounting) const {
   SimulationResult result;
   result.simulated_seconds = end_time;
   result.measured_seconds = std::max(0.0, end_time - warmup_seconds_);
@@ -85,6 +87,7 @@ SimulationResult MetricsCollector::Finalize(
   result.delay_stddev_seconds = delay_.stddev();
   result.p50_delay_seconds = delay_histogram_.Quantile(0.50);
   result.p95_delay_seconds = delay_histogram_.Quantile(0.95);
+  result.p99_delay_seconds = delay_histogram_.Quantile(0.99);
   result.max_delay_seconds = delay_.max();
 
   // Activity deltas over the measurement window.
@@ -108,6 +111,29 @@ SimulationResult MetricsCollector::Finalize(
   }
   const double busy = delta.BusySeconds();
   result.transfer_utilization = busy > 0 ? delta.read_seconds / busy : 0.0;
+
+  if (accounting != nullptr) {
+    result.time_in_state = accounting->per_drive();
+    double busy_total = 0;
+    for (int drive = 0; drive < accounting->num_drives(); ++drive) {
+      const obs::DriveTimeInState& tis = result.time_in_state[drive];
+      // Per-drive identity: charged states cover the measurement window
+      // exactly. Charging uses absolute-until cursors so the only slack
+      // is floating-point accumulation across the per-state sums.
+      const double tolerance =
+          1e-6 * std::max(1.0, result.measured_seconds);
+      TJ_CHECK_LE(std::abs(tis.Total() - result.measured_seconds),
+                  tolerance)
+          << "drive " << drive << " time-in-state total " << tis.Total()
+          << " != measured " << result.measured_seconds;
+      busy_total += tis.BusySeconds();
+    }
+    if (result.measured_seconds > 0) {
+      result.drive_utilization =
+          busy_total /
+          (result.measured_seconds * accounting->num_drives());
+    }
+  }
 
   // Whole-run conservation totals. The simulator fills fault_injection and
   // result.faults; the identity below holds for every run.

@@ -9,7 +9,9 @@
 #define TAPEJUKE_SIM_METRICS_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "obs/time_in_state.h"
 #include "sim/fault_model.h"
 #include "sim/repair.h"
 #include "tape/jukebox.h"
@@ -32,6 +34,7 @@ struct SimulationResult {
   double delay_stddev_seconds = 0;
   double p50_delay_seconds = 0;
   double p95_delay_seconds = 0;
+  double p99_delay_seconds = 0;
   double max_delay_seconds = 0;
 
   /// Time-averaged number of outstanding requests (arrived, not complete).
@@ -42,6 +45,14 @@ struct SimulationResult {
   double tape_switches_per_hour = 0;
   /// Fraction of busy time spent transferring data (vs positioning).
   double transfer_utilization = 0;
+  /// Whole-window utilization: drive-busy seconds / (measured seconds x
+  /// drive count), from the time-in-state accounting. 0 for runs that do
+  /// not collect it (farm aggregation, write path, lifecycle).
+  double drive_utilization = 0;
+  /// Per-drive seconds in each activity over the measurement window
+  /// (obs::DriveActivity order). Each drive's Total() equals
+  /// measured_seconds, TJ_CHECKed in Finalize. Empty when not collected.
+  std::vector<obs::DriveTimeInState> time_in_state;
 
   /// Fault injection. The fields below are populated (and serialized) only
   /// when the run had fault injection enabled; `fault_injection` stays
@@ -100,8 +111,13 @@ class MetricsCollector {
   void MarkWarmupBoundary(const JukeboxCounters& counters);
 
   /// Finalizes the run at `end_time` with the final jukebox counters.
-  SimulationResult Finalize(double end_time,
-                            const JukeboxCounters& final_counters) const;
+  /// When `accounting` is non-null its per-drive totals are folded into
+  /// the result (time_in_state, drive_utilization) after TJ_CHECKing the
+  /// per-drive identity sum(states) == measured_seconds; the caller must
+  /// have called accounting->FinishAt(end_time) first.
+  SimulationResult Finalize(
+      double end_time, const JukeboxCounters& final_counters,
+      const obs::TimeInStateAccounting* accounting = nullptr) const;
 
   double warmup_seconds() const { return warmup_seconds_; }
 

@@ -1,7 +1,9 @@
 #include "sim/multi_drive.h"
 
 #include <algorithm>
+#include <iostream>
 #include <limits>
+#include <string>
 
 #include "sched/sweep_builder.h"
 #include "util/check.h"
@@ -25,7 +27,8 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
       sim_config_(sim),
       workload_(catalog, sim.workload),
       metrics_(sim.warmup_seconds, jukebox->config().block_size_mb),
-      cost_(&jukebox->model(), jukebox->config().block_size_mb) {
+      cost_(&jukebox->model(), jukebox->config().block_size_mb),
+      accounting_(drives.num_drives, sim.warmup_seconds) {
   TJ_CHECK(jukebox != nullptr);
   TJ_CHECK(catalog != nullptr);
   Status status = drives.Validate();
@@ -43,6 +46,11 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
   for (int32_t d = 0; d < drives.num_drives; ++d) {
     drives_.emplace_back(&jukebox->model());
   }
+  if (sim_config_.obs.enabled()) {
+    recorder_.emplace(sim_config_.obs);
+    recorder_->SetTopology("jukebox", drives_config_.num_drives);
+    accounting_.set_recorder(&*recorder_);
+  }
 }
 
 MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
@@ -55,7 +63,8 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
       sim_config_(sim),
       workload_(catalog, sim.workload),
       metrics_(sim.warmup_seconds, jukebox->config().block_size_mb),
-      cost_(&jukebox->model(), jukebox->config().block_size_mb) {
+      cost_(&jukebox->model(), jukebox->config().block_size_mb),
+      accounting_(drives.num_drives, sim.warmup_seconds) {
   TJ_CHECK(jukebox != nullptr);
   TJ_CHECK(catalog != nullptr);
   Status status = drives.Validate();
@@ -69,6 +78,11 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
   drives_.reserve(static_cast<size_t>(drives.num_drives));
   for (int32_t d = 0; d < drives.num_drives; ++d) {
     drives_.emplace_back(&jukebox->model());
+  }
+  if (sim_config_.obs.enabled()) {
+    recorder_.emplace(sim_config_.obs);
+    recorder_->SetTopology("jukebox", drives_config_.num_drives);
+    accounting_.set_recorder(&*recorder_);
   }
   if (sim_config_.faults.enabled()) {
     faults_.emplace(sim_config_.faults, sim_config_.workload.seed);
@@ -103,6 +117,10 @@ void MultiDriveSimulator::BeginNextRead(int d, double now) {
   ++counters_.blocks_read;
   counters_.mb_read += block_mb;
   double op_seconds = locate + read;
+  double op_t = now + locate;
+  ds.pending_charge.emplace_back(obs::DriveActivity::kLocating, op_t);
+  op_t += read;
+  ds.pending_charge.emplace_back(obs::DriveActivity::kReading, op_t);
   ReadOutcome outcome;
   if (faults_.has_value()) {
     outcome = faults_->NextReadOutcome();
@@ -115,22 +133,38 @@ void MultiDriveSimulator::BeginNextRead(int d, double now) {
       ++counters_.blocks_read;
       counters_.mb_read += block_mb;
       op_seconds += back + again;
+      op_t += back;
+      ds.pending_charge.emplace_back(obs::DriveActivity::kLocating, op_t);
+      op_t += again;
+      ds.pending_charge.emplace_back(obs::DriveActivity::kReading, op_t);
     }
     fault_stats_.transient_read_errors +=
         outcome.retries + (outcome.escalated ? 1 : 0);
     fault_stats_.read_retries += outcome.retries;
     if (outcome.escalated) ++fault_stats_.reads_escalated;
   }
+  const double end = now + op_seconds;
+  // Absorb accumulation drift between the per-segment sums and op_seconds
+  // into the final reading segment, so the flush lands exactly on the
+  // completion event's timestamp.
+  ds.pending_charge.back().second = end;
+  if (recorder_.has_value() && outcome.retries > 0) {
+    for (const Request& request : entry->requests) {
+      recorder_->RequestRetry(request.id, outcome.retries, end);
+    }
+  }
   ds.committed_head = ds.unit.head();
   ds.in_flight = std::move(entry);
   ds.in_flight_outcome = outcome;
   ds.busy = true;
-  events_.Schedule(now + op_seconds, d);
+  events_.Schedule(end, d);
 }
 
 void MultiDriveSimulator::Dispatch(int d, double now) {
   DriveState& ds = drives_[static_cast<size_t>(d)];
   if (ds.busy) return;
+  // The gap since the drive's last charged activity was spent idle.
+  accounting_.ChargeTo(d, obs::DriveActivity::kIdle, now);
   if (drive_faults_ && ds.next_failure <= now) {
     // A failure epoch the clock has passed is charged lazily, when the
     // drive next acts (mirrors the single-drive simulator).
@@ -174,12 +208,17 @@ void MultiDriveSimulator::Dispatch(int d, double now) {
     return;
   }
 
+  if (recorder_.has_value()) {
+    RecordDispatchDecision(d, tape, mounted, candidates, now);
+  }
+
   const Position start_head = (tape == mounted) ? ds.unit.head() : 0;
   ExtractSweepForTape(*catalog_, tape, start_head,
                       jukebox_->config().block_size_mb,
                       /*envelope_limit=*/nullptr, &pending_, &ds.sweep);
   TJ_CHECK(!ds.sweep.empty());
   ds.claim = tape;
+  TraceSweepContents(d, tape, now);
 
   if (tape == mounted) {
     ds.committed_head = ds.unit.head();
@@ -195,7 +234,11 @@ void MultiDriveSimulator::Dispatch(int d, double now) {
     counters_.rewind_seconds += rewind;
     const double eject = ds.unit.Eject();
     counters_.switch_seconds += eject;
+    ds.pending_charge.emplace_back(obs::DriveActivity::kRewinding,
+                                   now + rewind);
     local_done += rewind + eject;
+    ds.pending_charge.emplace_back(obs::DriveActivity::kSwitching,
+                                   local_done);
   }
   const double robot_start = std::max(local_done, robot_free_at_);
   stats_.robot_wait_seconds += robot_start - local_done;
@@ -218,6 +261,12 @@ void MultiDriveSimulator::Dispatch(int d, double now) {
   const double load = ds.unit.Load(tape);
   counters_.switch_seconds += load;
   ++counters_.tape_switches;
+  // The robot state covers both the queue wait and the (possibly
+  // fault-extended) serialized arm occupancy; the drive-local load is a
+  // switching segment ending exactly on the completion event.
+  ds.pending_charge.emplace_back(obs::DriveActivity::kRobot, robot_free_at_);
+  ds.pending_charge.emplace_back(obs::DriveActivity::kSwitching,
+                                 robot_free_at_ + load);
   ds.committed_head = 0;
   ds.busy = true;
   events_.Schedule(robot_free_at_ + load, d);
@@ -244,7 +293,14 @@ void MultiDriveSimulator::Route(const Request& request, double now) {
 
 bool MultiDriveSimulator::DeliverOrFail(const Request& request, double now) {
   metrics_.OnArrival(now);
+  if (recorder_.has_value() && recorder_->SampleRequest(request.id)) {
+    recorder_->RequestArrived(request.id, request.block,
+                              /*background=*/false, now);
+  }
   if (faults_.has_value() && !catalog_->HasLiveReplica(request.block)) {
+    if (recorder_.has_value()) {
+      recorder_->RequestDone(request.id, obs::RequestOutcome::kFailed, now);
+    }
     metrics_.OnFailure(request.arrival_time, now);
     return false;
   }
@@ -264,6 +320,9 @@ void MultiDriveSimulator::IssueClosedRequest(double now) {
 }
 
 void MultiDriveSimulator::FailRequest(const Request& request, double now) {
+  if (recorder_.has_value()) {
+    recorder_->RequestDone(request.id, obs::RequestOutcome::kFailed, now);
+  }
   metrics_.OnFailure(request.arrival_time, now);
   if (closed_) IssueClosedRequest(now);
 }
@@ -273,6 +332,9 @@ void MultiDriveSimulator::Requeue(const std::vector<Request>& requests,
   for (const Request& request : requests) {
     if (catalog_->HasLiveReplica(request.block)) {
       ++fault_stats_.failovers;
+      if (recorder_.has_value()) {
+        recorder_->RequestFailover(request.id, now);
+      }
       pending_.push_back(request);
     } else {
       FailRequest(request, now);
@@ -343,6 +405,8 @@ void MultiDriveSimulator::FailDrive(int d, double now) {
     Requeue(ds.sweep.Pop()->requests, now);
   }
   ds.busy = true;
+  // The repair interval is down time, charged when its event fires.
+  ds.pending_charge.emplace_back(obs::DriveActivity::kDown, now + repair);
   ds.next_failure = now + repair + faults_->NextFailureGap();
   events_.Schedule(now + repair, drives_config_.num_drives + d);
 }
@@ -350,6 +414,55 @@ void MultiDriveSimulator::FailDrive(int d, double now) {
 void MultiDriveSimulator::WakeIdleDrives(double now) {
   for (size_t d = 0; d < drives_.size(); ++d) {
     if (!drives_[d].busy) Dispatch(static_cast<int>(d), now);
+  }
+}
+
+void MultiDriveSimulator::FlushCharges(int d, double limit) {
+  DriveState& ds = drives_[static_cast<size_t>(d)];
+  for (const auto& [activity, end] : ds.pending_charge) {
+    accounting_.ChargeTo(d, activity, std::min(end, limit));
+  }
+  ds.pending_charge.clear();
+}
+
+void MultiDriveSimulator::RecordDispatchDecision(
+    int d, TapeId chosen, TapeId mounted,
+    const std::vector<TapeCandidate>& candidates, double now) {
+  obs::DecisionRecord record;
+  record.scheduler =
+      std::string("multi-drive ") + TapePolicyName(drives_config_.policy);
+  record.drive = d;
+  record.chosen = chosen;
+  record.mounted = mounted;
+  record.pending = static_cast<int64_t>(pending_.size());
+  const Position head = drives_[static_cast<size_t>(d)].unit.head();
+  for (const TapeCandidate& c : candidates) {
+    if (c.num_requests <= 0) continue;
+    obs::TapeCandidateScore score;
+    score.tape = c.tape;
+    score.num_requests = c.num_requests;
+    score.bandwidth_mbps =
+        cost_.EstimateVisit(c.tape, mounted, head, c.positions)
+            .BandwidthMBps();
+    score.serves_oldest = c.serves_oldest;
+    record.candidates.push_back(score);
+  }
+  recorder_->SetNow(now);
+  recorder_->RecordDecision(record);
+}
+
+void MultiDriveSimulator::TraceSweepContents(int d, TapeId tape, double now) {
+  if (!recorder_.has_value() || !recorder_->trace_enabled()) return;
+  const Sweep& sweep = drives_[static_cast<size_t>(d)].sweep;
+  for (const ServiceEntry& entry : sweep.forward()) {
+    for (const Request& request : entry.requests) {
+      recorder_->RequestScheduled(request.id, tape, now);
+    }
+  }
+  for (const ServiceEntry& entry : sweep.reverse()) {
+    for (const Request& request : entry.requests) {
+      recorder_->RequestScheduled(request.id, tape, now);
+    }
   }
 }
 
@@ -388,11 +501,13 @@ SimulationResult MultiDriveSimulator::Run() {
       if (payload >= drives_config_.num_drives) {
         // Repair complete: the drive rejoins the farm.
         const int d = payload - drives_config_.num_drives;
+        FlushCharges(d, clock_);
         drives_[static_cast<size_t>(d)].busy = false;
         Dispatch(d, clock_);
       } else {
         const int d = payload;
         DriveState& ds = drives_[static_cast<size_t>(d)];
+        FlushCharges(d, clock_);
         if (drive_faults_ && ds.next_failure <= clock_) {
           // The drive failed during this operation: void it and repair.
           FailDrive(d, clock_);
@@ -412,6 +527,11 @@ SimulationResult MultiDriveSimulator::Run() {
                         static_cast<int64_t>(
                             catalog_->ReplicasOf(request.block).size())) {
                   ++fault_stats_.degraded_reads;
+                }
+                if (recorder_.has_value()) {
+                  recorder_->RequestDone(request.id,
+                                         obs::RequestOutcome::kCompleted,
+                                         clock_);
                 }
                 metrics_.OnCompletion(request.arrival_time, clock_);
                 if (closed_) {
@@ -435,7 +555,14 @@ SimulationResult MultiDriveSimulator::Run() {
     }
   }
   if (!warmup_marked_) metrics_.MarkWarmupBoundary(counters_);
-  SimulationResult result = metrics_.Finalize(clock_, counters_);
+  // Clip the segments of operations still in flight at the final clock
+  // (their completion events never fired), then close every drive's
+  // interval so per-drive state time sums to the measured window.
+  for (size_t d = 0; d < drives_.size(); ++d) {
+    FlushCharges(static_cast<int>(d), clock_);
+  }
+  accounting_.FinishAt(clock_);
+  SimulationResult result = metrics_.Finalize(clock_, counters_, &accounting_);
   if (faults_.has_value()) {
     result.fault_injection = true;
     result.faults = fault_stats_;
@@ -444,6 +571,13 @@ SimulationResult MultiDriveSimulator::Run() {
       result.live_replica_fraction =
           static_cast<double>(total - catalog_->dead_replicas()) /
           static_cast<double>(total);
+    }
+  }
+  if (recorder_.has_value()) {
+    const Status obs_status = recorder_->Finalize(clock_);
+    if (!obs_status.ok()) {
+      std::cerr << "warning: observability output failed: "
+                << obs_status.ToString() << "\n";
     }
   }
   return result;

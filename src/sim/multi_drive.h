@@ -20,9 +20,12 @@
 
 #include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "layout/catalog.h"
+#include "obs/recorder.h"
+#include "obs/time_in_state.h"
 #include "sched/schedule_cost.h"
 #include "sched/scheduler.h"
 #include "sched/sweep.h"
@@ -98,6 +101,12 @@ class MultiDriveSimulator {
     /// faults enabled; processed lazily when the drive next acts).
     double next_failure = 0;
     bool busy = false;
+    /// Time-in-state segments of the in-flight operation, in temporal
+    /// order as (activity, absolute end time). Charged to the accounting
+    /// when the operation's completion event fires — never before — so
+    /// drive cursors never outrun the simulation clock and a run that
+    /// ends mid-operation clips the charge at the final clock.
+    std::vector<std::pair<obs::DriveActivity, double>> pending_charge;
   };
 
   /// True if `tape` is claimed by any drive other than `self`.
@@ -147,6 +156,21 @@ class MultiDriveSimulator {
   /// Wakes every idle drive (called after arrivals and completions).
   void WakeIdleDrives(double now);
 
+  /// Charges drive `d`'s pending time-in-state segments, each clipped at
+  /// `limit`, and clears them.
+  void FlushCharges(int d, double limit);
+
+  /// Pushes one DecisionRecord for drive `d`'s tape selection (the
+  /// multi-drive dispatcher does its own selection, so it builds records
+  /// itself instead of going through a Scheduler). Call with the recorder
+  /// engaged, after SelectTape but before extracting the sweep.
+  void RecordDispatchDecision(int d, TapeId chosen, TapeId mounted,
+                              const std::vector<TapeCandidate>& candidates,
+                              double now);
+
+  /// Emits scheduled-into-sweep instants for drive `d`'s just-built sweep.
+  void TraceSweepContents(int d, TapeId tape, double now);
+
   Jukebox* jukebox_;
   const Catalog* catalog_;
   /// Non-null only via the mutable-catalog constructor (fault injection).
@@ -174,6 +198,13 @@ class MultiDriveSimulator {
 
   JukeboxCounters counters_;
   MultiDriveStats stats_;
+
+  /// Per-drive time-in-state accounting (always on; folded into the
+  /// result). Cursors advance only at event-processing time via
+  /// FlushCharges, so they track the clock exactly.
+  obs::TimeInStateAccounting accounting_;
+  /// Engaged only when sim.obs asks for output (tracing is opt-in).
+  std::optional<obs::TraceRecorder> recorder_;
 };
 
 }  // namespace tapejuke

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <functional>
 #include <limits>
+#include <sstream>
 
 #include "tape/drive.h"
 #include "tape/tape.h"
 #include "util/check.h"
+#include "util/json.h"
 
 namespace tapejuke {
 
@@ -149,6 +151,10 @@ void RepairManager::RequestSourceRead(BlockId block, double now) {
   request.arrival_time = now;
   request.cls = RequestClass::kBackground;
   tasks_[block].source_outstanding = true;
+  if (recorder_ != nullptr) {
+    recorder_->RequestArrived(request.id, request.block,
+                              /*background=*/true, now);
+  }
   scheduler_->EnqueueBackground(request);
 }
 
@@ -330,6 +336,12 @@ double RepairManager::CompleteTask(BlockId block, size_t idx, double now) {
   stats_.reprotect_seconds_sum += reprotect;
   stats_.reprotect_seconds_max =
       std::max(stats_.reprotect_seconds_max, reprotect);
+  if (recorder_ != nullptr) {
+    std::ostringstream args;
+    args << "{\"block\":" << block << ",\"target_tape\":" << task.target_tape
+         << ",\"reprotect_seconds\":" << JsonDouble(reprotect) << '}';
+    recorder_->Instant("repair-complete", now + seconds, args.str());
+  }
   --outstanding_tasks_;
   if (state.tasks.empty() && !state.source_outstanding) tasks_.erase(it);
   return seconds;
@@ -414,6 +426,14 @@ RepairManager::Quantum RepairManager::ScrubStep(double now) {
   }
   if (scrub_slot_ >= num_slots) {
     ++stats_.scrub_passes;
+    if (recorder_ != nullptr) {
+      std::ostringstream args;
+      args << "{\"tape\":" << scrubbed
+           << ",\"passes\":" << stats_.scrub_passes
+           << ",\"errors_detected\":" << stats_.scrub_errors_detected
+           << '}';
+      recorder_->Instant("scrub-pass-complete", now, args.str());
+    }
     scrub_tape_ = kInvalidTape;
     next_scrub_due_ = now + config_.scrub_interval_seconds;
     return quantum;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "layout/catalog.h"
+#include "obs/recorder.h"
 #include "sched/scheduler.h"
 #include "sim/fault_model.h"
 #include "tape/jukebox.h"
@@ -157,6 +158,12 @@ class RepairManager {
 
   const RepairStats& stats() const { return stats_; }
 
+  /// Observability: attaches the run's trace recorder. The manager emits
+  /// scheduler-track instants for scrub-pass completions and finished
+  /// repairs, and opens lifecycle spans for its background source reads.
+  /// Null (the default) disables all of it.
+  void set_recorder(obs::TraceRecorder* recorder) { recorder_ = recorder; }
+
  private:
   /// One pending re-replication: the dead copy it replaces and the
   /// reserved target slot the new copy will be written to.
@@ -219,6 +226,7 @@ class RepairManager {
   Scheduler* scheduler_;
   FaultModel* faults_;
   FaultStats* fault_stats_;
+  obs::TraceRecorder* recorder_ = nullptr;
   RepairStats stats_;
 
   int64_t block_mb_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <iostream>
 #include <limits>
 
 #include "util/check.h"
@@ -9,6 +10,9 @@ namespace tapejuke {
 Status SimulationConfig::Validate() const {
   if (duration_seconds <= 0) {
     return Status::InvalidArgument("duration must be positive");
+  }
+  if (obs.sample < 1) {
+    return Status::InvalidArgument("trace sample must be >= 1");
   }
   if (warmup_seconds < 0 || warmup_seconds >= duration_seconds) {
     return Status::InvalidArgument(
@@ -32,7 +36,8 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
       scheduler_(scheduler),
       config_(config),
       workload_(catalog, config.workload),
-      metrics_(config.warmup_seconds, jukebox->config().block_size_mb) {
+      metrics_(config.warmup_seconds, jukebox->config().block_size_mb),
+      accounting_(/*num_drives=*/1, config.warmup_seconds) {
   TJ_CHECK(jukebox != nullptr);
   TJ_CHECK(catalog != nullptr);
   TJ_CHECK(scheduler != nullptr);
@@ -41,6 +46,12 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
   TJ_CHECK(!config.faults.enabled())
       << "fault injection requires the mutable-catalog Simulator "
          "constructor (permanent media errors mask catalog replicas)";
+  if (config_.obs.enabled()) {
+    recorder_.emplace(config_.obs);
+    recorder_->SetTopology("jukebox", /*num_drives=*/1);
+    accounting_.set_recorder(&*recorder_);
+    scheduler_->set_decision_sink(&*recorder_);
+  }
 }
 
 Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
@@ -51,12 +62,19 @@ Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
       scheduler_(scheduler),
       config_(config),
       workload_(catalog, config.workload),
-      metrics_(config.warmup_seconds, jukebox->config().block_size_mb) {
+      metrics_(config.warmup_seconds, jukebox->config().block_size_mb),
+      accounting_(/*num_drives=*/1, config.warmup_seconds) {
   TJ_CHECK(jukebox != nullptr);
   TJ_CHECK(catalog != nullptr);
   TJ_CHECK(scheduler != nullptr);
   const Status status = config.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
+  if (config_.obs.enabled()) {
+    recorder_.emplace(config_.obs);
+    recorder_->SetTopology("jukebox", /*num_drives=*/1);
+    accounting_.set_recorder(&*recorder_);
+    scheduler_->set_decision_sink(&*recorder_);
+  }
   if (config_.faults.enabled()) {
     faults_.emplace(config_.faults, config_.workload.seed);
     if (config_.faults.drive_mtbf_seconds > 0) {
@@ -66,6 +84,7 @@ Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
     if (config_.repair.enabled()) {
       repair_.emplace(config_.repair, jukebox_, mutable_catalog_, scheduler_,
                       &*faults_, &fault_stats_);
+      if (recorder_.has_value()) repair_->set_recorder(&*recorder_);
     }
   }
 }
@@ -90,8 +109,16 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
 
 bool Simulator::DeliverOrFail(const Request& request,
                               Position committed_head) {
+  if (recorder_.has_value()) {
+    recorder_->RequestArrived(request.id, request.block,
+                              /*background=*/false, request.arrival_time);
+  }
   if (faults_.has_value() && !catalog_->HasLiveReplica(request.block)) {
     metrics_.OnFailure(request.arrival_time, request.arrival_time);
+    if (recorder_.has_value()) {
+      recorder_->RequestDone(request.id, obs::RequestOutcome::kFailed,
+                             request.arrival_time);
+    }
     return false;
   }
   scheduler_->OnArrival(request, committed_head);
@@ -113,6 +140,9 @@ void Simulator::IssueClosedRequest(double now, Position committed_head) {
 
 void Simulator::FailRequest(const Request& request) {
   metrics_.OnFailure(request.arrival_time, clock_);
+  if (recorder_.has_value()) {
+    recorder_->RequestDone(request.id, obs::RequestOutcome::kFailed, clock_);
+  }
   if (closed_) {
     // The issuing process continues: it issues its next request,
     // immediately or after a think period, exactly as on completion.
@@ -133,6 +163,7 @@ void Simulator::Requeue(const Request& request) {
   }
   if (catalog_->HasLiveReplica(request.block)) {
     ++fault_stats_.failovers;
+    if (recorder_.has_value()) recorder_->RequestFailover(request.id, clock_);
     scheduler_->OnArrival(request, jukebox_->head());
   } else {
     FailRequest(request);
@@ -190,6 +221,7 @@ void Simulator::AdvancePastDriveRepairs() {
     const double end = clock_ + repair;
     DeliverArrivalsUpTo(end, jukebox_->head());
     clock_ = end;
+    accounting_.ChargeTo(0, obs::DriveActivity::kDown, clock_);
     MaybeMarkWarmup();
     next_drive_failure_ = clock_ + faults_->NextFailureGap();
   }
@@ -204,6 +236,10 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
     } else {
       const Request request = workload_.NextRequest(expired->first);
       metrics_.OnArrival(expired->first);
+      if (recorder_.has_value()) {
+        recorder_->RequestArrived(request.id, request.block,
+                                  /*background=*/false, expired->first);
+      }
       scheduler_->OnArrival(request, committed_head);
     }
   }
@@ -212,6 +248,11 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
            trace_[trace_pos_].arrival_time <= until) {
       const Request& request = trace_[trace_pos_++];
       metrics_.OnArrival(request.arrival_time);
+      if (recorder_.has_value()) {
+        recorder_->RequestArrived(request.id, request.block,
+                                  /*background=*/false,
+                                  request.arrival_time);
+      }
       scheduler_->OnArrival(request, committed_head);
     }
     next_arrival_ = trace_pos_ < trace_.size()
@@ -225,6 +266,21 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
     metrics_.OnArrival(next_arrival_);
     DeliverOrFail(request, committed_head);
     next_arrival_ += workload_.NextInterarrival();
+  }
+}
+
+void Simulator::TraceSweepContents(TapeId tape) {
+  if (!recorder_.has_value() || !recorder_->trace_enabled()) return;
+  const Sweep& sweep = scheduler_->sweep();
+  for (const ServiceEntry& entry : sweep.forward()) {
+    for (const Request& request : entry.requests) {
+      recorder_->RequestScheduled(request.id, tape, clock_);
+    }
+  }
+  for (const ServiceEntry& entry : sweep.reverse()) {
+    for (const Request& request : entry.requests) {
+      recorder_->RequestScheduled(request.id, tape, clock_);
+    }
   }
 }
 
@@ -250,6 +306,10 @@ SimulationResult Simulator::Run() {
     for (int64_t i = 0; i < config_.workload.queue_length; ++i) {
       const Request request = workload_.NextRequest(0.0);
       metrics_.OnArrival(0.0);
+      if (recorder_.has_value()) {
+        recorder_->RequestArrived(request.id, request.block,
+                                  /*background=*/false, 0.0);
+      }
       scheduler_->OnArrival(request, jukebox_->head());
     }
   } else {
@@ -278,6 +338,7 @@ SimulationResult Simulator::Run() {
             const double end = clock_ + quantum.seconds;
             DeliverArrivalsUpTo(end, jukebox_->head());
             clock_ = end;
+            accounting_.ChargeTo(0, obs::DriveActivity::kBackground, clock_);
             MaybeMarkWarmup();
             if (quantum.masked_replicas) EvictUnservable();
             continue;
@@ -287,6 +348,7 @@ SimulationResult Simulator::Run() {
             // Background work is due before the next client event: wake
             // for it (e.g. a scrub pass or a refilled token bucket).
             clock_ = next_work;
+            accounting_.ChargeTo(0, obs::DriveActivity::kIdle, clock_);
             DeliverArrivalsUpTo(clock_, jukebox_->head());
             MaybeMarkWarmup();
             continue;
@@ -299,12 +361,14 @@ SimulationResult Simulator::Run() {
             break;
           }
           clock_ = thinking_.NextTime();
+          accounting_.ChargeTo(0, obs::DriveActivity::kIdle, clock_);
           DeliverArrivalsUpTo(clock_, jukebox_->head());
           MaybeMarkWarmup();
           continue;
         }
         if (next_arrival_ > config_.duration_seconds) break;
         clock_ = next_arrival_;
+        accounting_.ChargeTo(0, obs::DriveActivity::kIdle, clock_);
         DeliverArrivalsUpTo(clock_, jukebox_->head());
         MaybeMarkWarmup();
         continue;
@@ -320,13 +384,18 @@ SimulationResult Simulator::Run() {
           const double end = clock_ + flush;
           DeliverArrivalsUpTo(end, jukebox_->head());
           clock_ = end;
+          accounting_.ChargeTo(0, obs::DriveActivity::kBackground, clock_);
           MaybeMarkWarmup();
         }
       }
+      if (recorder_.has_value()) recorder_->SetNow(clock_);
       const TapeId tape = scheduler_->MajorReschedule();
       TJ_CHECK_NE(tape, kInvalidTape)
           << "scheduler reported work but produced no schedule";
-      double switch_seconds = jukebox_->SwitchTo(tape);
+      TraceSweepContents(tape);
+      SwitchBreakdown breakdown;
+      double switch_seconds = jukebox_->SwitchTo(tape, &breakdown);
+      double robot_seconds = breakdown.robot;
       if (faults_.has_value() && switch_seconds > 0) {
         // Robot handoff faults: each slip repeats the robot move.
         const int slips = faults_->NextRobotFaults();
@@ -335,11 +404,22 @@ SimulationResult Simulator::Run() {
           fault_stats_.robot_faults += slips;
           fault_stats_.robot_retry_seconds += extra;
           switch_seconds += extra;
+          robot_seconds += extra;
         }
       }
       const double end = clock_ + switch_seconds;
       // During the switch the committed head is the post-load position.
       DeliverArrivalsUpTo(end, jukebox_->head());
+      // Charge the switch components in temporal order (rewind, eject,
+      // robot + retries, load); the final segment is charged to the
+      // absolute end so the cursor tracks the clock exactly.
+      double t = clock_ + breakdown.rewind;
+      accounting_.ChargeTo(0, obs::DriveActivity::kRewinding, t);
+      t += breakdown.eject;
+      accounting_.ChargeTo(0, obs::DriveActivity::kSwitching, t);
+      t += robot_seconds;
+      accounting_.ChargeTo(0, obs::DriveActivity::kRobot, t);
+      accounting_.ChargeTo(0, obs::DriveActivity::kSwitching, end);
       clock_ = end;
       MaybeMarkWarmup();
       continue;
@@ -349,13 +429,25 @@ SimulationResult Simulator::Run() {
     AdvancePastDriveRepairs();
     const std::optional<ServiceEntry> entry = scheduler_->PopNext();
     TJ_CHECK(entry.has_value());
-    double op_seconds = jukebox_->ReadBlockAt(entry->position);
+    ReadBreakdown read_breakdown;
+    double op_seconds = jukebox_->ReadBlockAt(entry->position,
+                                              &read_breakdown);
+    // Locate/read segments of every attempt, in temporal order.
+    double op_t = clock_ + read_breakdown.locate;
+    accounting_.ChargeTo(0, obs::DriveActivity::kLocating, op_t);
+    op_t += read_breakdown.read;
+    accounting_.ChargeTo(0, obs::DriveActivity::kReading, op_t);
     ReadOutcome outcome;
     if (faults_.has_value()) {
       outcome = faults_->NextReadOutcome();
       // Each transient retry locates back to the block start and re-reads.
       for (int r = 0; r < outcome.retries; ++r) {
-        op_seconds += jukebox_->ReadBlockAt(entry->position);
+        op_seconds += jukebox_->ReadBlockAt(entry->position,
+                                            &read_breakdown);
+        op_t += read_breakdown.locate;
+        accounting_.ChargeTo(0, obs::DriveActivity::kLocating, op_t);
+        op_t += read_breakdown.read;
+        accounting_.ChargeTo(0, obs::DriveActivity::kReading, op_t);
       }
       fault_stats_.transient_read_errors +=
           outcome.retries + (outcome.escalated ? 1 : 0);
@@ -365,8 +457,16 @@ SimulationResult Simulator::Run() {
     const double end = clock_ + op_seconds;
     // Arrivals during the operation see the head the drive is committed to.
     DeliverArrivalsUpTo(end, jukebox_->head());
+    // Absorb any accumulation drift between the per-segment charges and
+    // op_seconds into the final reading segment.
+    accounting_.ChargeTo(0, obs::DriveActivity::kReading, end);
     clock_ = end;
     MaybeMarkWarmup();
+    if (recorder_.has_value() && outcome.retries > 0) {
+      for (const Request& request : entry->requests) {
+        recorder_->RequestRetry(request.id, outcome.retries, clock_);
+      }
+    }
 
     if (outcome.permanent_error) {
       // The media under this read is gone: mask it and fail the requests
@@ -379,6 +479,10 @@ SimulationResult Simulator::Run() {
       if (request.cls == RequestClass::kBackground) {
         // A repair source read finished: its payload is buffered. Not a
         // client completion — no metrics, no closed-model reissue.
+        if (recorder_.has_value()) {
+          recorder_->RequestDone(request.id,
+                                 obs::RequestOutcome::kCompleted, clock_);
+        }
         repair_->OnSourceReadComplete(request.block, clock_);
         continue;
       }
@@ -389,6 +493,10 @@ SimulationResult Simulator::Run() {
         ++fault_stats_.degraded_reads;
       }
       metrics_.OnCompletion(request.arrival_time, clock_);
+      if (recorder_.has_value()) {
+        recorder_->RequestDone(request.id,
+                               obs::RequestOutcome::kCompleted, clock_);
+      }
       if (closed) {
         // The completing process issues its next request, immediately
         // (the paper's I/O-bound processes) or after a think period.
@@ -399,13 +507,19 @@ SimulationResult Simulator::Run() {
         } else {
           const Request next = workload_.NextRequest(clock_);
           metrics_.OnArrival(clock_);
+          if (recorder_.has_value()) {
+            recorder_->RequestArrived(next.id, next.block,
+                                      /*background=*/false, clock_);
+          }
           scheduler_->OnArrival(next, jukebox_->head());
         }
       }
     }
   }
   MaybeMarkWarmup();
-  SimulationResult result = metrics_.Finalize(clock_, jukebox_->counters());
+  accounting_.FinishAt(clock_);
+  SimulationResult result =
+      metrics_.Finalize(clock_, jukebox_->counters(), &accounting_);
   if (faults_.has_value()) {
     result.fault_injection = true;
     result.faults = fault_stats_;
@@ -419,6 +533,14 @@ SimulationResult Simulator::Run() {
   if (repair_.has_value()) {
     result.repair_enabled = true;
     result.repair = repair_->Finalize();
+  }
+  if (recorder_.has_value()) {
+    const Status obs_status = recorder_->Finalize(clock_);
+    if (!obs_status.ok()) {
+      // Trace output must never fail the run itself.
+      std::cerr << "warning: observability output failed: "
+                << obs_status.ToString() << '\n';
+    }
   }
   return result;
 }

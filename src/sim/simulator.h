@@ -21,6 +21,8 @@
 #include <optional>
 
 #include "layout/catalog.h"
+#include "obs/recorder.h"
+#include "obs/time_in_state.h"
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
 #include "sim/fault_model.h"
@@ -47,6 +49,11 @@ struct SimulationConfig {
   /// Background scrub and repair (disabled by default). Requires fault
   /// injection — without faults there is nothing to scrub for or repair.
   RepairConfig repair;
+  /// Observability (disabled by default; never serialized into results
+  /// JSON). When enabled the simulator owns a TraceRecorder, feeds it
+  /// drive state slices / request lifecycles / scheduler decisions, and
+  /// writes the configured files at the end of Run.
+  obs::TraceConfig obs;
 
   Status Validate() const;
 };
@@ -117,6 +124,10 @@ class Simulator {
   /// (arrivals are still delivered). Called before the drive starts work.
   void AdvancePastDriveRepairs();
 
+  /// Emits a "scheduled" trace instant for every request in the active
+  /// sweep (called right after a major reschedule); no-op unless tracing.
+  void TraceSweepContents(TapeId tape);
+
   Jukebox* jukebox_;
   const Catalog* catalog_;
   /// Non-null only via the mutable-catalog constructor; required (and
@@ -126,6 +137,11 @@ class Simulator {
   SimulationConfig config_;
   WorkloadGenerator workload_;
   MetricsCollector metrics_;
+  /// Always-on per-drive activity accounting (a few double adds per clock
+  /// advance); feeds SimulationResult::time_in_state/drive_utilization.
+  obs::TimeInStateAccounting accounting_;
+  /// Engaged iff config_.obs.enabled().
+  std::optional<obs::TraceRecorder> recorder_;
 
   /// Engaged iff config_.faults.enabled().
   std::optional<FaultModel> faults_;

@@ -38,8 +38,9 @@ const Tape& Jukebox::tape(TapeId id) const {
   return tapes_[static_cast<size_t>(id)];
 }
 
-double Jukebox::SwitchTo(TapeId target) {
+double Jukebox::SwitchTo(TapeId target, SwitchBreakdown* breakdown) {
   TJ_CHECK(target >= 0 && target < num_tapes()) << "bad tape id" << target;
+  if (breakdown != nullptr) *breakdown = SwitchBreakdown{};
   if (drive_.loaded_tape() == target) return 0.0;
   double elapsed = 0.0;
   if (drive_.has_tape()) {
@@ -47,9 +48,11 @@ double Jukebox::SwitchTo(TapeId target) {
       const double rewind = drive_.Rewind();
       counters_.rewind_seconds += rewind;
       elapsed += rewind;
+      if (breakdown != nullptr) breakdown->rewind = rewind;
       const double eject = drive_.Eject();
       counters_.switch_seconds += eject;
       elapsed += eject;
+      if (breakdown != nullptr) breakdown->eject = eject;
     } else {
       // Hypothetical eject-anywhere drive: skip the rewind. Reset the head
       // through a free rewind so Drive's eject precondition holds; no time
@@ -58,6 +61,7 @@ double Jukebox::SwitchTo(TapeId target) {
       const double eject = drive_.Eject();
       counters_.switch_seconds += eject;
       elapsed += eject;
+      if (breakdown != nullptr) breakdown->eject = eject;
     }
   }
   const double robot = model_.params().robot_seconds;
@@ -67,10 +71,14 @@ double Jukebox::SwitchTo(TapeId target) {
   counters_.switch_seconds += load;
   elapsed += load;
   ++counters_.tape_switches;
+  if (breakdown != nullptr) {
+    breakdown->robot = robot;
+    breakdown->load = load;
+  }
   return elapsed;
 }
 
-double Jukebox::ReadBlockAt(Position position) {
+double Jukebox::ReadBlockAt(Position position, ReadBreakdown* breakdown) {
   TJ_CHECK(drive_.has_tape()) << "read with no tape mounted";
   const double locate = drive_.LocateTo(position);
   counters_.locate_seconds += locate;
@@ -78,6 +86,10 @@ double Jukebox::ReadBlockAt(Position position) {
   counters_.read_seconds += read;
   ++counters_.blocks_read;
   counters_.mb_read += config_.block_size_mb;
+  if (breakdown != nullptr) {
+    breakdown->locate = locate;
+    breakdown->read = read;
+  }
   return locate + read;
 }
 

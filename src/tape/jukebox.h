@@ -36,6 +36,22 @@ struct JukeboxCounters {
   }
 };
 
+/// Component timing of one SwitchTo call, for per-state observability.
+/// rewind + eject + robot + load == the seconds SwitchTo returned.
+struct SwitchBreakdown {
+  double rewind = 0;
+  double eject = 0;
+  double robot = 0;
+  double load = 0;
+};
+
+/// Component timing of one ReadBlockAt call.
+/// locate + read == the seconds ReadBlockAt returned.
+struct ReadBreakdown {
+  double locate = 0;
+  double read = 0;
+};
+
 /// Configuration for Jukebox construction.
 struct JukeboxConfig {
   int32_t num_tapes = 10;
@@ -76,12 +92,15 @@ class Jukebox {
 
   /// Switches the drive to `target`: rewind (if needed), eject, robot swap,
   /// load. No-op returning 0 when `target` is already mounted. Counters are
-  /// updated. Returns elapsed seconds.
-  double SwitchTo(TapeId target);
+  /// updated. Returns elapsed seconds; when `breakdown` is non-null the
+  /// component times are stored there (zeroed first).
+  double SwitchTo(TapeId target, SwitchBreakdown* breakdown = nullptr);
 
   /// Locates to `position` on the mounted tape and reads one block
-  /// (config().block_size_mb MB). Updates counters. Returns elapsed seconds.
-  double ReadBlockAt(Position position);
+  /// (config().block_size_mb MB). Updates counters. Returns elapsed
+  /// seconds; when `breakdown` is non-null the locate/read split is
+  /// stored there (zeroed first).
+  double ReadBlockAt(Position position, ReadBreakdown* breakdown = nullptr);
 
   /// Rewinds the mounted tape (explicit idle-time rewind). Returns seconds.
   double Rewind();

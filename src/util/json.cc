@@ -1,0 +1,171 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+JsonWriter::JsonWriter(std::ostream* os) : os_(os) {}
+
+void JsonWriter::NewlineIndent() {
+  *os_ << '\n';
+  for (size_t i = 0; i < stack_.size(); ++i) *os_ << "  ";
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;  // top-level value
+  if (stack_.back() == Scope::kObject) {
+    TJ_CHECK(pending_key_) << "JSON object value emitted without a key";
+    pending_key_ = false;
+    return;
+  }
+  if (counts_.back() > 0) *os_ << ',';
+  NewlineIndent();
+  ++counts_.back();
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  *os_ << '{';
+  stack_.push_back(Scope::kObject);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  TJ_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "unbalanced EndObject";
+  TJ_CHECK(!pending_key_) << "JSON key emitted without a value";
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) NewlineIndent();
+  *os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  *os_ << '[';
+  stack_.push_back(Scope::kArray);
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  TJ_CHECK(!stack_.empty() && stack_.back() == Scope::kArray)
+      << "unbalanced EndArray";
+  const bool empty = counts_.back() == 0;
+  stack_.pop_back();
+  counts_.pop_back();
+  if (!empty) NewlineIndent();
+  *os_ << ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  TJ_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "JSON key outside an object";
+  TJ_CHECK(!pending_key_) << "two JSON keys in a row";
+  if (counts_.back() > 0) *os_ << ',';
+  NewlineIndent();
+  ++counts_.back();
+  *os_ << '"' << JsonEscape(name) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(const std::string& value) {
+  BeforeValue();
+  *os_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Value(const char* value) { Value(std::string(value)); }
+
+void JsonWriter::Value(double value) {
+  BeforeValue();
+  *os_ << JsonDouble(value);
+}
+
+void JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  *os_ << value;
+}
+
+void JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  *os_ << value;
+}
+
+void JsonWriter::Value(bool value) {
+  BeforeValue();
+  *os_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  *os_ << "null";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const std::to_chars_result result =
+      std::to_chars(buf, buf + sizeof(buf), value);
+  TJ_CHECK(result.ec == std::errc()) << "double to_chars failed";
+  return std::string(buf, result.ptr);
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  const std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create directory '" +
+                              fs_path.parent_path().string() +
+                              "': " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace tapejuke

@@ -1,0 +1,81 @@
+// Streaming JSON emission with deterministic output.
+//
+// Home of the JsonWriter used for results/<bench>.json documents and for
+// the observability layer's trace/decision-log files (which cannot depend
+// on core/). Doubles are printed in their shortest round-trip form
+// (std::to_chars), keys are emitted in caller order, and NaN/Inf become
+// null, so identical values always serialize to byte-identical JSON.
+
+#ifndef TAPEJUKE_UTIL_JSON_H_
+#define TAPEJUKE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tapejuke {
+
+/// Streaming JSON writer with 2-space pretty printing. Usage:
+///
+///   JsonWriter w(&os);
+///   w.BeginObject();
+///   w.Key("name"); w.Value("fig04");
+///   w.Key("points"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///
+/// The writer TJ_CHECKs on malformed call sequences (value without a key
+/// inside an object, unbalanced End calls).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* os);
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(const std::string& name);
+
+  void Value(const std::string& value);
+  void Value(const char* value);
+  void Value(double value);
+  void Value(int64_t value);
+  void Value(uint64_t value);
+  void Value(int value) { Value(static_cast<int64_t>(value)); }
+  void Value(bool value);
+  void Null();
+
+  /// Key + Value in one call.
+  template <typename T>
+  void Field(const std::string& name, const T& value) {
+    Key(name);
+    Value(value);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void NewlineIndent();
+
+  std::ostream* os_;
+  std::vector<Scope> stack_;
+  std::vector<int> counts_;  ///< values emitted in each open scope
+  bool pending_key_ = false;
+};
+
+/// Backslash-escapes `s` for use inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+/// Shortest round-trip decimal form of `value`; "null" for NaN/Inf.
+std::string JsonDouble(double value);
+
+/// Writes `content` to `path`, creating parent directories as needed.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_JSON_H_

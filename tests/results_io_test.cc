@@ -117,10 +117,26 @@ TEST(WriteJson, SimulationResultCarriesEveryMetric) {
   EXPECT_NE(json.find("\"requests_per_minute\": 2.5"), std::string::npos);
   for (const char* key :
        {"throughput_mb_per_s", "mean_delay_seconds", "mean_delay_minutes",
-        "p95_delay_seconds", "tape_switches_per_hour", "counters"}) {
+        "p95_delay_seconds", "p99_delay_seconds", "tape_switches_per_hour",
+        "counters"}) {
     EXPECT_NE(json.find("\"" + std::string(key) + "\""), std::string::npos)
         << key;
   }
+  // The time-in-state block appears only when accounting was collected.
+  EXPECT_EQ(json.find("\"time_in_state\""), std::string::npos);
+  EXPECT_EQ(json.find("\"drive_utilization\""), std::string::npos);
+  result.drive_utilization = 0.5;
+  result.time_in_state.resize(2);
+  result.time_in_state[0][obs::DriveActivity::kReading] = 3.25;
+  std::ostringstream os2;
+  JsonWriter w2(&os2);
+  WriteJson(&w2, result);
+  const std::string with_states = os2.str();
+  EXPECT_NE(with_states.find("\"drive_utilization\": 0.5"),
+            std::string::npos);
+  EXPECT_NE(with_states.find("\"time_in_state\""), std::string::npos);
+  EXPECT_NE(with_states.find("\"reading\": 3.25"), std::string::npos);
+  EXPECT_NE(with_states.find("\"down\": 0"), std::string::npos);
 }
 
 TEST(WriteJson, TableRoundTripsColumnsAndRows) {
