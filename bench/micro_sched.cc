@@ -4,7 +4,29 @@
 // benchmarks measure its practical cost as the pending-queue size n and
 // tape count t grow, alongside the greedy rescheduler, the timing model,
 // and the event queue.
+//
+// Two bespoke timed comparisons are emitted into results/micro_sched.json
+// (schema in docs/RESULTS.md, methodology in docs/PERFORMANCE.md):
+//
+//  * envelope_kernel — one-shot upper-envelope computation, incremental
+//    kernel vs the from-scratch reference, over batches up to 100k
+//    requests (the reference is only timed up to 1000 requests; above
+//    that its O(rounds * n log n) re-sorts make timing it pointless);
+//  * steady_state — scheduler-level reschedule/drain/refill cycles at a
+//    constant queue depth, comparing the legacy configuration (linear
+//    tape scan, per-call extension-list rebuild) against the cached fast
+//    paths (indexed selection heap + persistent extension lists) and the
+//    batched/epoch policy knobs. This is the deep-queue regime the fast
+//    paths target: the persistent cache only pays off across reschedules.
+//
+// --check runs the CI divergence gate instead of the full grid: a 10k-deep
+// steady-state run under ValidatingScheduler with validate_envelope on
+// (every fast path cross-checked against the reference oracle), plus the
+// 10k kernel and steady-state points for the results artifact. The gate
+// fails (TJ_CHECK abort) on any divergence; timings are reported but never
+// gate the build.
 
+#include <algorithm>
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -150,41 +172,54 @@ void BM_FullSimulationRun(benchmark::State& state) {
 BENCHMARK(BM_FullSimulationRun)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
-// Incremental vs from-scratch envelope kernel: bespoke timed comparison
-// emitted into results/micro_sched.json (see docs/RESULTS.md).
+// Incremental vs from-scratch envelope kernel: bespoke timed comparison.
 // ---------------------------------------------------------------------------
+
+/// The reference kernel re-enumerates and re-sorts every extension list on
+/// every round; above this batch size it is too slow to time and would only
+/// restate its asymptotics, so we report the incremental kernel alone.
+constexpr int kMaxReferenceBatch = 1000;
 
 struct KernelTiming {
   int batch = 0;
   int tapes = 0;
   double incremental_ns_per_op = 0;
-  double reference_ns_per_op = 0;
-  double speedup = 0;
+  bool reference_timed = false;
+  double reference_ns_per_op = 0;  ///< 0 when !reference_timed
+  double speedup = 0;              ///< 0 when !reference_timed
   int64_t extension_rounds_per_op = 0;
   int64_t tapes_rescored_per_op = 0;
 };
 
-/// ns per call of `fn`, sampled until at least ~50 ms of work accumulates.
+/// ns per call of `fn`: grows the rep count until one timed chunk covers
+/// ~50 ms, then reports the fastest of three such chunks (interference only
+/// ever adds time, so the minimum is the most repeatable estimator).
 template <typename Fn>
 double TimeNsPerOp(Fn&& fn) {
   using Clock = std::chrono::steady_clock;
-  fn();  // warm-up
-  int reps = 1;
-  for (;;) {
+  const auto chunk_ns = [&](int reps) {
     const auto start = Clock::now();
     for (int i = 0; i < reps; ++i) fn();
-    const double ns =
-        std::chrono::duration<double, std::nano>(Clock::now() - start)
-            .count();
-    if (ns >= 5e7 || reps >= (1 << 20)) return ns / reps;
+    return std::chrono::duration<double, std::nano>(Clock::now() - start)
+        .count();
+  };
+  fn();  // warm-up
+  int reps = 1;
+  double ns = 0;
+  for (;;) {
+    ns = chunk_ns(reps);
+    if (ns >= 5e7 || reps >= (1 << 20)) break;
     reps *= 4;
   }
+  for (int rep = 0; rep < 2; ++rep) ns = std::min(ns, chunk_ns(reps));
+  return ns / reps;
 }
 
-std::vector<KernelTiming> RunKernelComparison() {
+std::vector<KernelTiming> RunKernelComparison(
+    const std::vector<int>& batches) {
   std::vector<KernelTiming> rows;
   const int32_t tapes = 10;
-  for (const int batch : {20, 140, 300, 1000}) {
+  for (const int batch : batches) {
     // NR-2 hot-only draws: every request is replicated and none absorbs
     // into the initial envelope, so the extension loop dominates — the
     // regime the incremental kernel targets.
@@ -200,11 +235,14 @@ std::vector<KernelTiming> RunKernelComparison() {
     row.incremental_ns_per_op = TimeNsPerOp([&] {
       benchmark::DoNotOptimize(sched.ComputeUpperEnvelope(requests));
     });
-    row.reference_ns_per_op = TimeNsPerOp([&] {
-      benchmark::DoNotOptimize(
-          sched.ComputeUpperEnvelopeReference(requests));
-    });
-    row.speedup = row.reference_ns_per_op / row.incremental_ns_per_op;
+    row.reference_timed = batch <= kMaxReferenceBatch;
+    if (row.reference_timed) {
+      row.reference_ns_per_op = TimeNsPerOp([&] {
+        benchmark::DoNotOptimize(
+            sched.ComputeUpperEnvelopeReference(requests));
+      });
+      row.speedup = row.reference_ns_per_op / row.incremental_ns_per_op;
+    }
     // Per-op behaviour counters from one clean call.
     const EnvelopeScheduler::EnvelopeCounters before = sched.counters();
     sched.ComputeUpperEnvelope(requests);
@@ -227,16 +265,266 @@ void PrintKernelComparison(const std::vector<KernelTiming>& rows) {
             << "rescored" << "\n";
   for (const KernelTiming& row : rows) {
     std::cout << std::setw(8) << row.batch << std::setw(18) << std::fixed
-              << std::setprecision(0) << row.incremental_ns_per_op
-              << std::setw(18) << row.reference_ns_per_op << std::setw(10)
-              << std::setprecision(2) << row.speedup << std::setw(10)
-              << row.extension_rounds_per_op << std::setw(12)
-              << row.tapes_rescored_per_op << "\n";
+              << std::setprecision(0) << row.incremental_ns_per_op;
+    if (row.reference_timed) {
+      std::cout << std::setw(18) << row.reference_ns_per_op << std::setw(10)
+                << std::setprecision(2) << row.speedup;
+    } else {
+      std::cout << std::setw(18) << "-" << std::setw(10) << "-";
+    }
+    std::cout << std::setw(10) << row.extension_rounds_per_op
+              << std::setw(12) << row.tapes_rescored_per_op << "\n";
   }
 }
 
-void WriteKernelResults(const std::string& results_dir,
-                        const std::vector<KernelTiming>& rows) {
+// ---------------------------------------------------------------------------
+// Steady-state scheduler comparison: reschedule/drain/refill cycles at a
+// constant queue depth, legacy configuration vs the cached fast paths.
+// ---------------------------------------------------------------------------
+
+struct SteadyRow {
+  std::string mode;
+  int depth = 0;
+  int tapes = 0;
+  double ns_per_reschedule = 0;
+  double speedup_vs_legacy = 0;  ///< 0 for the legacy row itself
+  double served_per_reschedule = 0;
+  double rounds_per_reschedule = 0;
+  double rescored_per_reschedule = 0;
+  double rebuilds_per_reschedule = 0;
+  double epoch_reuses_per_reschedule = 0;
+};
+
+/// Drives one EnvelopeScheduler through tape-visit cycles at a constant
+/// queue depth: each cycle runs MajorReschedule (timed alone — the drain
+/// and refill below are workload-generation overhead every mode shares),
+/// drains the sweep, and refills the queue with as many fresh hot-block
+/// arrivals as were served (delivered while the sweep is empty, so they
+/// defer to the pending list the way arrivals between sweeps do). No tape
+/// is ever mounted, matching the greedy reschedule benchmark above: every
+/// visit prices the switch.
+class SteadyDriver {
+ public:
+  SteadyDriver(int32_t tapes, int depth, const SchedulerOptions& options)
+      : rig_(tapes, /*num_replicas=*/2), rng_(1234) {
+    sched_ = std::make_unique<EnvelopeScheduler>(
+        &rig_.jukebox, rig_.catalog.get(), TapePolicy::kMaxBandwidth,
+        options);
+    for (int i = 0; i < depth; ++i) Deliver();
+  }
+
+  /// Returns the requests served this cycle and accumulates the wall time
+  /// of the MajorReschedule call into `reschedule_ns`.
+  int64_t Cycle(double* reschedule_ns) {
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    const TapeId tape = sched_->MajorReschedule();
+    if (reschedule_ns != nullptr) {
+      *reschedule_ns +=
+          std::chrono::duration<double, std::nano>(Clock::now() - start)
+              .count();
+    }
+    TJ_CHECK(tape != kInvalidTape);
+    int64_t served = 0;
+    while (auto entry = sched_->PopNext()) {
+      served += static_cast<int64_t>(entry->requests.size());
+    }
+    for (int64_t i = 0; i < served; ++i) Deliver();
+    return served;
+  }
+
+  const EnvelopeScheduler& sched() const { return *sched_; }
+
+ private:
+  void Deliver() {
+    const auto block = static_cast<BlockId>(rng_.UniformUint64(
+        static_cast<uint64_t>(rig_.catalog->num_hot_blocks())));
+    sched_->OnArrival(Request{next_id_++, block, 0.0},
+                      /*committed_head=*/0);
+  }
+
+  SchedRig rig_;
+  Rng rng_;
+  std::unique_ptr<EnvelopeScheduler> sched_;
+  RequestId next_id_ = 0;
+};
+
+struct SteadyMode {
+  const char* name;
+  SchedulerOptions options;
+};
+
+std::vector<SteadyMode> SteadyModes() {
+  // legacy — the pre-optimization configuration: linear tape scan each
+  // round, extension lists rebuilt and re-sorted on every reschedule.
+  SchedulerOptions legacy;
+  legacy.use_selection_heap = false;
+  legacy.persistent_ext_cache = false;
+  // cached — the equivalence-preserving fast paths (identical schedules).
+  SchedulerOptions cached;  // defaults: heap + persistent cache on
+  // cached+batched — policy knobs stacked on top: arrivals coalesced in
+  // batches of 256, one envelope reused for up to 4 tape visits.
+  SchedulerOptions batched = cached;
+  batched.arrival_batch = 256;
+  batched.reschedule_epoch = 4;
+  return {{"legacy", legacy}, {"cached", cached},
+          {"cached+batched", batched}};
+}
+
+/// Timed visits per depth: fixed (not adaptive) so every mode at a given
+/// depth runs the exact same cycle indices — the equivalence-preserving
+/// modes then serve identical request sequences and the per-visit means
+/// are directly comparable.
+int SteadyWindow(int depth) {
+  if (depth >= 100000) return 8;
+  if (depth >= 50000) return 12;
+  if (depth >= 10000) return 24;
+  return 64;
+}
+
+/// The timed window is repeated and the *minimum* window mean is reported:
+/// wall-clock interference (shared cores, frequency drift) only ever adds
+/// time, so the minimum is the most repeatable estimator of the true cost.
+constexpr int kSteadyReps = 3;
+
+std::vector<SteadyRow> RunSteadyComparison(const std::vector<int>& depths) {
+  std::vector<SteadyRow> rows;
+  const int32_t tapes = 10;
+  for (const int depth : depths) {
+    double legacy_ns = 0;
+    for (const SteadyMode& mode : SteadyModes()) {
+      SteadyDriver driver(tapes, depth, mode.options);
+      // Reach steady state (master cache built, envelope persisted)
+      // before timing.
+      for (int i = 0; i < 3; ++i) driver.Cycle(nullptr);
+
+      const int window = SteadyWindow(depth);
+      const EnvelopeScheduler::EnvelopeCounters before =
+          driver.sched().counters();
+      double best_window_ns = 0;
+      int64_t served = 0;
+      for (int rep = 0; rep < kSteadyReps; ++rep) {
+        double reschedule_ns = 0;
+        int64_t rep_served = 0;
+        for (int i = 0; i < window; ++i) {
+          rep_served += driver.Cycle(&reschedule_ns);
+        }
+        if (rep == 0 || reschedule_ns < best_window_ns) {
+          best_window_ns = reschedule_ns;
+        }
+        served += rep_served;
+      }
+      const EnvelopeScheduler::EnvelopeCounters after =
+          driver.sched().counters();
+
+      SteadyRow row;
+      row.mode = mode.name;
+      row.depth = depth;
+      row.tapes = tapes;
+      row.ns_per_reschedule = best_window_ns / window;
+      if (row.mode == "legacy") {
+        legacy_ns = row.ns_per_reschedule;
+      } else if (legacy_ns > 0) {
+        row.speedup_vs_legacy = legacy_ns / row.ns_per_reschedule;
+      }
+      // Counters accumulate over every rep; the per-visit rates are exact
+      // regardless of which rep had the cleanest timing.
+      const auto per_visit = [&](int64_t delta) {
+        return static_cast<double>(delta) / (window * kSteadyReps);
+      };
+      row.served_per_reschedule = per_visit(served);
+      row.rounds_per_reschedule =
+          per_visit(after.extension_rounds - before.extension_rounds);
+      row.rescored_per_reschedule =
+          per_visit(after.tapes_rescored - before.tapes_rescored);
+      row.rebuilds_per_reschedule =
+          per_visit(after.master_rebuilds - before.master_rebuilds);
+      row.epoch_reuses_per_reschedule =
+          per_visit(after.epoch_reuses - before.epoch_reuses);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+void PrintSteadyComparison(const std::vector<SteadyRow>& rows) {
+  std::cout << "\nSteady-state MajorReschedule cost (10 tapes, NR-2, "
+               "hot-only draws, constant depth)\n";
+  std::cout << std::setw(8) << "depth" << std::setw(16) << "mode"
+            << std::setw(16) << "ns/resched" << std::setw(10) << "speedup"
+            << std::setw(10) << "served" << std::setw(10) << "rounds"
+            << std::setw(12) << "rescored" << std::setw(10) << "rebuilds"
+            << std::setw(8) << "epochs" << "\n";
+  for (const SteadyRow& row : rows) {
+    std::cout << std::setw(8) << row.depth << std::setw(16) << row.mode
+              << std::setw(16) << std::fixed << std::setprecision(0)
+              << row.ns_per_reschedule << std::setw(10)
+              << std::setprecision(2) << row.speedup_vs_legacy
+              << std::setw(10) << std::setprecision(0)
+              << row.served_per_reschedule << std::setw(10)
+              << std::setprecision(1) << row.rounds_per_reschedule
+              << std::setw(12) << row.rescored_per_reschedule
+              << std::setw(10) << row.rebuilds_per_reschedule
+              << std::setw(8) << row.epoch_reuses_per_reschedule << "\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CI divergence gate (--check): steady-state run with every fast path on,
+// under ValidatingScheduler + validate_envelope. Fails on divergence (the
+// oracle TJ_CHECKs abort); timings never gate.
+// ---------------------------------------------------------------------------
+
+struct CheckStats {
+  int visits = 0;
+  int64_t requests_served = 0;
+};
+
+CheckStats RunDivergenceCheck() {
+  const int32_t tapes = 10;
+  const int depth = 10000;
+  const int kVisits = 6;
+  SchedRig rig(tapes, /*num_replicas=*/2);
+  SchedulerOptions options;  // heap + persistent cache on by default
+  options.validate_envelope = true;
+  options.arrival_batch = 256;
+  ValidatingScheduler sched(
+      std::make_unique<EnvelopeScheduler>(&rig.jukebox, rig.catalog.get(),
+                                          TapePolicy::kMaxBandwidth,
+                                          options),
+      &rig.jukebox, rig.catalog.get());
+
+  Rng rng(99);
+  RequestId next_id = 0;
+  const auto deliver = [&] {
+    const auto block = static_cast<BlockId>(rng.UniformUint64(
+        static_cast<uint64_t>(rig.catalog->num_hot_blocks())));
+    sched.OnArrival(Request{next_id++, block, 0.0}, /*committed_head=*/0);
+  };
+  for (int i = 0; i < depth; ++i) deliver();
+
+  CheckStats stats;
+  stats.visits = kVisits;
+  for (int v = 0; v < kVisits; ++v) {
+    const TapeId tape = sched.MajorReschedule();
+    TJ_CHECK(tape != kInvalidTape);
+    int64_t served = 0;
+    while (auto entry = sched.PopNext()) {
+      served += static_cast<int64_t>(entry->requests.size());
+    }
+    for (int64_t i = 0; i < served; ++i) deliver();
+    stats.requests_served += served;
+  }
+  std::cout << "divergence check: PASS (" << stats.visits
+            << " validated reschedules at depth " << depth << ", "
+            << stats.requests_served << " requests served)\n";
+  return stats;
+}
+
+void WriteResults(const std::string& results_dir,
+                  const std::vector<KernelTiming>& kernel_rows,
+                  const std::vector<SteadyRow>& steady_rows,
+                  const CheckStats* check) {
   if (results_dir.empty()) return;
   std::ostringstream os;
   JsonWriter w(&os);
@@ -244,12 +532,13 @@ void WriteKernelResults(const std::string& results_dir,
   w.Field("bench", "micro_sched");
   w.Key("envelope_kernel");
   w.BeginArray();
-  for (const KernelTiming& row : rows) {
+  for (const KernelTiming& row : kernel_rows) {
     w.BeginObject();
     w.Field("workload", "hot-only NR-2");
     w.Field("batch_requests", row.batch);
     w.Field("num_tapes", row.tapes);
     w.Field("incremental_ns_per_op", row.incremental_ns_per_op);
+    w.Field("reference_timed", row.reference_timed);
     w.Field("reference_ns_per_op", row.reference_ns_per_op);
     w.Field("speedup", row.speedup);
     w.Field("extension_rounds_per_op", row.extension_rounds_per_op);
@@ -257,6 +546,33 @@ void WriteKernelResults(const std::string& results_dir,
     w.EndObject();
   }
   w.EndArray();
+  w.Key("steady_state");
+  w.BeginArray();
+  for (const SteadyRow& row : steady_rows) {
+    w.BeginObject();
+    w.Field("workload", "hot-only NR-2");
+    w.Field("mode", row.mode);
+    w.Field("depth", row.depth);
+    w.Field("num_tapes", row.tapes);
+    w.Field("ns_per_reschedule", row.ns_per_reschedule);
+    w.Field("speedup_vs_legacy", row.speedup_vs_legacy);
+    w.Field("served_per_reschedule", row.served_per_reschedule);
+    w.Field("extension_rounds_per_reschedule", row.rounds_per_reschedule);
+    w.Field("tapes_rescored_per_reschedule", row.rescored_per_reschedule);
+    w.Field("master_rebuilds_per_reschedule", row.rebuilds_per_reschedule);
+    w.Field("epoch_reuses_per_reschedule",
+            row.epoch_reuses_per_reschedule);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (check != nullptr) {
+    w.Key("divergence_check");
+    w.BeginObject();
+    w.Field("passed", true);
+    w.Field("validated_reschedules", check->visits);
+    w.Field("requests_served", check->requests_served);
+    w.EndObject();
+  }
   w.EndObject();
   os << "\n";
   const std::string path = results_dir + "/micro_sched.json";
@@ -269,30 +585,53 @@ void WriteKernelResults(const std::string& results_dir,
 }  // namespace tapejuke
 
 int main(int argc, char** argv) {
-  // --results-dir is ours (mirroring the figure benches; empty disables the
-  // JSON document); everything else goes to google-benchmark.
+  // --results-dir and --check are ours (mirroring the figure benches;
+  // an empty results dir disables the JSON document); everything else
+  // goes to google-benchmark.
   std::string results_dir = "results";
+  bool check_only = false;
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--results-dir=", 0) == 0) {
       results_dir = arg.substr(std::string("--results-dir=").size());
+    } else if (arg == "--check") {
+      check_only = true;
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
-  int bench_argc = static_cast<int>(bench_argv.size());
-  benchmark::Initialize(&bench_argc, bench_argv.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc,
-                                             bench_argv.data())) {
-    return 1;
+  if (!check_only) {
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
 
-  const std::vector<tapejuke::KernelTiming> rows =
-      tapejuke::RunKernelComparison();
-  tapejuke::PrintKernelComparison(rows);
-  tapejuke::WriteKernelResults(results_dir, rows);
+  // --check trims both comparisons to the 10k point (the CI artifact) and
+  // runs the divergence gate; the full grids are for local measurement.
+  const std::vector<int> kernel_batches =
+      check_only ? std::vector<int>{10000}
+                 : std::vector<int>{20, 140, 300, 1000, 10000, 50000,
+                                    100000};
+  const std::vector<int> steady_depths =
+      check_only ? std::vector<int>{10000}
+                 : std::vector<int>{1000, 10000, 50000, 100000};
+
+  const std::vector<tapejuke::KernelTiming> kernel_rows =
+      tapejuke::RunKernelComparison(kernel_batches);
+  tapejuke::PrintKernelComparison(kernel_rows);
+  const std::vector<tapejuke::SteadyRow> steady_rows =
+      tapejuke::RunSteadyComparison(steady_depths);
+  tapejuke::PrintSteadyComparison(steady_rows);
+
+  tapejuke::CheckStats check;
+  if (check_only) check = tapejuke::RunDivergenceCheck();
+  tapejuke::WriteResults(results_dir, kernel_rows, steady_rows,
+                         check_only ? &check : nullptr);
   return 0;
 }

@@ -1,9 +1,11 @@
 #include "sched/envelope_scheduler.h"
 
 #include <algorithm>
-#include <map>
+#include <functional>
+#include <utility>
 
 #include "util/check.h"
+#include "util/indexed_heap.h"
 
 namespace tapejuke {
 
@@ -99,6 +101,106 @@ TapeId SelectBestTape(const std::vector<std::vector<Ext>>& ext,
   return best;
 }
 
+/// Heap-backed tape selection, exactly equivalent to SelectBestTape.
+///
+/// The linear scan's winner always lies in the *top group* G: the maximal
+/// prefix of tapes (sorted by score descending) whose adjacent scores are
+/// NearlyEqual. Proof: let the chain break between v_k and v_{k+1}
+/// (v_k - v_{k+1} > eps*v_k). For any g in G (bw_g >= v_k) and x outside
+/// (bw_x <= v_{k+1}): bw_g - bw_x >= (bw_g - v_k) + (v_k - v_{k+1}) >
+/// (bw_g - v_k) + eps*v_k >= eps*bw_g since eps <= 1 — so g and x are NOT
+/// NearlyEqual and g strictly beats x under the scan's comparison. Hence
+/// once the scan reaches the first member of G, its running best stays in
+/// G, and the comparisons among G members are exactly those of a scan
+/// restricted to G in ascending tape order.
+///
+/// So: pop the adjacent-NearlyEqual group off the heap top (pops come out
+/// in non-increasing score order), restore it, and run the original
+/// tie-break over the group in ascending tape order.
+TapeId SelectBestTapeFromHeap(const std::vector<TapeScore>& score,
+                              const std::vector<int64_t>& counts,
+                              TapeId mounted, int32_t num_tapes,
+                              IndexedMaxHeap<double, std::less<double>>* heap,
+                              std::vector<std::pair<size_t, double>>* group) {
+  if (heap->empty()) return kInvalidTape;
+  group->clear();
+  double prev = heap->TopValue();
+  group->emplace_back(heap->Pop(), prev);
+  while (!heap->empty() && NearlyEqual(heap->TopValue(), prev)) {
+    prev = heap->TopValue();
+    group->emplace_back(heap->Pop(), prev);
+  }
+  for (const auto& [key, value] : *group) heap->Set(key, value);
+  std::sort(group->begin(), group->end());  // ascending tape id
+  TapeId best = kInvalidTape;
+  for (const auto& [key, value] : *group) {
+    const TapeId t = static_cast<TapeId>(key);
+    bool better;
+    if (best == kInvalidTape) {
+      better = true;
+    } else if (NearlyEqual(score[static_cast<size_t>(t)].bw,
+                           score[static_cast<size_t>(best)].bw)) {
+      const int64_t c_t = counts[static_cast<size_t>(t)];
+      const int64_t c_b = counts[static_cast<size_t>(best)];
+      better = c_t > c_b ||
+               (c_t == c_b && ScanRankFrom(t, mounted, num_tapes) <
+                                  ScanRankFrom(best, mounted, num_tapes));
+    } else {
+      better = score[static_cast<size_t>(t)].bw >
+               score[static_cast<size_t>(best)].bw;
+    }
+    if (better) best = t;
+  }
+  return best;
+}
+
+/// Per-tape assigned requests consumed by the step-5 shrink loop. Replaces
+/// a std::multimap<Position, Request>: the loop only ever reads/removes the
+/// *max* element (the envelope edge), so a flat vector with a tracked max
+/// index is enough. Ties on position resolve to the latest insertion
+/// (matching multimap::rbegin, which lands on the last-inserted element
+/// among equal keys).
+struct AssignedList {
+  struct Item {
+    Position position;
+    int64_t seq;
+    Request request;
+  };
+
+  std::vector<Item> items;
+  size_t max_index = 0;
+  int64_t next_seq = 0;
+
+  bool empty() const { return items.empty(); }
+
+  void Add(Position position, const Request& request) {
+    items.push_back(Item{position, next_seq++, request});
+    // >= : among equal positions the later insertion wins (seq is higher).
+    if (items.size() == 1 || position >= items[max_index].position) {
+      max_index = items.size() - 1;
+    }
+  }
+
+  const Item& Max() const {
+    TJ_DCHECK(!items.empty());
+    return items[max_index];
+  }
+
+  void RemoveMax() {
+    items[max_index] = std::move(items.back());
+    items.pop_back();
+    max_index = 0;
+    for (size_t i = 1; i < items.size(); ++i) {
+      const Item& a = items[i];
+      const Item& b = items[max_index];
+      if (a.position > b.position ||
+          (a.position == b.position && a.seq > b.seq)) {
+        max_index = i;
+      }
+    }
+  }
+};
+
 /// Oracle comparison: TJ_CHECK-fails unless the two kernels produced
 /// byte-identical upper envelopes, assignments, and per-tape counts.
 void CheckEnvelopeResultsEqual(
@@ -126,28 +228,98 @@ void CheckEnvelopeResultsEqual(
   }
 }
 
+/// Per-tape candidates for the pending requests satisfiable within
+/// `envelope` (the slow walk over pending x replicas; the persistent-cache
+/// fast path is BuildCandidatesFromMaster).
+std::vector<TapeCandidate> CandidatesWithinEnvelope(
+    const Catalog& catalog, const std::deque<Request>& pending,
+    const std::vector<Position>& envelope, int64_t block_mb,
+    int32_t num_tapes) {
+  std::vector<TapeCandidate> candidates(static_cast<size_t>(num_tapes));
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    candidates[static_cast<size_t>(t)].tape = t;
+  }
+  const RequestId oldest = pending.front().id;
+  for (const Request& request : pending) {
+    for (const Replica& replica : catalog.ReplicasOf(request.block)) {
+      if (!catalog.IsAlive(replica)) continue;
+      if (replica.position + block_mb <=
+          envelope[static_cast<size_t>(replica.tape)]) {
+        TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
+        ++c.num_requests;
+        c.positions.push_back(replica.position);
+        if (request.id == oldest) c.serves_oldest = true;
+      }
+    }
+  }
+  return candidates;
+}
+
+/// Debug oracle: candidates read off the master cache must match the slow
+/// pending x replicas walk (counts, oldest-request flags, and position
+/// multisets — the master's are sorted, the walk's are in pending order).
+void CheckCandidatesMatchSlowWalk(
+    const std::vector<TapeCandidate>& candidates, const Catalog& catalog,
+    const std::deque<Request>& pending,
+    const std::vector<Position>& envelope, int64_t block_mb,
+    int32_t num_tapes) {
+  const std::vector<TapeCandidate> slow = CandidatesWithinEnvelope(
+      catalog, pending, envelope, block_mb, num_tapes);
+  TJ_CHECK_EQ(candidates.size(), slow.size());
+  for (size_t t = 0; t < slow.size(); ++t) {
+    TJ_CHECK_EQ(candidates[t].num_requests, slow[t].num_requests)
+        << "master candidate count diverged on tape" << slow[t].tape;
+    TJ_CHECK_EQ(candidates[t].serves_oldest, slow[t].serves_oldest);
+    std::vector<Position> a = candidates[t].positions;
+    std::vector<Position> b = slow[t].positions;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    TJ_CHECK(a == b) << "master candidate positions diverged on tape"
+                     << slow[t].tape;
+  }
+}
+
 }  // namespace
 
 /// Mutable state shared by the two extension kernels: the result being
-/// built, the per-tape assigned multimaps consumed by step 5, and the
-/// stable post-step-2 unscheduled vector.
+/// built, the per-tape assigned lists consumed by step 5, and the stable
+/// post-step-2 unscheduled vector.
 struct EnvelopeScheduler::KernelState {
   EnvelopeResult result;
-  /// Per-tape assigned requests, keyed by replica position (multimap:
-  /// several requests can name the same block).
-  std::vector<std::multimap<Position, Request>> assigned;
+  /// Per-tape assigned requests with their replica positions (several
+  /// requests can name the same block; step 5 reads/removes the max).
+  std::vector<AssignedList> assigned;
   /// Requests left unscheduled by step 2, in arrival order. Never
   /// reordered; the kernels track progress through side bitmaps.
   std::vector<Request> unscheduled;
   int64_t shrinks_done = 0;
   int64_t max_shrinks = 0;
+  /// When false, the per-request assignment map is not materialized (the
+  /// production reschedule path only consumes the envelope; the map is for
+  /// the oracle cross-check and the theory validation).
+  bool want_assignment = true;
+  int64_t assigns_done = 0;  ///< Assign calls (reassignments included)
 
   void Assign(const Request& request, const Replica& replica) {
-    result.assignment[request.id] = replica;
+    if (want_assignment) result.assignment[request.id] = replica;
+    ++assigns_done;
     ++result.scheduled_per_tape[static_cast<size_t>(replica.tape)];
-    assigned[static_cast<size_t>(replica.tape)].emplace(replica.position,
-                                                        request);
+    assigned[static_cast<size_t>(replica.tape)].Add(replica.position, request);
   }
+};
+
+/// Reusable kernel temporaries: survive across reschedules so the hot path
+/// performs no per-call vector allocation once the buffers are warm.
+struct EnvelopeScheduler::KernelScratch {
+  std::vector<std::vector<Ext>> ext;
+  std::vector<TapeScore> score;
+  std::vector<char> dirty;
+  std::vector<char> done;
+  std::vector<size_t> enclosed;
+  std::vector<std::pair<size_t, double>> group;
+  std::vector<RequestId> ids;
+  FlatMap<RequestId, size_t> uid_of;
+  IndexedMaxHeap<double, std::less<double>> heap;
 };
 
 EnvelopeScheduler::EnvelopeScheduler(const Jukebox* jukebox,
@@ -155,6 +327,13 @@ EnvelopeScheduler::EnvelopeScheduler(const Jukebox* jukebox,
                                      TapePolicy policy,
                                      const SchedulerOptions& options)
     : Scheduler(jukebox, catalog, options), policy_(policy) {}
+
+EnvelopeScheduler::~EnvelopeScheduler() = default;
+
+EnvelopeScheduler::KernelScratch& EnvelopeScheduler::Scratch() const {
+  if (scratch_ == nullptr) scratch_ = std::make_unique<KernelScratch>();
+  return *scratch_;
+}
 
 std::string EnvelopeScheduler::name() const {
   return std::string(TapePolicyName(policy_)) + " envelope";
@@ -223,6 +402,9 @@ void EnvelopeScheduler::BuildInitialEnvelope(
 
   state->result.envelope.assign(static_cast<size_t>(num_tapes), 0);
   state->result.scheduled_per_tape.assign(static_cast<size_t>(num_tapes), 0);
+  if (state->want_assignment) {
+    state->result.assignment.reserve(requests.size());
+  }
   state->assigned.resize(static_cast<size_t>(num_tapes));
   state->max_shrinks =
       static_cast<int64_t>(requests.size()) * num_tapes + 16;
@@ -260,12 +442,16 @@ void EnvelopeScheduler::BuildInitialEnvelope(
     }
   }
   state->result.initial_envelope = env;
-  state->result.initially_unscheduled = state->unscheduled;
+  // Like the assignment map, the (S1, remaining) snapshot only feeds the
+  // oracle and the theory checks.
+  if (state->want_assignment) {
+    state->result.initially_unscheduled = state->unscheduled;
+  }
 }
 
 void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
                                       EnvelopeCounters* counters,
-                                      std::vector<bool>* dirty) const {
+                                      std::vector<char>* dirty) const {
   const int32_t num_tapes = jukebox_->num_tapes();
   const int64_t block_mb = jukebox_->config().block_size_mb;
   const TapeId mounted = jukebox_->mounted_tape();
@@ -285,10 +471,11 @@ void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
     for (TapeId a = 0; a < num_tapes; ++a) {
       const auto& on_a = state->assigned[static_cast<size_t>(a)];
       if (on_a.empty()) continue;
-      const auto& [edge_pos, edge_req] = *on_a.rbegin();
-      if (edge_pos + block_mb != env[static_cast<size_t>(a)]) continue;
+      const AssignedList::Item& edge = on_a.Max();
+      if (edge.position + block_mb != env[static_cast<size_t>(a)]) continue;
       bool movable = false;
-      for (const Replica& replica : catalog_->ReplicasOf(edge_req.block)) {
+      for (const Replica& replica :
+           catalog_->ReplicasOf(edge.request.block)) {
         if (!catalog_->IsAlive(replica)) continue;
         if (replica.tape != a &&
             replica.position + block_mb <=
@@ -312,8 +499,7 @@ void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
     ++counters->shrink_moves;
 
     auto& on_a = state->assigned[static_cast<size_t>(shrink_tape)];
-    auto edge_it = std::prev(on_a.end());
-    const Request moved = edge_it->second;
+    const Request moved = on_a.Max().request;
     std::vector<const Replica*> inside;
     for (const Replica& replica : catalog_->ReplicasOf(moved.block)) {
       if (!catalog_->IsAlive(replica)) continue;
@@ -324,7 +510,7 @@ void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
       }
     }
     TJ_CHECK(!inside.empty());
-    on_a.erase(edge_it);
+    on_a.RemoveMax();
     --counts[static_cast<size_t>(shrink_tape)];
     const Replica* target = ChooseInsideReplica(inside, counts, mounted);
     state->Assign(moved, *target);
@@ -332,21 +518,23 @@ void EnvelopeScheduler::RunShrinkLoop(KernelState* state,
     // the head / beginning of tape).
     Position base = (shrink_tape == mounted) ? head : 0;
     if (!on_a.empty()) {
-      base = std::max(base, on_a.rbegin()->first + block_mb);
+      base = std::max(base, on_a.Max().position + block_mb);
     }
     env[static_cast<size_t>(shrink_tape)] = base;
-    if (dirty != nullptr) (*dirty)[static_cast<size_t>(shrink_tape)] = true;
+    if (dirty != nullptr) (*dirty)[static_cast<size_t>(shrink_tape)] = 1;
   }
 }
 
 EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
-    const std::vector<Request>& requests, EnvelopeCounters* counters) const {
+    const std::vector<Request>& requests, EnvelopeCounters* counters,
+    const MasterCache* master, bool want_assignment) const {
   const int32_t num_tapes = jukebox_->num_tapes();
   const int64_t block_mb = jukebox_->config().block_size_mb;
   const TapeId mounted = jukebox_->mounted_tape();
   const TimingModel& model = jukebox_->model();
 
   KernelState state;
+  state.want_assignment = want_assignment;
   BuildInitialEnvelope(requests, &state, counters);
   auto& env = state.result.envelope;
   auto& counts = state.result.scheduled_per_tape;
@@ -355,48 +543,132 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
   if (n == 0) return std::move(state.result);
 
   // Steps 3-6, incremental form. The per-tape extension lists are built
-  // and sorted once; scheduled entries are lazily dropped, and a tape's
-  // prefix scan is re-run only when its envelope edge moved or its list
-  // lost entries (`dirty`).
-  std::vector<std::vector<Ext>> ext(static_cast<size_t>(num_tapes));
-  for (size_t i = 0; i < n; ++i) {
-    for (const Replica& replica :
-         catalog_->ReplicasOf(unscheduled[i].block)) {
-      if (!catalog_->IsAlive(replica)) continue;
-      TJ_DCHECK(replica.position >= env[static_cast<size_t>(replica.tape)]);
-      ext[static_cast<size_t>(replica.tape)].push_back(
-          Ext{replica.position, i, &replica});
+  // once (copied pre-sorted off the persistent cache when available);
+  // scheduled entries are lazily dropped, and a tape's prefix scan is
+  // re-run only when its envelope edge moved or its list lost entries
+  // (`dirty`).
+  KernelScratch& scratch = Scratch();
+  auto& ext = scratch.ext;
+  ext.resize(static_cast<size_t>(num_tapes));
+  for (auto& list : ext) list.clear();
+
+  if (master == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      for (const Replica& replica :
+           catalog_->ReplicasOf(unscheduled[i].block)) {
+        if (!catalog_->IsAlive(replica)) continue;
+        TJ_DCHECK(replica.position >=
+                  env[static_cast<size_t>(replica.tape)]);
+        ext[static_cast<size_t>(replica.tape)].push_back(
+            Ext{replica.position, i, &replica});
+      }
+    }
+    for (auto& list : ext) SortExtList(&list);
+  } else {
+    // The refreshed master lists are pending x live replicas sorted by
+    // (position, id): drop the step-2-absorbed requests while copying and
+    // translate ids to uids. Equal-position runs (duplicate requests for
+    // one block) may be uid-disordered when pending is not id-sorted
+    // (failover re-arrivals), so re-sort them by uid.
+    TJ_DCHECK(master->valid && master->removed.empty());
+    // uid translation. When the unscheduled snapshot is id-sorted (the
+    // common case — failover re-deliveries are the only source of
+    // disorder), the uid of an id is its rank in the id array (binary
+    // search, no hashing), and the master's (position, id) order already
+    // is (position, uid) order, so no per-run re-sort is needed either.
+    auto& ids = scratch.ids;
+    ids.clear();
+    ids.reserve(n);
+    bool ids_sorted = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (i > 0 && unscheduled[i].id <= ids.back()) ids_sorted = false;
+      ids.push_back(unscheduled[i].id);
+    }
+    if (ids_sorted) {
+      for (TapeId t = 0; t < num_tapes; ++t) {
+        TJ_DCHECK(master->tail[static_cast<size_t>(t)].empty());
+        auto& list = ext[static_cast<size_t>(t)];
+        for (const MasterEntry& entry :
+             master->sorted[static_cast<size_t>(t)]) {
+          const auto it = std::lower_bound(ids.begin(), ids.end(), entry.id);
+          if (it == ids.end() || *it != entry.id) continue;  // absorbed
+          TJ_DCHECK(entry.position >= env[static_cast<size_t>(t)]);
+          list.push_back(Ext{entry.position,
+                             static_cast<size_t>(it - ids.begin()),
+                             entry.replica});
+        }
+      }
+    } else {
+      // Disordered pending: translate through a hash map and re-sort the
+      // equal-position runs (duplicate requests for one block) by uid.
+      auto& uid_of = scratch.uid_of;
+      uid_of.clear();
+      uid_of.reserve(n);
+      for (size_t i = 0; i < n; ++i) uid_of.insert(unscheduled[i].id, i);
+      for (TapeId t = 0; t < num_tapes; ++t) {
+        TJ_DCHECK(master->tail[static_cast<size_t>(t)].empty());
+        auto& list = ext[static_cast<size_t>(t)];
+        for (const MasterEntry& entry :
+             master->sorted[static_cast<size_t>(t)]) {
+          const auto it = uid_of.find(entry.id);
+          if (it == uid_of.end()) continue;  // absorbed by step 2
+          TJ_DCHECK(entry.position >= env[static_cast<size_t>(t)]);
+          list.push_back(Ext{entry.position, it->second, entry.replica});
+        }
+        for (size_t k = 0; k + 1 < list.size();) {
+          size_t j = k + 1;
+          while (j < list.size() && list[j].position == list[k].position) {
+            ++j;
+          }
+          if (j - k > 1) {
+            std::sort(
+                list.begin() + static_cast<std::ptrdiff_t>(k),
+                list.begin() + static_cast<std::ptrdiff_t>(j),
+                [](const Ext& a, const Ext& b) { return a.uid < b.uid; });
+          }
+          k = j;
+        }
+      }
     }
   }
-  for (auto& list : ext) SortExtList(&list);
 
-  std::vector<TapeScore> score(static_cast<size_t>(num_tapes));
-  std::vector<bool> dirty(static_cast<size_t>(num_tapes), true);
-  std::vector<bool> done(n, false);
+  auto& score = scratch.score;
+  score.assign(static_cast<size_t>(num_tapes), TapeScore{});
+  auto& dirty = scratch.dirty;
+  dirty.assign(static_cast<size_t>(num_tapes), 1);
+  auto& done = scratch.done;
+  done.assign(n, 0);
   size_t remaining = n;
+  const bool use_heap = options_.use_selection_heap;
+  auto& heap = scratch.heap;
+  if (use_heap) heap.Reset(static_cast<size_t>(num_tapes));
 
   // Schedules unscheduled[uid] on `replica` and invalidates the cached
   // score of every tape whose extension list held an entry for it.
   auto schedule = [&](size_t uid, const Replica& replica) {
     TJ_CHECK(!done[uid]);
-    done[uid] = true;
+    done[uid] = 1;
     --remaining;
     state.Assign(unscheduled[uid], replica);
     for (const Replica& r : catalog_->ReplicasOf(unscheduled[uid].block)) {
-      dirty[static_cast<size_t>(r.tape)] = true;
+      dirty[static_cast<size_t>(r.tape)] = 1;
     }
   };
 
   while (remaining > 0) {
-    // Step 3 (cached): compact and re-score only the dirty tapes.
+    // Step 3 (cached): compact and re-score only the dirty tapes; the heap
+    // absorbs the same updates, so its top is the best-scored tape.
     for (TapeId t = 0; t < num_tapes; ++t) {
       if (!dirty[static_cast<size_t>(t)]) continue;
-      dirty[static_cast<size_t>(t)] = false;
+      dirty[static_cast<size_t>(t)] = 0;
       auto& list = ext[static_cast<size_t>(t)];
       list.erase(std::remove_if(list.begin(), list.end(),
                                 [&](const Ext& e) { return done[e.uid]; }),
                  list.end());
-      if (list.empty()) continue;
+      if (list.empty()) {
+        if (use_heap) heap.Remove(static_cast<size_t>(t));
+        continue;
+      }
       const double surcharge =
           (env[static_cast<size_t>(t)] == 0 && t != mounted)
               ? model.SwitchTime()
@@ -404,6 +676,9 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
       score[static_cast<size_t>(t)] = ScorePrefixes(
           model, list, env[static_cast<size_t>(t)], surcharge, block_mb);
       ++counters->tapes_rescored;
+      if (use_heap) {
+        heap.Set(static_cast<size_t>(t), score[static_cast<size_t>(t)].bw);
+      }
     }
 
     if (options_.validate_envelope) {
@@ -428,7 +703,10 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
           TJ_CHECK_EQ(fresh[k].uid, list[k].uid);
           TJ_CHECK(fresh[k].replica == list[k].replica);
         }
-        if (list.empty()) continue;
+        if (list.empty()) {
+          TJ_CHECK(!use_heap || !heap.Contains(static_cast<size_t>(t)));
+          continue;
+        }
         const double surcharge =
             (env[static_cast<size_t>(t)] == 0 && t != mounted)
                 ? model.SwitchTime()
@@ -438,11 +716,27 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
         TJ_CHECK_EQ(fresh_score.bw, score[static_cast<size_t>(t)].bw)
             << "stale cached score on tape" << t;
         TJ_CHECK_EQ(fresh_score.len, score[static_cast<size_t>(t)].len);
+        if (use_heap) {
+          TJ_CHECK(heap.Contains(static_cast<size_t>(t)))
+              << "tape" << t << "with candidates missing from the heap";
+          TJ_CHECK_EQ(heap.ValueOf(static_cast<size_t>(t)),
+                      score[static_cast<size_t>(t)].bw);
+        }
       }
     }
 
-    const TapeId best_tape =
-        SelectBestTape(ext, score, counts, mounted, num_tapes);
+    TapeId best_tape;
+    if (use_heap) {
+      best_tape = SelectBestTapeFromHeap(score, counts, mounted, num_tapes,
+                                         &heap, &scratch.group);
+      if (options_.validate_envelope) {
+        TJ_CHECK_EQ(best_tape,
+                    SelectBestTape(ext, score, counts, mounted, num_tapes))
+            << "heap-backed tape selection diverged from the linear scan";
+      }
+    } else {
+      best_tape = SelectBestTape(ext, score, counts, mounted, num_tapes);
+    }
     TJ_CHECK_NE(best_tape, kInvalidTape)
         << "unscheduled request without replicas";
     ++counters->extension_rounds;
@@ -452,7 +746,7 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
     const size_t best_len = score[static_cast<size_t>(best_tape)].len;
     const Position new_edge = winner[best_len - 1].position + block_mb;
     env[static_cast<size_t>(best_tape)] = new_edge;
-    dirty[static_cast<size_t>(best_tape)] = true;  // edge moved
+    dirty[static_cast<size_t>(best_tape)] = 1;  // edge moved
     for (size_t k = 0; k < best_len; ++k) {
       const Replica& replica = *winner[k].replica;
       TJ_DCHECK(replica ==
@@ -465,7 +759,8 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
     // second request for a block at the new envelope edge). Only the
     // extended tape's envelope grew, so candidates are exactly the pending
     // entries of its list inside the new edge; absorb in arrival order.
-    std::vector<size_t> enclosed;
+    auto& enclosed = scratch.enclosed;
+    enclosed.clear();
     for (size_t k = best_len; k < winner.size(); ++k) {
       if (!done[winner[k].uid] &&
           winner[k].position + block_mb <= new_edge) {
@@ -474,14 +769,14 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunIncrementalKernel(
     }
     std::sort(enclosed.begin(), enclosed.end());
     for (const size_t uid : enclosed) {
-      const size_t before = state.result.assignment.size();
+      const int64_t before = state.assigns_done;
       TJ_CHECK(TryAbsorb(unscheduled[uid], &state, counters));
-      TJ_CHECK_EQ(before + 1, state.result.assignment.size());
-      done[uid] = true;
+      TJ_CHECK_EQ(before + 1, state.assigns_done);
+      done[uid] = 1;
       --remaining;
       for (const Replica& r :
            catalog_->ReplicasOf(unscheduled[uid].block)) {
-        dirty[static_cast<size_t>(r.tape)] = true;
+        dirty[static_cast<size_t>(r.tape)] = 1;
       }
     }
 
@@ -567,7 +862,11 @@ EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::RunReferenceKernel(
 
 EnvelopeScheduler::EnvelopeResult EnvelopeScheduler::ComputeUpperEnvelope(
     const std::vector<Request>& requests) const {
-  return RunIncrementalKernel(requests, &counters_);
+  // Master-free on purpose: this entry point must be a pure function of
+  // (requests, drive state, catalog) — tests and benchmarks call it without
+  // a live scheduler history.
+  return RunIncrementalKernel(requests, &counters_, /*master=*/nullptr,
+                              /*want_assignment=*/true);
 }
 
 EnvelopeScheduler::EnvelopeResult
@@ -581,8 +880,8 @@ void EnvelopeScheduler::CrossCheckEnvelope(
     const std::vector<Request>& requests) const {
   EnvelopeCounters incremental_counters;
   EnvelopeCounters reference_counters;
-  const EnvelopeResult incremental =
-      RunIncrementalKernel(requests, &incremental_counters);
+  const EnvelopeResult incremental = RunIncrementalKernel(
+      requests, &incremental_counters, nullptr, /*want_assignment=*/true);
   const EnvelopeResult reference =
       RunReferenceKernel(requests, &reference_counters);
   CheckEnvelopeResultsEqual(incremental, reference);
@@ -591,20 +890,208 @@ void EnvelopeScheduler::CrossCheckEnvelope(
       << "kernels took different numbers of extension rounds";
 }
 
+void EnvelopeScheduler::InsertMaster(const Request& request) {
+  if (!options_.persistent_ext_cache || !master_.valid) return;
+  // Resurrection: a lazily-removed id re-entering pending (sweep trims,
+  // fault re-deliveries) still has its sorted entries in place, and they
+  // are identical as long as the generation check holds — unmasking them
+  // is the whole update. (If the catalog moved meanwhile, the stale
+  // entries are never read: the next refresh rebuilds.)
+  if (master_.removed.erase(request.id) > 0) return;
+  for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+    if (!catalog_->IsAlive(replica)) continue;
+    master_.tail[static_cast<size_t>(replica.tape)].push_back(
+        MasterEntry{replica.position, request.id, &replica});
+  }
+}
+
+void EnvelopeScheduler::RemoveMasterId(RequestId id) {
+  if (!options_.persistent_ext_cache || !master_.valid) return;
+  master_.removed.insert(id);
+}
+
+void EnvelopeScheduler::RemoveMasterExtracted() {
+  if (!options_.persistent_ext_cache || !master_.valid) return;
+  for (const ServiceEntry& entry : sweep_.forward()) {
+    for (const Request& request : entry.requests) {
+      master_.removed.insert(request.id);
+    }
+  }
+  for (const ServiceEntry& entry : sweep_.reverse()) {
+    for (const Request& request : entry.requests) {
+      master_.removed.insert(request.id);
+    }
+  }
+}
+
+void EnvelopeScheduler::RebuildMaster() {
+  const size_t num_tapes = static_cast<size_t>(jukebox_->num_tapes());
+  master_.sorted.resize(num_tapes);
+  master_.tail.resize(num_tapes);
+  for (auto& list : master_.sorted) list.clear();
+  for (auto& list : master_.tail) list.clear();
+  master_.removed.clear();
+  for (const Request& request : pending_) {
+    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
+      if (!catalog_->IsAlive(replica)) continue;
+      master_.sorted[static_cast<size_t>(replica.tape)].push_back(
+          MasterEntry{replica.position, request.id, &replica});
+    }
+  }
+  for (auto& list : master_.sorted) {
+    std::sort(list.begin(), list.end(),
+              [](const MasterEntry& a, const MasterEntry& b) {
+                return a.position < b.position ||
+                       (a.position == b.position && a.id < b.id);
+              });
+  }
+  master_.generation = catalog_->generation();
+  master_.valid = true;
+  ++counters_.master_rebuilds;
+}
+
+void EnvelopeScheduler::RefreshMaster() {
+  if (!options_.persistent_ext_cache) return;
+  if (!master_.valid || master_.generation != catalog_->generation()) {
+    RebuildMaster();
+    return;
+  }
+  const auto by_position_id = [](const MasterEntry& a, const MasterEntry& b) {
+    return a.position < b.position ||
+           (a.position == b.position && a.id < b.id);
+  };
+  const size_t num_tapes = static_cast<size_t>(jukebox_->num_tapes());
+  for (size_t t = 0; t < num_tapes; ++t) {
+    auto& base = master_.sorted[t];
+    auto& tail = master_.tail[t];
+    if (!master_.removed.empty()) {
+      const auto is_removed = [&](const MasterEntry& e) {
+        return master_.removed.contains(e.id);
+      };
+      base.erase(std::remove_if(base.begin(), base.end(), is_removed),
+                 base.end());
+      // A request can arrive and be removed between two refreshes, so the
+      // tail must be filtered too.
+      tail.erase(std::remove_if(tail.begin(), tail.end(), is_removed),
+                 tail.end());
+    }
+    if (!tail.empty()) {
+      std::sort(tail.begin(), tail.end(), by_position_id);
+      const auto middle =
+          static_cast<std::ptrdiff_t>(base.size());
+      base.insert(base.end(), tail.begin(), tail.end());
+      std::inplace_merge(base.begin(), base.begin() + middle, base.end(),
+                         by_position_id);
+      tail.clear();
+    }
+  }
+  master_.removed.clear();
+}
+
+std::vector<TapeCandidate> EnvelopeScheduler::BuildCandidatesFromMaster(
+    const std::vector<Position>& envelope) const {
+  const int32_t num_tapes = jukebox_->num_tapes();
+  const int64_t block_mb = jukebox_->config().block_size_mb;
+  std::vector<TapeCandidate> candidates(static_cast<size_t>(num_tapes));
+  const RequestId oldest = pending_.front().id;
+  // The cache may be unrefreshed here (epoch fast path): lazily-removed
+  // ids are skipped and the unsorted arrival tails are scanned linearly,
+  // so the result still mirrors pending x live replicas exactly. Right
+  // after a refresh both sets are empty and this is a pure prefix read.
+  const bool masked = !master_.removed.empty();
+  for (TapeId t = 0; t < num_tapes; ++t) {
+    TapeCandidate& c = candidates[static_cast<size_t>(t)];
+    c.tape = t;
+    const auto& list = master_.sorted[static_cast<size_t>(t)];
+    // In-envelope prefix: position + block_mb <= envelope[t].
+    const Position limit = envelope[static_cast<size_t>(t)] - block_mb;
+    const auto end = std::upper_bound(
+        list.begin(), list.end(), limit,
+        [](Position p, const MasterEntry& e) { return p < e.position; });
+    c.positions.reserve(static_cast<size_t>(end - list.begin()));
+    for (auto it = list.begin(); it != end; ++it) {
+      if (masked && master_.removed.contains(it->id)) continue;
+      c.positions.push_back(it->position);
+      if (it->id == oldest) c.serves_oldest = true;
+    }
+    for (const MasterEntry& entry : master_.tail[static_cast<size_t>(t)]) {
+      if (entry.position > limit) continue;
+      if (masked && master_.removed.contains(entry.id)) continue;
+      c.positions.push_back(entry.position);
+      if (entry.id == oldest) c.serves_oldest = true;
+    }
+    c.num_requests = static_cast<int64_t>(c.positions.size());
+  }
+  return candidates;
+}
+
+TapeId EnvelopeScheduler::TryEpochReschedule() {
+  const bool from_master = options_.persistent_ext_cache && master_.valid;
+  std::vector<TapeCandidate> candidates =
+      from_master ? BuildCandidatesFromMaster(envelope_)
+                  : CandidatesWithinEnvelope(*catalog_, pending_, envelope_,
+                                             jukebox_->config().block_size_mb,
+                                             jukebox_->num_tapes());
+  if (from_master && options_.validate_envelope) {
+    // The unrefreshed-cache read (masked ids + tails) must still mirror
+    // the pending list exactly.
+    CheckCandidatesMatchSlowWalk(candidates, *catalog_, pending_, envelope_,
+                                 jukebox_->config().block_size_mb,
+                                 jukebox_->num_tapes());
+  }
+  const TapeId tape =
+      SelectTape(policy_, candidates, jukebox_->mounted_tape(),
+                 jukebox_->head(), jukebox_->num_tapes(), cost_);
+  if (tape == kInvalidTape) return kInvalidTape;
+  RecordDecision(/*background=*/false, tape, candidates);
+  const Position limit = envelope_[static_cast<size_t>(tape)];
+  ExtractAndBuildSweep(tape, &limit);
+  TJ_CHECK(!sweep_.empty());
+  RemoveMasterExtracted();
+  PiggybackBackground(tape);
+  return tape;
+}
+
 TapeId EnvelopeScheduler::MajorReschedule() {
   TJ_CHECK(sweep_.empty());
+  // Batched arrivals join the pending list through the normal incremental
+  // path before anything is decided from it.
+  FlushArrivals();
   if (pending_.empty()) {
     // No client work: the envelope does not apply to background-only
     // sweeps, so fall back to the shared background rescheduler.
     envelope_valid_ = false;
+    epoch_visits_ = 0;
     return BackgroundReschedule();
   }
+  const bool use_master = options_.persistent_ext_cache;
+
+  // Epoch fast path: reuse the previous envelope for another tape visit.
+  // Runs against the *unrefreshed* master cache (candidate reads mask the
+  // lazily-removed ids and scan the unsorted tails), so the merge/compact
+  // cost is only paid when the kernel actually runs below.
+  if (options_.reschedule_epoch > 1 && envelope_valid_ &&
+      epoch_visits_ < options_.reschedule_epoch) {
+    const TapeId tape = TryEpochReschedule();
+    if (tape != kInvalidTape) {
+      ++epoch_visits_;
+      ++counters_.epoch_reuses;
+      return tape;
+    }
+    // Nothing pending is inside the stale envelope: recompute below.
+  }
+  if (use_master) RefreshMaster();
+
   const int64_t block_mb = jukebox_->config().block_size_mb;
   const std::vector<Request> requests(pending_.begin(), pending_.end());
   ++counters_.major_reschedules;
   const int64_t rounds_before = counters_.extension_rounds;
   const int64_t rescored_before = counters_.tapes_rescored;
-  EnvelopeResult result = ComputeUpperEnvelope(requests);
+  // The assignment map is only materialized for the oracle comparison;
+  // the reschedule itself consumes the envelope alone.
+  EnvelopeResult result = RunIncrementalKernel(
+      requests, &counters_, use_master ? &master_ : nullptr,
+      /*want_assignment=*/options_.validate_envelope);
   if (options_.validate_envelope) {
     EnvelopeCounters scratch;
     CheckEnvelopeResultsEqual(result, RunReferenceKernel(requests, &scratch));
@@ -613,23 +1100,15 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   // Tape choice: apply the policy to the set of requests each tape can
   // satisfy within the upper envelope (a superset of the per-tape
   // assignment built above).
-  std::vector<TapeCandidate> candidates(
-      static_cast<size_t>(jukebox_->num_tapes()));
-  for (TapeId t = 0; t < jukebox_->num_tapes(); ++t) {
-    candidates[static_cast<size_t>(t)].tape = t;
-  }
-  const RequestId oldest = pending_.front().id;
-  for (const Request& request : requests) {
-    for (const Replica& replica : catalog_->ReplicasOf(request.block)) {
-      if (!catalog_->IsAlive(replica)) continue;
-      if (replica.position + block_mb <=
-          result.envelope[static_cast<size_t>(replica.tape)]) {
-        TapeCandidate& c = candidates[static_cast<size_t>(replica.tape)];
-        ++c.num_requests;
-        c.positions.push_back(replica.position);
-        if (request.id == oldest) c.serves_oldest = true;
-      }
-    }
+  std::vector<TapeCandidate> candidates =
+      use_master ? BuildCandidatesFromMaster(result.envelope)
+                 : CandidatesWithinEnvelope(*catalog_, pending_,
+                                            result.envelope, block_mb,
+                                            jukebox_->num_tapes());
+  if (use_master && options_.validate_envelope) {
+    CheckCandidatesMatchSlowWalk(candidates, *catalog_, pending_,
+                                 result.envelope, block_mb,
+                                 jukebox_->num_tapes());
   }
   const TapeId tape =
       SelectTape(policy_, candidates, jukebox_->mounted_tape(),
@@ -641,6 +1120,7 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   const Position limit = result.envelope[static_cast<size_t>(tape)];
   ExtractAndBuildSweep(tape, &limit);
   TJ_CHECK(!sweep_.empty());
+  RemoveMasterExtracted();
   // Background riders may lie beyond the envelope edge: the mount is paid
   // for anyway, and client insertions never depend on riders (the sweep
   // edge check in ShrinkActiveSweep compares against the envelope, which
@@ -648,12 +1128,32 @@ TapeId EnvelopeScheduler::MajorReschedule() {
   PiggybackBackground(tape);
   envelope_ = std::move(result.envelope);
   envelope_valid_ = true;
+  epoch_visits_ = 1;
   return tape;
 }
 
 std::vector<Request> EnvelopeScheduler::DrainSweep() {
   envelope_valid_ = false;
+  epoch_visits_ = 0;
   return Scheduler::DrainSweep();
+}
+
+std::vector<Request> EnvelopeScheduler::EvictUnservablePending() {
+  std::vector<Request> evicted = Scheduler::EvictUnservablePending();
+  for (const Request& request : evicted) {
+    if (request.cls != RequestClass::kBackground) {
+      RemoveMasterId(request.id);
+    }
+  }
+  return evicted;
+}
+
+void EnvelopeScheduler::AbsorbStagedToPending() {
+  for (const Request& request : staged_) {
+    pending_.push_back(request);
+    InsertMaster(request);
+  }
+  staged_.clear();
 }
 
 void EnvelopeScheduler::DeferInOrder(const Request& request) {
@@ -665,6 +1165,7 @@ void EnvelopeScheduler::DeferInOrder(const Request& request) {
       queue.begin(), queue.end(), request.id,
       [](const Request& r, RequestId id) { return r.id < id; });
   queue.insert(it, request);
+  if (request.cls != RequestClass::kBackground) InsertMaster(request);
 }
 
 void EnvelopeScheduler::ShrinkActiveSweep(TapeId extended_tape,
@@ -717,11 +1218,12 @@ void EnvelopeScheduler::ShrinkActiveSweep(TapeId extended_tape,
   }
 }
 
-void EnvelopeScheduler::OnArrival(const Request& request,
-                                  Position committed_head) {
+void EnvelopeScheduler::OnArrivalNow(const Request& request,
+                                     Position committed_head) {
   const TapeId mounted = jukebox_->mounted_tape();
   if (!envelope_valid_ || sweep_.empty() || mounted == kInvalidTape) {
     pending_.push_back(request);
+    InsertMaster(request);
     return;
   }
   const int64_t block_mb = jukebox_->config().block_size_mb;
@@ -746,6 +1248,7 @@ void EnvelopeScheduler::OnArrival(const Request& request,
     if (replica.position + block_mb <=
         envelope_[static_cast<size_t>(replica.tape)]) {
       pending_.push_back(request);
+      InsertMaster(request);
       return;
     }
   }
@@ -780,6 +1283,7 @@ void EnvelopeScheduler::OnArrival(const Request& request,
       return;
     }
     pending_.push_back(request);
+    InsertMaster(request);
     return;
   }
   // Extend the envelope on the winning tape; this can make the mounted
@@ -793,6 +1297,7 @@ void EnvelopeScheduler::OnArrival(const Request& request,
     ShrinkActiveSweep(best->tape, committed_head);
   }
   pending_.push_back(request);
+  InsertMaster(request);
 }
 
 }  // namespace tapejuke

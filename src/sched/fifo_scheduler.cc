@@ -8,13 +8,14 @@ FifoScheduler::FifoScheduler(const Jukebox* jukebox, const Catalog* catalog,
                              const SchedulerOptions& options)
     : Scheduler(jukebox, catalog, options) {}
 
-void FifoScheduler::OnArrival(const Request& request,
-                              Position committed_head) {
+void FifoScheduler::OnArrivalNow(const Request& request,
+                                 Position committed_head) {
   (void)committed_head;
   pending_.push_back(request);
 }
 
 TapeId FifoScheduler::MajorReschedule() {
+  FlushArrivals();
   if (pending_.empty()) return BackgroundReschedule();
   const Request oldest = pending_.front();
   pending_.pop_front();

@@ -23,12 +23,13 @@ class FifoScheduler : public Scheduler {
 
   std::string name() const override { return "fifo"; }
 
-  /// FIFO always defers arrivals to the pending list.
-  void OnArrival(const Request& request, Position committed_head) override;
-
   /// Services the single oldest pending request (preferring a replica on
   /// the mounted tape when the block is replicated).
   TapeId MajorReschedule() override;
+
+ protected:
+  /// FIFO always defers arrivals to the pending list.
+  void OnArrivalNow(const Request& request, Position committed_head) override;
 };
 
 }  // namespace tapejuke

@@ -17,8 +17,8 @@ std::string GreedyScheduler::name() const {
          TapePolicyName(policy_);
 }
 
-void GreedyScheduler::OnArrival(const Request& request,
-                                Position committed_head) {
+void GreedyScheduler::OnArrivalNow(const Request& request,
+                                   Position committed_head) {
   if (dynamic_ && !sweep_.empty()) {
     const TapeId mounted = jukebox_->mounted_tape();
     const Replica* replica =
@@ -36,6 +36,7 @@ void GreedyScheduler::OnArrival(const Request& request,
 
 TapeId GreedyScheduler::MajorReschedule() {
   TJ_CHECK(sweep_.empty());
+  FlushArrivals();
   if (pending_.empty()) return BackgroundReschedule();
   const std::vector<TapeCandidate> candidates = BuildCandidates();
   const TapeId tape =

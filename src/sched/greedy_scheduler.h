@@ -28,9 +28,10 @@ class GreedyScheduler : public Scheduler {
   TapePolicy policy() const { return policy_; }
   bool dynamic() const { return dynamic_; }
 
-  void OnArrival(const Request& request, Position committed_head) override;
-
   TapeId MajorReschedule() override;
+
+ protected:
+  void OnArrivalNow(const Request& request, Position committed_head) override;
 
  private:
   TapePolicy policy_;

@@ -100,6 +100,35 @@ Scheduler::Scheduler(const Jukebox* jukebox, const Catalog* catalog,
   TJ_CHECK(catalog != nullptr);
 }
 
+void Scheduler::OnArrival(const Request& request, Position committed_head) {
+  if (options_.arrival_batch <= 0) {
+    OnArrivalNow(request, committed_head);
+    return;
+  }
+  staged_.push_back(request);
+  staged_head_ = committed_head;
+  // Epoch edge: the arrival that fills the batch flushes it immediately.
+  if (static_cast<int32_t>(staged_.size()) >= options_.arrival_batch) {
+    FlushArrivals();
+  }
+}
+
+void Scheduler::FlushArrivals() {
+  if (staged_.empty()) return;
+  // OnArrivalNow may re-enter scheduling paths that flush again (e.g. a
+  // subclass deferring to pending); swap the buffer out first.
+  std::vector<Request> batch;
+  batch.swap(staged_);
+  for (const Request& request : batch) {
+    OnArrivalNow(request, staged_head_);
+  }
+}
+
+void Scheduler::AbsorbStagedToPending() {
+  for (const Request& request : staged_) pending_.push_back(request);
+  staged_.clear();
+}
+
 std::vector<TapeCandidate> Scheduler::BuildCandidates() const {
   std::vector<TapeCandidate> candidates(
       static_cast<size_t>(jukebox_->num_tapes()));
@@ -152,6 +181,10 @@ void Scheduler::RecordDecision(bool background, TapeId chosen,
 }
 
 std::vector<Request> Scheduler::DrainSweep() {
+  // A fault is forcing the sweep out mid-batch: staged arrivals go to the
+  // pending list (inserting into the sweep being drained would be wasted
+  // work — the drain would hand them right back).
+  AbsorbStagedToPending();
   std::vector<Request> drained;
   while (std::optional<ServiceEntry> entry = sweep_.Pop()) {
     for (const Request& request : entry->requests) drained.push_back(request);
@@ -160,6 +193,9 @@ std::vector<Request> Scheduler::DrainSweep() {
 }
 
 std::vector<Request> Scheduler::EvictUnservablePending() {
+  // Staged arrivals must be visible to the eviction scan (their block may
+  // have just lost its last replica).
+  AbsorbStagedToPending();
   std::vector<Request> evicted;
   std::deque<Request> keep;
   for (const Request& request : pending_) {

@@ -59,6 +59,36 @@ struct SchedulerOptions {
   /// extension lists / cached tape scores on every extension round.
   /// TJ_CHECK-fails on any divergence. Expensive; test/debug builds only.
   bool validate_envelope = false;
+  /// Envelope fast path: keep per-tape candidate scores on an indexed
+  /// max-heap so each extension round reads the best tape from the top and
+  /// re-heapifies only the dirty tapes, instead of a linear scan over all
+  /// tapes. Exactly equivalent to the scan (the near-equal tie group at the
+  /// heap top is re-run through the scan's tie-break); validate_envelope
+  /// additionally checks the two selections against each other per round.
+  bool use_selection_heap = true;
+  /// Envelope fast path: maintain the per-tape extension lists (sorted
+  /// replica candidates of the pending requests) persistently across major
+  /// reschedules, so a reschedule merges a small sorted tail instead of
+  /// re-enumerating and re-sorting every pending replica. Guarded by the
+  /// catalog mutation generation (any replica death/repair/add forces a
+  /// full rebuild). Exactly equivalent; oracle-checked like the rest.
+  bool persistent_ext_cache = true;
+  /// Batched rescheduling: when > 0, arrivals are staged and only applied
+  /// to the scheduler once `arrival_batch` of them have accumulated (or a
+  /// major reschedule / fault event flushes the batch early). 0 preserves
+  /// the legacy per-arrival behaviour. Staged requests still count toward
+  /// pending_size()/HasWork(). This is a policy knob, not an equivalence-
+  /// preserving fast path: it trades arrival-insertion opportunities for
+  /// amortized scheduling cost at deep queues.
+  int32_t arrival_batch = 0;
+  /// Envelope epoch rescheduling: when > 1, one upper-envelope computation
+  /// is reused for up to `reschedule_epoch` consecutive tape visits — the
+  /// follow-up visits serve in-envelope pending work without re-running
+  /// the extension kernel, falling back to a full recompute when the
+  /// envelope has no servable work left. 1 preserves legacy behaviour
+  /// (recompute on every major reschedule). Policy knob, like
+  /// arrival_batch.
+  int32_t reschedule_epoch = 1;
 };
 
 /// Candidate work available on one tape, used for tape selection.
@@ -95,8 +125,17 @@ class Scheduler {
   /// Incremental scheduler: a request arrived. `committed_head` is the head
   /// position after the operation currently in flight (== the current head
   /// when the drive is idle); insertions may only target positions still
-  /// ahead of it.
-  virtual void OnArrival(const Request& request, Position committed_head) = 0;
+  /// ahead of it. With arrival_batch > 0 the request is staged and applied
+  /// later (see FlushArrivals); otherwise it is applied immediately via the
+  /// subclass's OnArrivalNow.
+  void OnArrival(const Request& request, Position committed_head);
+
+  /// Applies every staged arrival (in arrival order) through the normal
+  /// incremental-scheduling path, using the most recent committed head.
+  /// Positions ahead of the latest committed head are ahead of every
+  /// earlier head too, so the late insertions remain legal. No-op when
+  /// nothing is staged.
+  void FlushArrivals();
 
   /// Major rescheduler: called when the service list is empty. Chooses the
   /// next tape, moves the requests it will serve from the pending list into
@@ -118,11 +157,17 @@ class Scheduler {
 
   virtual bool sweep_empty() const { return sweep_.empty(); }
   virtual size_t sweep_size() const { return sweep_.size(); }
-  virtual size_t pending_size() const { return pending_.size(); }
+  virtual size_t pending_size() const {
+    return pending_.size() + staged_.size();
+  }
   virtual size_t background_size() const { return background_.size(); }
   virtual bool HasWork() const {
-    return !pending_.empty() || !sweep_.empty() || !background_.empty();
+    return !pending_.empty() || !staged_.empty() || !sweep_.empty() ||
+           !background_.empty();
   }
+
+  /// Arrivals staged by the batching layer but not yet applied.
+  size_t staged_size() const { return staged_.size(); }
 
   /// Fault recovery: abandons the active sweep and returns every request it
   /// held, so the simulator can fail them over (the mounted tape died or
@@ -151,6 +196,18 @@ class Scheduler {
   obs::DecisionSink* decision_sink() const { return decision_sink_; }
 
  protected:
+  /// The subclass's incremental-scheduling rule, applied to one request
+  /// (immediately, or deferred through the staging buffer — see OnArrival).
+  virtual void OnArrivalNow(const Request& request,
+                            Position committed_head) = 0;
+
+  /// Moves staged arrivals straight onto the pending list, bypassing
+  /// OnArrivalNow. Used on the fault paths (DrainSweep /
+  /// EvictUnservablePending), where sweep insertion would race the drain.
+  /// Subclasses that mirror the pending list in derived state override to
+  /// keep it consistent.
+  virtual void AbsorbStagedToPending();
+
   /// MajorReschedule fallback when no client work is pending: picks the
   /// tape satisfying the most background requests (ties in jukebox order)
   /// and builds their sweep. Returns kInvalidTape when the background
@@ -190,6 +247,11 @@ class Scheduler {
   std::deque<Request> background_;
   Sweep sweep_;
   obs::DecisionSink* decision_sink_ = nullptr;
+
+  /// Arrival-batching buffer (see SchedulerOptions::arrival_batch) and the
+  /// most recent committed head, used when the batch is flushed.
+  std::vector<Request> staged_;
+  Position staged_head_ = 0;
 };
 
 }  // namespace tapejuke

@@ -9,17 +9,22 @@ namespace tapejuke {
 void Sweep::Clear() {
   forward_.clear();
   reverse_.clear();
+  index_.clear();
 }
 
 void Sweep::AppendForward(ServiceEntry entry) {
   TJ_CHECK(forward_.empty() || forward_.back().position < entry.position)
       << "forward phase must be appended in ascending position order";
+  const bool inserted = index_.insert(entry.block, entry.position);
+  TJ_DCHECK(inserted) << "block scheduled twice";
   forward_.push_back(std::move(entry));
 }
 
 void Sweep::AppendReverse(ServiceEntry entry) {
   TJ_CHECK(reverse_.empty() || reverse_.back().position > entry.position)
       << "reverse phase must be appended in descending position order";
+  const bool inserted = index_.insert(entry.block, entry.position);
+  TJ_DCHECK(inserted) << "block scheduled twice";
   reverse_.push_back(std::move(entry));
 }
 
@@ -27,11 +32,13 @@ std::optional<ServiceEntry> Sweep::Pop() {
   if (!forward_.empty()) {
     ServiceEntry entry = std::move(forward_.front());
     forward_.pop_front();
+    index_.erase(entry.block);
     return entry;
   }
   if (!reverse_.empty()) {
     ServiceEntry entry = std::move(reverse_.front());
     reverse_.pop_front();
+    index_.erase(entry.block);
     return entry;
   }
   return std::nullopt;
@@ -48,20 +55,27 @@ bool Sweep::IsAhead(Position position, Position committed_head,
   return allow_reverse && position < committed_head;
 }
 
+ServiceEntry* Sweep::EntryAt(Position position) {
+  const auto fit = std::lower_bound(
+      forward_.begin(), forward_.end(), position,
+      [](const ServiceEntry& e, Position p) { return e.position < p; });
+  if (fit != forward_.end() && fit->position == position) return &*fit;
+  const auto rit = std::lower_bound(
+      reverse_.begin(), reverse_.end(), position,
+      [](const ServiceEntry& e, Position p) { return e.position > p; });
+  if (rit != reverse_.end() && rit->position == position) return &*rit;
+  return nullptr;
+}
+
 bool Sweep::InsertRequest(const Request& request, Position position,
                           Position committed_head, bool allow_reverse) {
   // A read already scheduled for this block satisfies the request for free.
-  for (auto& entry : forward_) {
-    if (entry.block == request.block) {
-      entry.requests.push_back(request);
-      return true;
-    }
-  }
-  for (auto& entry : reverse_) {
-    if (entry.block == request.block) {
-      entry.requests.push_back(request);
-      return true;
-    }
+  if (const auto it = index_.find(request.block); it != index_.end()) {
+    ServiceEntry* entry = EntryAt(it->second);
+    TJ_CHECK(entry != nullptr && entry->block == request.block)
+        << "sweep block index out of sync for block" << request.block;
+    entry->requests.push_back(request);
+    return true;
   }
   if (!IsAhead(position, committed_head, allow_reverse)) return false;
 
@@ -73,6 +87,7 @@ bool Sweep::InsertRequest(const Request& request, Position position,
     TJ_CHECK(it == forward_.end() || it->position != position)
         << "two blocks cannot share position" << position;
     forward_.insert(it, std::move(entry));
+    index_.insert(request.block, position);
     return true;
   }
   // Reverse phase insertion (descending order).
@@ -82,6 +97,7 @@ bool Sweep::InsertRequest(const Request& request, Position position,
   TJ_CHECK(it == reverse_.end() || it->position != position)
       << "two blocks cannot share position" << position;
   reverse_.insert(it, std::move(entry));
+  index_.insert(request.block, position);
   return true;
 }
 
@@ -92,31 +108,35 @@ std::vector<ServiceEntry> Sweep::Entries() const {
 }
 
 const ServiceEntry* Sweep::FindBlock(BlockId block) const {
-  for (const auto& entry : forward_) {
-    if (entry.block == block) return &entry;
-  }
-  for (const auto& entry : reverse_) {
-    if (entry.block == block) return &entry;
-  }
-  return nullptr;
+  const auto it = index_.find(block);
+  if (it == index_.end()) return nullptr;
+  const ServiceEntry* entry = const_cast<Sweep*>(this)->EntryAt(it->second);
+  TJ_CHECK(entry != nullptr && entry->block == block)
+      << "sweep block index out of sync for block" << block;
+  return entry;
 }
 
 std::optional<ServiceEntry> Sweep::RemoveBlock(BlockId block) {
-  for (auto it = forward_.begin(); it != forward_.end(); ++it) {
-    if (it->block == block) {
-      ServiceEntry entry = std::move(*it);
-      forward_.erase(it);
-      return entry;
-    }
+  const auto it = index_.find(block);
+  if (it == index_.end()) return std::nullopt;
+  const Position position = it->second;
+  index_.erase(block);
+  const auto fit = std::lower_bound(
+      forward_.begin(), forward_.end(), position,
+      [](const ServiceEntry& e, Position p) { return e.position < p; });
+  if (fit != forward_.end() && fit->position == position) {
+    ServiceEntry entry = std::move(*fit);
+    forward_.erase(fit);
+    return entry;
   }
-  for (auto it = reverse_.begin(); it != reverse_.end(); ++it) {
-    if (it->block == block) {
-      ServiceEntry entry = std::move(*it);
-      reverse_.erase(it);
-      return entry;
-    }
-  }
-  return std::nullopt;
+  const auto rit = std::lower_bound(
+      reverse_.begin(), reverse_.end(), position,
+      [](const ServiceEntry& e, Position p) { return e.position > p; });
+  TJ_CHECK(rit != reverse_.end() && rit->position == position)
+      << "sweep block index out of sync for block" << block;
+  ServiceEntry entry = std::move(*rit);
+  reverse_.erase(rit);
+  return entry;
 }
 
 std::vector<Position> Sweep::Positions() const {

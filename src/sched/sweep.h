@@ -16,6 +16,7 @@
 
 #include "sched/request.h"
 #include "tape/types.h"
+#include "util/flat_hash.h"
 
 namespace tapejuke {
 
@@ -88,8 +89,18 @@ class Sweep {
   const std::deque<ServiceEntry>& reverse() const { return reverse_; }
 
  private:
+  /// The entry holding `position`, in either phase (both phases are
+  /// position-sorted, so this is two binary searches). nullptr if absent.
+  ServiceEntry* EntryAt(Position position);
+
   std::deque<ServiceEntry> forward_;  ///< ascending positions
   std::deque<ServiceEntry> reverse_;  ///< descending positions
+  /// Block index: block -> its entry's position. Keyed by position (not
+  /// deque index) so pops and mid-phase insertions never invalidate it;
+  /// the entry itself is recovered with a binary search. Makes the
+  /// scheduled-block test in InsertRequest/FindBlock/RemoveBlock O(log n)
+  /// instead of a linear walk of both phases.
+  FlatMap<BlockId, Position> index_;
 };
 
 }  // namespace tapejuke

@@ -1,6 +1,7 @@
 #include "sched/sweep_builder.h"
 
-#include <map>
+#include <algorithm>
+#include <vector>
 
 #include "util/check.h"
 
@@ -14,7 +15,17 @@ void ExtractSweepForTape(const Catalog& catalog, TapeId tape,
   TJ_CHECK(sweep != nullptr);
   TJ_CHECK(sweep->empty()) << "sweep must be drained before rebuilding";
 
-  std::map<Position, ServiceEntry> by_position;
+  // Partition the pending list into extracted (position-tagged) and kept
+  // requests, then group the extracted ones by position with one stable
+  // sort: same result as a position-keyed ordered map, without the
+  // per-distinct-position node allocations. Stability keeps each entry's
+  // requests in pending order.
+  struct Tagged {
+    Position position;
+    Request request;
+  };
+  std::vector<Tagged> extracted;
+  extracted.reserve(pending->size());
   std::deque<Request> keep;
   for (const Request& request : *pending) {
     const Replica* replica = catalog.LiveReplicaOn(request.block, tape);
@@ -26,20 +37,49 @@ void ExtractSweepForTape(const Catalog& catalog, TapeId tape,
       keep.push_back(request);
       continue;
     }
-    ServiceEntry& entry = by_position[replica->position];
-    entry.position = replica->position;
-    entry.block = request.block;
-    entry.requests.push_back(request);
+    extracted.push_back(Tagged{replica->position, request});
   }
   *pending = std::move(keep);
+  std::stable_sort(extracted.begin(), extracted.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.position < b.position;
+                   });
 
-  // Forward phase: ascending positions >= the start head.
-  for (const auto& [position, entry] : by_position) {
-    if (position >= start_head) sweep->AppendForward(entry);
+  // One entry per distinct position (one block per position per tape).
+  // Forward phase: ascending positions >= the start head; reverse phase:
+  // descending positions below it.
+  const auto build_entry = [&](size_t begin, size_t end) {
+    ServiceEntry entry;
+    entry.position = extracted[begin].position;
+    entry.block = extracted[begin].request.block;
+    entry.requests.reserve(end - begin);
+    for (size_t k = begin; k < end; ++k) {
+      entry.requests.push_back(extracted[k].request);
+    }
+    return entry;
+  };
+  size_t reverse_end = 0;  // first index with position >= start_head
+  for (size_t i = 0; i < extracted.size();) {
+    size_t j = i + 1;
+    while (j < extracted.size() &&
+           extracted[j].position == extracted[i].position) {
+      ++j;
+    }
+    if (extracted[i].position >= start_head) {
+      sweep->AppendForward(build_entry(i, j));
+    } else {
+      reverse_end = j;
+    }
+    i = j;
   }
-  // Reverse phase: descending positions below the start head.
-  for (auto it = by_position.rbegin(); it != by_position.rend(); ++it) {
-    if (it->first < start_head) sweep->AppendReverse(it->second);
+  for (size_t end = reverse_end; end > 0;) {
+    size_t begin = end - 1;
+    while (begin > 0 &&
+           extracted[begin - 1].position == extracted[end - 1].position) {
+      --begin;
+    }
+    sweep->AppendReverse(build_entry(begin, end));
+    end = begin;
   }
 }
 

@@ -19,11 +19,11 @@ std::string ValidatingScheduler::name() const {
   return "validated " + inner_->name();
 }
 
-void ValidatingScheduler::OnArrival(const Request& request,
-                                    Position committed_head) {
+void ValidatingScheduler::OnArrivalNow(const Request& request,
+                                       Position committed_head) {
   TJ_CHECK(request.cls == RequestClass::kClient)
       << "background requests must use EnqueueBackground";
-  TJ_CHECK(outstanding_.insert(request.id).second)
+  TJ_CHECK(outstanding_.insert(request.id))
       << "request" << request.id << "enqueued twice";
   ++arrivals_seen_;
   inner_->OnArrival(request, committed_head);
@@ -32,7 +32,7 @@ void ValidatingScheduler::OnArrival(const Request& request,
 void ValidatingScheduler::EnqueueBackground(const Request& request) {
   TJ_CHECK(request.cls == RequestClass::kBackground)
       << "client requests must use OnArrival";
-  TJ_CHECK(outstanding_.insert(request.id).second)
+  TJ_CHECK(outstanding_.insert(request.id))
       << "request" << request.id << "enqueued twice";
   ++arrivals_seen_;
   inner_->EnqueueBackground(request);
@@ -41,6 +41,9 @@ void ValidatingScheduler::EnqueueBackground(const Request& request) {
 TapeId ValidatingScheduler::MajorReschedule() {
   TJ_CHECK(inner_->sweep_empty())
       << "major reschedule with a non-empty sweep";
+  // The oracle must see the same pending snapshot the inner reschedule
+  // will use, so staged arrival batches are applied first.
+  inner_->FlushArrivals();
   // Envelope oracle: run the incremental and from-scratch extension kernels
   // on the same pending snapshot the inner reschedule is about to use and
   // TJ_CHECK they agree (byte-identical envelopes and assignments).

@@ -25,9 +25,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 
 #include "sched/scheduler.h"
+#include "util/flat_hash.h"
 
 namespace tapejuke {
 
@@ -41,7 +41,6 @@ class ValidatingScheduler : public Scheduler {
 
   std::string name() const override;
 
-  void OnArrival(const Request& request, Position committed_head) override;
   void EnqueueBackground(const Request& request) override;
   TapeId MajorReschedule() override;
 
@@ -80,9 +79,12 @@ class ValidatingScheduler : public Scheduler {
 
   Scheduler* inner() { return inner_.get(); }
 
+ protected:
+  void OnArrivalNow(const Request& request, Position committed_head) override;
+
  private:
   std::unique_ptr<Scheduler> inner_;
-  std::unordered_set<RequestId> outstanding_;
+  FlatSet<RequestId> outstanding_;
   int64_t arrivals_seen_ = 0;
   int64_t requests_served_ = 0;
 

@@ -1,0 +1,280 @@
+// Flat open-addressing hash containers for scheduler hot paths.
+//
+// FlatMap/FlatSet store elements inline in one contiguous slot array
+// (power-of-two capacity, linear probing, backward-shift deletion — no
+// tombstones), so the per-element cost is a hash, a probe over adjacent
+// cache lines, and no node allocation. They replace std::unordered_map /
+// std::unordered_set where profiling showed rehash + node churn dominating
+// (the envelope kernel's per-request assignment inserts, the validating
+// scheduler's outstanding set, the sweep's block index).
+//
+// Deliberate restrictions keep them simple and fast:
+//  * keys must be trivially hashable integers (RequestId, BlockId, ...);
+//  * no iterator stability across mutation; iteration order is slot order
+//    (deterministic for a given insertion/erase history, NOT key order);
+//  * load factor is capped at 7/8 before growth.
+
+#ifndef TAPEJUKE_UTIL_FLAT_HASH_H_
+#define TAPEJUKE_UTIL_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+/// Mixes 64-bit integer keys (splitmix64 finalizer); good avalanche for
+/// the sequential ids the schedulers use as keys.
+inline uint64_t HashInt64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace internal {
+
+/// Shared open-addressing core. Slot holds the element; a parallel byte
+/// array marks occupancy. KeyOf extracts the key from an element.
+template <typename Element, typename Key, typename KeyOf>
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    std::fill(used_.begin(), used_.end(), uint8_t{0});
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` elements without rehashing on the way.
+  void reserve(size_t n) {
+    size_t want = 16;
+    while (want * 7 < n * 8) want *= 2;  // keep load factor under 7/8
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  /// Returns the element for `key`, or nullptr.
+  Element* Find(Key key) {
+    if (slots_.empty()) return nullptr;
+    size_t i = Probe(key);
+    return used_[i] ? &slots_[i] : nullptr;
+  }
+  const Element* Find(Key key) const {
+    return const_cast<FlatTable*>(this)->Find(key);
+  }
+
+  /// Inserts `element` if its key is absent. Returns {slot, inserted}.
+  std::pair<Element*, bool> Insert(Element element) {
+    MaybeGrow();
+    const size_t i = Probe(KeyOf()(element));
+    if (used_[i]) return {&slots_[i], false};
+    slots_[i] = std::move(element);
+    used_[i] = 1;
+    ++size_;
+    return {&slots_[i], true};
+  }
+
+  /// Removes `key` if present (backward-shift deletion keeps probe chains
+  /// intact without tombstones). Returns 1 if erased, 0 otherwise.
+  size_t Erase(Key key) {
+    if (slots_.empty()) return 0;
+    size_t i = Probe(key);
+    if (!used_[i]) return 0;
+    const size_t mask = slots_.size() - 1;
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask; used_[j]; j = (j + 1) & mask) {
+      const size_t home = Home(KeyOf()(slots_[j]));
+      // Shift j into the hole unless j's probe chain starts after the hole
+      // (i.e. home lies in (hole, j] walking forward).
+      const bool reachable = ((j - home) & mask) >= ((j - hole) & mask);
+      if (reachable) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    --size_;
+    return 1;
+  }
+
+  /// Slot-order iteration support.
+  size_t capacity() const { return slots_.size(); }
+  bool SlotUsed(size_t i) const { return used_[i] != 0; }
+  Element& Slot(size_t i) { return slots_[i]; }
+  const Element& Slot(size_t i) const { return slots_[i]; }
+
+ private:
+  size_t Home(Key key) const {
+    return static_cast<size_t>(HashInt64(static_cast<uint64_t>(key))) &
+           (slots_.size() - 1);
+  }
+
+  /// First slot holding `key`, or the empty slot where it would go.
+  size_t Probe(Key key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Home(key);
+    while (used_[i] && KeyOf()(slots_[i]) != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void MaybeGrow() {
+    if (slots_.empty()) {
+      Rehash(16);
+    } else if ((size_ + 1) * 8 > slots_.size() * 7) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    TJ_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Element> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_used = std::move(used_);
+    slots_.assign(new_capacity, Element{});
+    used_.assign(new_capacity, 0);
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      size_t j = Home(KeyOf()(old_slots[i]));
+      while (used_[j]) j = (j + 1) & mask;
+      slots_[j] = std::move(old_slots[i]);
+      used_[j] = 1;
+    }
+  }
+
+  std::vector<Element> slots_;
+  std::vector<uint8_t> used_;
+  size_t size_ = 0;
+};
+
+/// Iterator over used slots of a FlatTable, yielding Element references.
+template <typename Table, typename Element>
+class FlatIterator {
+ public:
+  FlatIterator(Table* table, size_t i) : table_(table), i_(i) { Skip(); }
+
+  Element& operator*() const { return table_->Slot(i_); }
+  Element* operator->() const { return &table_->Slot(i_); }
+  FlatIterator& operator++() {
+    ++i_;
+    Skip();
+    return *this;
+  }
+  friend bool operator==(const FlatIterator& a, const FlatIterator& b) {
+    return a.i_ == b.i_;
+  }
+
+ private:
+  void Skip() {
+    while (i_ < table_->capacity() && !table_->SlotUsed(i_)) ++i_;
+  }
+  Table* table_;
+  size_t i_;
+};
+
+}  // namespace internal
+
+/// Open-addressing hash map from an integer key to V.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+ private:
+  struct KeyOf {
+    K operator()(const value_type& e) const { return e.first; }
+  };
+  using Table = internal::FlatTable<value_type, K, KeyOf>;
+
+ public:
+  using iterator = internal::FlatIterator<Table, value_type>;
+  using const_iterator =
+      internal::FlatIterator<const Table, const value_type>;
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  void clear() { table_.clear(); }
+  void reserve(size_t n) { table_.reserve(n); }
+
+  V& operator[](K key) {
+    return table_.Insert(value_type{key, V{}}).first->second;
+  }
+
+  /// Inserts {key, value} if absent; returns true if inserted.
+  bool insert(K key, V value) {
+    return table_.Insert(value_type{key, std::move(value)}).second;
+  }
+
+  bool contains(K key) const { return table_.Find(key) != nullptr; }
+
+  /// The value for `key`; TJ_CHECK-fails if absent.
+  const V& at(K key) const {
+    const value_type* e = table_.Find(key);
+    TJ_CHECK(e != nullptr) << "FlatMap::at: missing key" << key;
+    return e->second;
+  }
+
+  iterator find(K key) {
+    value_type* e = table_.Find(key);
+    return e == nullptr ? end() : iterator(&table_, IndexOf(e));
+  }
+  const_iterator find(K key) const {
+    const value_type* e = table_.Find(key);
+    return e == nullptr ? end() : const_iterator(&table_, IndexOf(e));
+  }
+
+  size_t erase(K key) { return table_.Erase(key); }
+
+  iterator begin() { return iterator(&table_, 0); }
+  iterator end() { return iterator(&table_, table_.capacity()); }
+  const_iterator begin() const { return const_iterator(&table_, 0); }
+  const_iterator end() const {
+    return const_iterator(&table_, table_.capacity());
+  }
+
+ private:
+  size_t IndexOf(const value_type* e) const {
+    return static_cast<size_t>(e - &table_.Slot(0));
+  }
+  Table table_;
+};
+
+/// Open-addressing hash set of integer keys.
+template <typename K>
+class FlatSet {
+ private:
+  struct KeyOf {
+    K operator()(const K& e) const { return e; }
+  };
+  using Table = internal::FlatTable<K, K, KeyOf>;
+
+ public:
+  using const_iterator = internal::FlatIterator<const Table, const K>;
+
+  size_t size() const { return table_.size(); }
+  bool empty() const { return table_.empty(); }
+  void clear() { table_.clear(); }
+  void reserve(size_t n) { table_.reserve(n); }
+
+  /// Inserts `key`; returns true if it was newly added.
+  bool insert(K key) { return table_.Insert(std::move(key)).second; }
+  bool contains(K key) const { return table_.Find(key) != nullptr; }
+  size_t erase(K key) { return table_.Erase(key); }
+
+  const_iterator begin() const { return const_iterator(&table_, 0); }
+  const_iterator end() const {
+    return const_iterator(&table_, table_.capacity());
+  }
+
+ private:
+  Table table_;
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_FLAT_HASH_H_

@@ -1,0 +1,138 @@
+// Indexed binary max-heap over dense integer keys.
+//
+// The scheduler keeps one entry per tape keyed by the tape's dense id, so a
+// reschedule can update just the tapes whose pending set changed ("dirty"
+// tapes) and read the best candidate from the top in O(1). A position map
+// (key -> heap slot) makes Set/Remove on an arbitrary key O(log n) instead
+// of the O(n) scan a plain std::priority_queue would force.
+//
+// The comparator is a strict weak ordering on Value; the heap keeps the
+// LARGEST value (by `less`) on top. Ties between equal values are NOT
+// ordered by the heap — callers that need deterministic tie-breaks (the
+// envelope scheduler does) must resolve them outside, e.g. by popping the
+// whole tied top group and scanning it.
+
+#ifndef TAPEJUKE_UTIL_INDEXED_HEAP_H_
+#define TAPEJUKE_UTIL_INDEXED_HEAP_H_
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tapejuke {
+
+template <typename Value, typename Less>
+class IndexedMaxHeap {
+ public:
+  static constexpr size_t kAbsent = std::numeric_limits<size_t>::max();
+
+  explicit IndexedMaxHeap(Less less = Less{}) : less_(std::move(less)) {}
+
+  /// Drops all entries and re-sizes the key space to [0, num_keys).
+  void Reset(size_t num_keys) {
+    heap_.clear();
+    pos_.assign(num_keys, kAbsent);
+    values_.resize(num_keys);
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t key_capacity() const { return pos_.size(); }
+
+  bool Contains(size_t key) const {
+    return key < pos_.size() && pos_[key] != kAbsent;
+  }
+
+  /// The value stored for `key`; valid only when Contains(key).
+  const Value& ValueOf(size_t key) const {
+    TJ_DCHECK(Contains(key));
+    return values_[key];
+  }
+
+  /// Inserts or updates `key` with `value`, restoring heap order.
+  void Set(size_t key, Value value) {
+    TJ_CHECK(key < pos_.size()) << "IndexedMaxHeap key out of range";
+    values_[key] = std::move(value);
+    if (pos_[key] == kAbsent) {
+      pos_[key] = heap_.size();
+      heap_.push_back(key);
+      SiftUp(pos_[key]);
+    } else {
+      const size_t i = pos_[key];
+      if (!SiftUp(i)) SiftDown(i);
+    }
+  }
+
+  /// Removes `key` if present.
+  void Remove(size_t key) {
+    if (!Contains(key)) return;
+    const size_t i = pos_[key];
+    SwapSlots(i, heap_.size() - 1);
+    heap_.pop_back();
+    pos_[key] = kAbsent;
+    if (i < heap_.size()) {
+      if (!SiftUp(i)) SiftDown(i);
+    }
+  }
+
+  /// Key of the largest value; heap must be non-empty.
+  size_t TopKey() const {
+    TJ_DCHECK(!heap_.empty());
+    return heap_[0];
+  }
+  const Value& TopValue() const { return values_[TopKey()]; }
+
+  /// Removes the top entry and returns its key.
+  size_t Pop() {
+    const size_t key = TopKey();
+    Remove(key);
+    return key;
+  }
+
+ private:
+  void SwapSlots(size_t a, size_t b) {
+    if (a == b) return;
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  /// Returns true if the entry moved.
+  bool SiftUp(size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (!less_(values_[heap_[parent]], values_[heap_[i]])) break;
+      SwapSlots(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      size_t best = i;
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      if (l < n && less_(values_[heap_[best]], values_[heap_[l]])) best = l;
+      if (r < n && less_(values_[heap_[best]], values_[heap_[r]])) best = r;
+      if (best == i) break;
+      SwapSlots(i, best);
+      i = best;
+    }
+  }
+
+  Less less_;
+  std::vector<size_t> heap_;   // heap slot -> key
+  std::vector<size_t> pos_;    // key -> heap slot, kAbsent if not present
+  std::vector<Value> values_;  // key -> value
+};
+
+}  // namespace tapejuke
+
+#endif  // TAPEJUKE_UTIL_INDEXED_HEAP_H_

@@ -1,0 +1,154 @@
+// Unit and randomized-equivalence tests for FlatMap / FlatSet.
+
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace tapejuke {
+namespace {
+
+TEST(FlatMap, InsertFindAt) {
+  FlatMap<int64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.insert(7, 70));
+  EXPECT_FALSE(m.insert(7, 71));  // duplicate key keeps the first value
+  m[9] = 90;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_FALSE(m.contains(8));
+  EXPECT_EQ(m.at(7), 70);
+  EXPECT_EQ(m.at(9), 90);
+  EXPECT_EQ(m.find(8), m.end());
+  ASSERT_NE(m.find(9), m.end());
+  EXPECT_EQ(m.find(9)->second, 90);
+}
+
+TEST(FlatMap, OperatorBracketUpdates) {
+  FlatMap<int64_t, int> m;
+  m[3] = 1;
+  m[3] += 5;
+  EXPECT_EQ(m.at(3), 6);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseAndReinsert) {
+  FlatMap<int64_t, int> m;
+  for (int64_t k = 0; k < 100; ++k) m[k] = static_cast<int>(k);
+  EXPECT_EQ(m.erase(50), 1u);
+  EXPECT_EQ(m.erase(50), 0u);
+  EXPECT_FALSE(m.contains(50));
+  EXPECT_EQ(m.size(), 99u);
+  // Every other key must still resolve after backward-shift deletion.
+  for (int64_t k = 0; k < 100; ++k) {
+    if (k == 50) continue;
+    ASSERT_TRUE(m.contains(k)) << k;
+    ASSERT_EQ(m.at(k), static_cast<int>(k));
+  }
+  m[50] = -1;
+  EXPECT_EQ(m.at(50), -1);
+  EXPECT_EQ(m.size(), 100u);
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  FlatMap<int64_t, int> m;
+  for (int64_t k = 0; k < 1000; ++k) m[k * 3] = static_cast<int>(k);
+  std::map<int64_t, int> seen;
+  for (const auto& kv : m) {
+    ASSERT_TRUE(seen.emplace(kv.first, kv.second).second)
+        << "duplicate key " << kv.first;
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(seen.at(k * 3), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMap, ClearThenReuse) {
+  FlatMap<int64_t, int> m;
+  for (int64_t k = 0; k < 64; ++k) m[k] = 1;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.contains(3));
+  m[3] = 2;
+  EXPECT_EQ(m.at(3), 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, ReserveAvoidsInvalidation) {
+  FlatMap<int64_t, int> m;
+  m.reserve(4096);
+  m[1] = 10;
+  const int* p = &m.at(1);
+  for (int64_t k = 2; k < 4000; ++k) m[k] = 0;
+  EXPECT_EQ(&m.at(1), p);  // no rehash within the reserved capacity
+}
+
+TEST(FlatMap, AdversarialSameBucketKeys) {
+  // Keys spaced by the table capacity would collide under a masked identity
+  // hash; the mixer must still spread them, and probing must resolve them.
+  FlatMap<int64_t, int> m;
+  for (int64_t k = 0; k < 200; ++k) m[k << 32] = static_cast<int>(k);
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_EQ(m.at(k << 32), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMap, RandomizedEquivalenceWithStdMap) {
+  Rng rng(42);
+  FlatMap<int64_t, int64_t> flat;
+  std::unordered_map<int64_t, int64_t> ref;
+  for (int step = 0; step < 50000; ++step) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64() % 512);
+    const uint64_t op = rng.NextUint64() % 3;
+    if (op == 0) {
+      flat[key] = key * 2;
+      ref[key] = key * 2;
+    } else if (op == 1) {
+      ASSERT_EQ(flat.erase(key), ref.erase(key));
+    } else {
+      ASSERT_EQ(flat.contains(key), ref.count(key) > 0);
+      if (ref.count(key)) ASSERT_EQ(flat.at(key), ref.at(key));
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet<int64_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+  EXPECT_EQ(s.erase(5), 1u);
+  EXPECT_EQ(s.erase(5), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, RandomizedEquivalenceWithStdSet) {
+  Rng rng(7);
+  FlatSet<int64_t> flat;
+  std::unordered_set<int64_t> ref;
+  for (int step = 0; step < 50000; ++step) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64() % 300);
+    if (rng.NextUint64() % 2 == 0) {
+      ASSERT_EQ(flat.insert(key), ref.insert(key).second);
+    } else {
+      ASSERT_EQ(flat.erase(key), ref.erase(key));
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  std::set<int64_t> iterated;
+  for (int64_t k : flat) iterated.insert(k);
+  EXPECT_EQ(iterated, std::set<int64_t>(ref.begin(), ref.end()));
+}
+
+}  // namespace
+}  // namespace tapejuke

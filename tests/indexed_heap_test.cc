@@ -1,0 +1,120 @@
+// Unit and randomized tests for the indexed max-heap used by the
+// heap-backed candidate selection path.
+
+#include "util/indexed_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tapejuke {
+namespace {
+
+struct Score {
+  double bw = 0.0;
+};
+struct ScoreLess {
+  bool operator()(const Score& a, const Score& b) const { return a.bw < b.bw; }
+};
+using Heap = IndexedMaxHeap<Score, ScoreLess>;
+
+TEST(IndexedHeap, TopTracksMaximum) {
+  Heap h;
+  h.Reset(8);
+  h.Set(0, {1.0});
+  h.Set(1, {5.0});
+  h.Set(2, {3.0});
+  EXPECT_EQ(h.TopKey(), 1u);
+  EXPECT_DOUBLE_EQ(h.TopValue().bw, 5.0);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(IndexedHeap, UpdateMovesEntryBothDirections) {
+  Heap h;
+  h.Reset(4);
+  h.Set(0, {1.0});
+  h.Set(1, {2.0});
+  h.Set(2, {3.0});
+  h.Set(0, {10.0});  // sift up
+  EXPECT_EQ(h.TopKey(), 0u);
+  h.Set(0, {0.5});  // sift down
+  EXPECT_EQ(h.TopKey(), 2u);
+  EXPECT_EQ(h.size(), 3u);
+}
+
+TEST(IndexedHeap, RemoveArbitraryKey) {
+  Heap h;
+  h.Reset(8);
+  for (size_t k = 0; k < 8; ++k) h.Set(k, {static_cast<double>(k)});
+  h.Remove(7);  // remove the top
+  EXPECT_EQ(h.TopKey(), 6u);
+  h.Remove(3);  // remove an interior entry
+  h.Remove(3);  // double-remove is a no-op
+  EXPECT_FALSE(h.Contains(3));
+  EXPECT_EQ(h.size(), 6u);
+  // Drain and verify descending order of the survivors.
+  std::vector<size_t> order;
+  while (!h.empty()) order.push_back(h.Pop());
+  EXPECT_EQ(order, (std::vector<size_t>{6, 5, 4, 2, 1, 0}));
+}
+
+TEST(IndexedHeap, ResetDropsEntries) {
+  Heap h;
+  h.Reset(4);
+  h.Set(1, {9.0});
+  h.Reset(4);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.Contains(1));
+}
+
+TEST(IndexedHeap, ValueOfReflectsLatestSet) {
+  Heap h;
+  h.Reset(2);
+  h.Set(1, {4.0});
+  h.Set(1, {6.0});
+  EXPECT_DOUBLE_EQ(h.ValueOf(1).bw, 6.0);
+}
+
+TEST(IndexedHeap, RandomizedAgainstLinearScan) {
+  Rng rng(99);
+  constexpr size_t kKeys = 64;
+  Heap h;
+  h.Reset(kKeys);
+  std::vector<bool> present(kKeys, false);
+  std::vector<double> value(kKeys, 0.0);
+  for (int step = 0; step < 20000; ++step) {
+    const size_t key = rng.NextUint64() % kKeys;
+    const uint64_t op = rng.NextUint64() % 3;
+    if (op == 0) {
+      const double v = static_cast<double>(rng.NextUint64() % 100000);
+      h.Set(key, {v});
+      present[key] = true;
+      value[key] = v;
+    } else if (op == 1) {
+      h.Remove(key);
+      present[key] = false;
+    } else if (present[key]) {
+      ASSERT_DOUBLE_EQ(h.ValueOf(key).bw, value[key]);
+    }
+    // The heap top must match a linear scan for the max value.
+    double best = -1.0;
+    size_t n = 0;
+    for (size_t k = 0; k < kKeys; ++k) {
+      if (!present[k]) continue;
+      ++n;
+      best = std::max(best, value[k]);
+    }
+    ASSERT_EQ(h.size(), n);
+    if (n > 0) {
+      ASSERT_TRUE(present[h.TopKey()]);
+      ASSERT_DOUBLE_EQ(h.TopValue().bw, best);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tapejuke
