@@ -1026,6 +1026,16 @@ std::vector<TapeCandidate> EnvelopeScheduler::BuildCandidatesFromMaster(
 }
 
 TapeId EnvelopeScheduler::TryEpochReschedule() {
+  if (options_.persistent_ext_cache && master_.valid &&
+      master_.generation != catalog_->generation()) {
+    // A catalog mutation landed mid-epoch (single-replica media error,
+    // repair completing, replica added): the cached lists may hold dead
+    // replicas, miss new ones, and their entry pointers may dangle after
+    // a CSR reallocation. Rebuild before reading; the persisted envelope
+    // itself stays reusable, since the candidate reads below re-derive
+    // servability from live replicas only.
+    RebuildMaster();
+  }
   const bool from_master = options_.persistent_ext_cache && master_.valid;
   std::vector<TapeCandidate> candidates =
       from_master ? BuildCandidatesFromMaster(envelope_)

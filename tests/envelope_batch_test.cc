@@ -198,6 +198,132 @@ TEST_F(EnvelopeBatchTest, BackgroundPiggybacksOnEpochSweep) {
   EXPECT_FALSE(sched.HasWork());
 }
 
+// A catalog mutation mid-epoch (single-replica media error on another
+// tape: the generation bumps, no sweep is drained, the victim block stays
+// servable via its other replica) must not leave the epoch fast path
+// reading the stale master cache: the dead replica would count as
+// servable tape-1 work. The oracle cross-check pins the rebuilt read
+// against the live pending x replica walk.
+TEST(EnvelopeEpochFault, ReplicaDeathMidEpochRebuildsMasterCache) {
+  TinyRig rig(2);
+  rig.Place(0, 0, 0);
+  rig.Place(1, 0, 1);
+  rig.Place(2, 1, 0);
+  rig.Place(3, 1, 1);  // block 3 also replicated on tape 0...
+  rig.Place(3, 0, 3);  // ...outside the initial envelope
+  Catalog catalog = rig.BuildCatalog();
+  rig.jukebox().SwitchTo(0);
+
+  SchedulerOptions options;
+  options.reschedule_epoch = 3;
+  options.validate_envelope = true;
+  EnvelopeScheduler sched(&rig.jukebox(), &catalog, TapePolicy::kMaxRequests,
+                          options);
+  for (RequestId id = 0; id < 4; ++id) {
+    sched.OnArrival(Req(id, static_cast<BlockId>(id)), 0);
+  }
+
+  // Full kernel: block 3 is assigned its cheap tape-1 replica, the
+  // envelope covers two blocks on each tape, and the mounted tape wins
+  // the 2-vs-2 tie.
+  const TapeId first = sched.MajorReschedule();
+  ASSERT_EQ(first, 0);
+  rig.jukebox().SwitchTo(first);
+  size_t served = 0;
+  while (auto entry = sched.PopNext()) served += entry->requests.size();
+  EXPECT_EQ(served, 2u);
+
+  // Block 3's tape-1 replica dies mid-epoch. The request keeps its live
+  // tape-0 replica, so nothing is evicted — only the generation stamp
+  // tells the scheduler its cached tape-1 list is now a lie.
+  ASSERT_TRUE(catalog.MarkReplicaDead(3, 1));
+  EXPECT_TRUE(sched.EvictUnservablePending().empty());
+
+  // The epoch visit still fires, but off a rebuilt cache: tape 1 has one
+  // live in-envelope request (block 2), not two.
+  const int64_t rebuilds_before = sched.counters().master_rebuilds;
+  const TapeId second = sched.MajorReschedule();
+  ASSERT_EQ(second, 1);
+  EXPECT_EQ(sched.counters().master_rebuilds, rebuilds_before + 1);
+  EXPECT_EQ(sched.counters().epoch_reuses, 1);
+  rig.jukebox().SwitchTo(second);
+  while (auto entry = sched.PopNext()) {
+    EXPECT_EQ(entry->block, 2);
+    served += entry->requests.size();
+  }
+  EXPECT_EQ(served, 3u);
+
+  // Block 3 remains, reachable only through its out-of-envelope tape-0
+  // replica: the epoch path finds no candidates and falls back to the
+  // full kernel, which extends tape 0 out to it.
+  const TapeId third = sched.MajorReschedule();
+  ASSERT_EQ(third, 0);
+  rig.jukebox().SwitchTo(third);
+  while (auto entry = sched.PopNext()) {
+    EXPECT_EQ(entry->block, 3);
+    served += entry->requests.size();
+  }
+  EXPECT_EQ(served, 4u);
+  EXPECT_FALSE(sched.HasWork());
+}
+
+// The abort flavour of the same staleness (production config, oracle
+// off): every live tape-1 entry of the stale cache dies mid-epoch —
+// the anchor block outright (and is evicted), the replicated blocks
+// surviving on out-of-envelope tape-0 copies. Pre-generation-guard, the
+// epoch visit chose tape 1 on the phantom candidates and the
+// live-replica sweep extraction came back empty (TJ_CHECK failure); the
+// guard makes the visit fall back to a full recompute instead.
+TEST(EnvelopeEpochFault, AllPhantomTapeFallsBackToFullReschedule) {
+  TinyRig rig(2);
+  rig.Place(0, 0, 0);
+  rig.Place(1, 0, 1);
+  rig.Place(2, 0, 2);
+  rig.Place(3, 1, 0);  // tape-1 anchor, non-replicated
+  rig.Place(4, 1, 1);  // blocks 4 and 5 replicated on both tapes;
+  rig.Place(4, 0, 4);  // the tape-0 copies sit outside the envelope
+  rig.Place(5, 1, 2);
+  rig.Place(5, 0, 5);
+  Catalog catalog = rig.BuildCatalog();
+  rig.jukebox().SwitchTo(0);
+
+  SchedulerOptions options;
+  options.reschedule_epoch = 3;
+  EnvelopeScheduler sched(&rig.jukebox(), &catalog, TapePolicy::kMaxRequests,
+                          options);
+  for (RequestId id = 0; id < 6; ++id) {
+    sched.OnArrival(Req(id, static_cast<BlockId>(id)), 0);
+  }
+  // Envelope: three blocks per tape; the mounted tape wins the 3-vs-3 tie.
+  const TapeId first = sched.MajorReschedule();
+  ASSERT_EQ(first, 0);
+  rig.jukebox().SwitchTo(first);
+  size_t served = 0;
+  while (auto entry = sched.PopNext()) served += entry->requests.size();
+  EXPECT_EQ(served, 3u);
+
+  // A permanent tape-1 error kills all three in-envelope replicas. The
+  // anchor block is lost (evicted); blocks 4 and 5 stay servable through
+  // their tape-0 copies — which lie beyond the reused envelope.
+  ASSERT_TRUE(catalog.MarkReplicaDead(3, 1));
+  ASSERT_TRUE(catalog.MarkReplicaDead(4, 1));
+  ASSERT_TRUE(catalog.MarkReplicaDead(5, 1));
+  const std::vector<Request> evicted = sched.EvictUnservablePending();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].id, 3);
+
+  // Nothing pending lies inside the reused envelope any more: the visit
+  // must recompute (no epoch reuse), extend tape 0, and serve both.
+  const TapeId second = sched.MajorReschedule();
+  ASSERT_EQ(second, 0);
+  EXPECT_EQ(sched.counters().epoch_reuses, 0);
+  EXPECT_EQ(sched.counters().major_reschedules, 2);
+  rig.jukebox().SwitchTo(second);
+  while (auto entry = sched.PopNext()) served += entry->requests.size();
+  EXPECT_EQ(served, 5u);
+  EXPECT_FALSE(sched.HasWork());
+}
+
 // Scheduler-driven equivalence fuzz: every fast path armed at once
 // (selection heap, persistent extension lists, arrival batching, epoch
 // rescheduling) under the ValidatingScheduler with the envelope oracle on.
