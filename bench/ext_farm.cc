@@ -1,8 +1,9 @@
 // Extension bench: jukebox-farm simulation.
 //
 // (a) Scaling: farm aggregate throughput with per-box population held
-//     constant, plus the per-box population spread (the §4.8 fixed-split
-//     assumption treats it as pinned; the farm lets it migrate).
+//     constant, plus the per-box population spread (the farm pins each
+//     box at its §4.8 fixed split, so the closed-model spread is the
+//     remainder distribution, not migration noise).
 // (b) Figure 10(b) end to end: the cost-performance ratio of a replicated
 //     farm measured by actually simulating both farms at equal total cost
 //     and equal total population, rather than scaling one jukebox's queue.

@@ -1,11 +1,15 @@
 #include "core/farm.h"
 
 #include <algorithm>
-#include <limits>
+#include <memory>
+#include <utility>
 
+#include "core/sweep_runner.h"
+#include "sim/multi_drive.h"
+#include "sim/simulator.h"
 #include "sim/workload.h"
 #include "util/check.h"
-#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tapejuke {
 
@@ -13,161 +17,182 @@ Status FarmConfig::Validate() const {
   if (num_jukeboxes < 1) {
     return Status::InvalidArgument("farm needs at least one jukebox");
   }
-  if (per_jukebox.sim.faults.enabled()) {
+  if (drives_per_jukebox < 1) {
+    return Status::InvalidArgument("drives_per_jukebox must be >= 1");
+  }
+  const WorkloadConfig& workload = per_jukebox.sim.workload;
+  if (workload.model == QueuingModel::kClosed &&
+      workload.queue_length < num_jukeboxes) {
     return Status::InvalidArgument(
-        "fault injection is not supported by the farm simulator; use the "
-        "single- or multi-drive simulators");
+        "closed farm needs queue_length >= num_jukeboxes (the fixed split "
+        "runs at least one process per box)");
+  }
+  if (drives_per_jukebox > 1) {
+    if (per_jukebox.algorithm.kind != AlgorithmKind::kStatic &&
+        per_jukebox.algorithm.kind != AlgorithmKind::kDynamic) {
+      return Status::InvalidArgument(
+          "multi-drive farm boxes dispatch by tape policy and support only "
+          "the static and dynamic greedy algorithms");
+    }
+    if (per_jukebox.sim.repair.enabled()) {
+      return Status::InvalidArgument(
+          "scrub/repair is single-drive only; use drives_per_jukebox = 1");
+    }
   }
   return per_jukebox.Validate();
 }
 
-struct FarmSimulator::Box {
-  explicit Box(const ExperimentConfig& config)
-      : jukebox(config.jukebox),
-        catalog(LayoutBuilder::Build(&jukebox, config.layout).value()),
-        scheduler(CreateScheduler(config.algorithm, &jukebox, &catalog)) {}
-
-  void AccumulateOutstanding(double now) {
-    outstanding_area += static_cast<double>(outstanding) *
-                        (now - last_transition);
-    last_transition = now;
-  }
-
-  Jukebox jukebox;
-  Catalog catalog;
-  std::unique_ptr<Scheduler> scheduler;
-  std::optional<ServiceEntry> in_flight;
-  bool busy = false;
-  int64_t completions = 0;
-  int64_t outstanding = 0;
-  double last_transition = 0;
-  double outstanding_area = 0;
+/// Everything the merge needs from one finished box, decoupled from the
+/// (non-copyable, arena-heavy) simulator that produced it.
+struct FarmSimulator::BoxOutput {
+  SimulationResult result;
+  MetricsCollector metrics;
+  JukeboxCounters counters;
 };
-
-FarmSimulator::~FarmSimulator() = default;
 
 FarmSimulator::FarmSimulator(const FarmConfig& config) : config_(config) {
   const Status status = config.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
-  boxes_.reserve(static_cast<size_t>(config.num_jukeboxes));
-  for (int32_t i = 0; i < config.num_jukeboxes; ++i) {
-    boxes_.push_back(std::make_unique<Box>(config.per_jukebox));
-  }
 }
 
-void FarmSimulator::Dispatch(int box_index, double now) {
-  Box& box = *boxes_[static_cast<size_t>(box_index)];
-  if (box.busy) return;
-  if (box.scheduler->sweep_empty()) {
-    if (!box.scheduler->HasWork()) return;  // idle
-    const TapeId tape = box.scheduler->MajorReschedule();
-    TJ_CHECK_NE(tape, kInvalidTape);
-    const double switch_seconds = box.jukebox.SwitchTo(tape);
-    box.busy = true;
-    events_.Schedule(now + switch_seconds, box_index);
-    return;
+ExperimentConfig FarmSimulator::BoxConfig(int32_t index) const {
+  ExperimentConfig cfg = config_.per_jukebox;
+  WorkloadConfig& workload = cfg.sim.workload;
+  const int64_t n = config_.num_jukeboxes;
+  if (workload.model == QueuingModel::kClosed) {
+    // Fixed split of the farm-wide population: floor(Q/n) per box, +1 for
+    // the first Q mod n boxes (Validate guarantees >= 1 each).
+    const int64_t base = workload.queue_length / n;
+    const int64_t remainder = workload.queue_length % n;
+    workload.queue_length = base + (index < remainder ? 1 : 0);
+  } else {
+    // Poisson thinning: uniform routing over n boxes == n independent
+    // Poisson streams at 1/n the rate each.
+    workload.mean_interarrival_seconds *= static_cast<double>(n);
   }
-  const std::optional<ServiceEntry> entry = box.scheduler->PopNext();
-  TJ_CHECK(entry.has_value());
-  const double op_seconds = box.jukebox.ReadBlockAt(entry->position);
-  box.in_flight = *entry;
-  box.busy = true;
-  events_.Schedule(now + op_seconds, box_index);
+  workload.seed =
+      DerivePointSeed(workload.seed, static_cast<uint64_t>(index));
+  return cfg;
+}
+
+FarmSimulator::BoxOutput FarmSimulator::RunBox(int32_t index) const {
+  const ExperimentConfig cfg = BoxConfig(index);
+  Jukebox jukebox(cfg.jukebox);
+  StatusOr<Catalog> catalog = LayoutBuilder::Build(&jukebox, cfg.layout);
+  TJ_CHECK(catalog.ok()) << catalog.status().ToString();
+  if (config_.drives_per_jukebox == 1) {
+    const std::unique_ptr<Scheduler> scheduler =
+        CreateScheduler(cfg.algorithm, &jukebox, &catalog.value());
+    Simulator sim(&jukebox, &catalog.value(), scheduler.get(), cfg.sim);
+    SimulationResult result = sim.Run();
+    return BoxOutput{std::move(result), sim.metrics(), jukebox.counters()};
+  }
+  MultiDriveConfig drives;
+  drives.num_drives = config_.drives_per_jukebox;
+  drives.policy = cfg.algorithm.policy;
+  drives.dynamic_insertion = cfg.algorithm.kind == AlgorithmKind::kDynamic;
+  drives.options = cfg.algorithm.options;
+  MultiDriveSimulator sim(&jukebox, &catalog.value(), drives, cfg.sim);
+  SimulationResult result = sim.Run();
+  return BoxOutput{std::move(result), sim.metrics(), sim.counters()};
 }
 
 FarmResult FarmSimulator::Run() {
   TJ_CHECK(!ran_) << "Run may be called once";
   ran_ = true;
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  const SimulationConfig& sim = config_.per_jukebox.sim;
-  const bool closed = sim.workload.model == QueuingModel::kClosed;
+  const int32_t n = config_.num_jukeboxes;
 
-  // All boxes share one block generator (identical catalogs) and one
-  // router; both are deterministic in the workload seed.
-  WorkloadGenerator workload(&boxes_.front()->catalog, sim.workload);
-  Rng router(sim.workload.seed ^ 0xfeedfacecafef00dULL);
-  MetricsCollector metrics(sim.warmup_seconds,
-                           config_.per_jukebox.jukebox.block_size_mb);
-
-  auto aggregate_counters = [&]() {
-    JukeboxCounters total;
-    for (const auto& box : boxes_) {
-      const JukeboxCounters& c = box->jukebox.counters();
-      total.tape_switches += c.tape_switches;
-      total.blocks_read += c.blocks_read;
-      total.mb_read += c.mb_read;
-      total.rewind_seconds += c.rewind_seconds;
-      total.switch_seconds += c.switch_seconds;
-      total.locate_seconds += c.locate_seconds;
-      total.read_seconds += c.read_seconds;
-    }
-    return total;
+  // Shard the boxes over the pool. Every box derives its whole random
+  // state from its own index, and the merge below walks the slots in box
+  // order, so the result is bit-identical at any thread count.
+  std::vector<std::unique_ptr<BoxOutput>> outputs(static_cast<size_t>(n));
+  const auto run_box = [&](int64_t i) {
+    outputs[static_cast<size_t>(i)] =
+        std::make_unique<BoxOutput>(RunBox(static_cast<int32_t>(i)));
   };
-
-  auto route = [&](double now) {
-    const auto target = static_cast<int>(
-        router.UniformUint64(static_cast<uint64_t>(boxes_.size())));
-    Box& box = *boxes_[static_cast<size_t>(target)];
-    const Request request = workload.NextRequest(now);
-    metrics.OnArrival(now);
-    box.AccumulateOutstanding(now);
-    ++box.outstanding;
-    box.scheduler->OnArrival(request, box.jukebox.head());
-    Dispatch(target, now);
-  };
-
-  if (closed) {
-    for (int64_t i = 0; i < sim.workload.queue_length; ++i) route(0.0);
+  const int threads = config_.threads > 0 ? config_.threads
+                                          : ThreadPool::DefaultThreads();
+  if (threads == 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) run_box(i);
   } else {
-    next_arrival_ = workload.NextInterarrival();
+    ThreadPool pool(std::min(threads, n));
+    pool.ParallelFor(0, n, run_box);
   }
-  bool warmup_marked = false;
-  auto maybe_warmup = [&]() {
-    if (!warmup_marked && clock_ >= sim.warmup_seconds) {
-      warmup_marked = true;
-      metrics.MarkWarmupBoundary(aggregate_counters());
-    }
-  };
-  maybe_warmup();
 
-  while (clock_ < sim.duration_seconds) {
-    const double event_time = events_.empty() ? kInf : events_.NextTime();
-    const double arrival_time = closed ? kInf : next_arrival_;
-    const double next = std::min(event_time, arrival_time);
-    if (next == kInf || next > sim.duration_seconds) break;
-    clock_ = next;
-
-    if (arrival_time <= event_time) {
-      route(clock_);
-      next_arrival_ = clock_ + workload.NextInterarrival();
-    } else {
-      const auto [time, box_index] = events_.Pop();
-      Box& box = *boxes_[static_cast<size_t>(box_index)];
-      box.busy = false;
-      if (box.in_flight.has_value()) {
-        const ServiceEntry entry = std::move(*box.in_flight);
-        box.in_flight.reset();
-        for (const Request& request : entry.requests) {
-          metrics.OnCompletion(request.arrival_time, clock_);
-          box.AccumulateOutstanding(clock_);
-          --box.outstanding;
-          ++box.completions;
-          if (closed) route(clock_);
-        }
-      }
-      Dispatch(box_index, clock_);
-    }
-    maybe_warmup();
+  // The farm ends when its last box does; close every box's outstanding
+  // integral there so the areas are comparable before merging.
+  double farm_end = 0;
+  for (const auto& out : outputs) {
+    farm_end = std::max(farm_end, out->result.simulated_seconds);
   }
-  if (!warmup_marked) metrics.MarkWarmupBoundary(aggregate_counters());
+  JukeboxCounters total;
+  for (const auto& out : outputs) {
+    out->metrics.AccumulateTo(farm_end);
+    const JukeboxCounters& c = out->counters;
+    total.tape_switches += c.tape_switches;
+    total.blocks_read += c.blocks_read;
+    total.mb_read += c.mb_read;
+    total.rewind_seconds += c.rewind_seconds;
+    total.switch_seconds += c.switch_seconds;
+    total.locate_seconds += c.locate_seconds;
+    total.read_seconds += c.read_seconds;
+  }
+  MetricsCollector aggregate = outputs.front()->metrics;
+  for (int32_t i = 1; i < n; ++i) aggregate.Merge(outputs[i]->metrics);
 
   FarmResult result;
-  result.aggregate = metrics.Finalize(clock_, aggregate_counters());
-  for (const auto& box : boxes_) {
-    box->AccumulateOutstanding(clock_);
-    result.completions_per_jukebox.push_back(box->completions);
+  result.aggregate = aggregate.Finalize(farm_end, total);
+
+  // Fault and repair counters live in the per-box SimulationResults (the
+  // collectors only see arrivals/completions); fold them in by hand.
+  bool any_faults = false;
+  bool any_repair = false;
+  double live_fraction_sum = 0;
+  for (const auto& out : outputs) {
+    const SimulationResult& r = out->result;
+    live_fraction_sum += r.live_replica_fraction;
+    if (r.fault_injection) {
+      any_faults = true;
+      result.aggregate.faults += r.faults;
+    }
+    if (r.repair_enabled) {
+      any_repair = true;
+      RepairStats& agg = result.aggregate.repair;
+      agg.scrub_passes += r.repair.scrub_passes;
+      agg.scrub_mounts += r.repair.scrub_mounts;
+      agg.scrub_blocks_read += r.repair.scrub_blocks_read;
+      agg.scrub_errors_detected += r.repair.scrub_errors_detected;
+      agg.scrub_seconds += r.repair.scrub_seconds;
+      agg.repairs_enqueued += r.repair.repairs_enqueued;
+      agg.repairs_completed += r.repair.repairs_completed;
+      agg.repairs_abandoned += r.repair.repairs_abandoned;
+      agg.repairs_impossible += r.repair.repairs_impossible;
+      agg.source_reads += r.repair.source_reads;
+      agg.repair_mounts += r.repair.repair_mounts;
+      agg.repair_write_seconds += r.repair.repair_write_seconds;
+      // Summed per-box peaks: an upper bound on the true farm-wide peak
+      // (box backlogs need not peak simultaneously).
+      agg.backlog_peak += r.repair.backlog_peak;
+      agg.backlog_final += r.repair.backlog_final;
+      agg.reprotect_seconds_sum += r.repair.reprotect_seconds_sum;
+      agg.reprotect_seconds_max = std::max(agg.reprotect_seconds_max,
+                                           r.repair.reprotect_seconds_max);
+    }
+  }
+  result.aggregate.fault_injection = any_faults;
+  result.aggregate.repair_enabled = any_repair;
+  if (any_faults) {
+    result.aggregate.live_replica_fraction =
+        live_fraction_sum / static_cast<double>(n);
+  }
+
+  const double measured = result.aggregate.measured_seconds;
+  result.completions_per_jukebox.reserve(static_cast<size_t>(n));
+  result.mean_outstanding_per_jukebox.reserve(static_cast<size_t>(n));
+  for (const auto& out : outputs) {
+    result.completions_per_jukebox.push_back(out->metrics.completed_total());
     result.mean_outstanding_per_jukebox.push_back(
-        clock_ > 0 ? box->outstanding_area / clock_ : 0.0);
+        measured > 0 ? out->metrics.outstanding_area() / measured : 0.0);
   }
   return result;
 }

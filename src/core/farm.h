@@ -3,24 +3,33 @@
 //
 // The paper's cost-performance argument assumes a farm of n jukeboxes with
 // the total workload "spread evenly over the jukeboxes", so a replicated
-// scheme (E times more jukeboxes) runs each jukebox at queue Q/E. That is
-// an approximation: in a real closed farm the population migrates — a
-// completed request regenerates onto a *random* jukebox, so per-jukebox
-// queue lengths fluctuate around Q/n rather than being pinned there. This
-// simulator implements the real thing: n independent jukeboxes (each with
-// its own tapes, drive, scheduler, and dataset partition) served by one
-// shared request population (closed) or one Poisson stream (open), with
-// uniform routing. The ext_farm bench quantifies how close the paper's
-// fixed-split approximation is.
+// scheme (E times more jukeboxes) runs each jukebox at queue Q/E. The farm
+// implements exactly that split, and exploits it: the boxes are mutually
+// independent discrete-event simulations, so they shard across a thread
+// pool (core/sweep_runner seed discipline) and each box runs on the full
+// single- or multi-drive simulator — algorithms, fault injection, and
+// (single-drive) scrub/repair all work per box.
+//
+// Workload split semantics (exact, not approximate):
+//  * open model — uniformly routing a Poisson(lambda) stream over n boxes
+//    is, by Poisson thinning, n independent Poisson(lambda/n) streams, so
+//    each box runs an open workload with interarrival mean * n;
+//  * closed model — the farm-wide population Q splits as floor(Q/n) per
+//    box, +1 for the first Q mod n boxes (every box needs >= 1 process).
+//    Earlier revisions migrated the population (a completion regenerated
+//    onto a random box); the fixed split is what §4.8 assumes, and the
+//    migration noise it discards was shown (ext_farm) to be statistically
+//    negligible at the paper's operating points.
+//  * Box i draws from workload seed DerivePointSeed(seed, i), so streams
+//    are independent and the farm is reproducible from one seed at any
+//    thread count — results are bit-identical at --threads 1 vs N.
 
 #ifndef TAPEJUKE_CORE_FARM_H_
 #define TAPEJUKE_CORE_FARM_H_
 
-#include <memory>
 #include <vector>
 
 #include "core/experiment.h"
-#include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "util/status.h"
 
@@ -32,6 +41,14 @@ namespace tapejuke {
 /// population; open mean_interarrival_seconds is the farm-wide rate.
 struct FarmConfig {
   int32_t num_jukeboxes = 2;
+  /// Drives per box. 1 runs each box on the single-drive Simulator (every
+  /// algorithm; faults and repair supported). > 1 runs each box on the
+  /// MultiDriveSimulator (static/dynamic algorithms; faults supported,
+  /// repair not).
+  int32_t drives_per_jukebox = 1;
+  /// Worker threads sharding the boxes; <= 0 selects hardware concurrency.
+  /// Purely an execution knob: results are bit-identical at any value.
+  int32_t threads = 0;
   ExperimentConfig per_jukebox;
 
   Status Validate() const;
@@ -39,32 +56,39 @@ struct FarmConfig {
 
 /// Farm results: aggregate metrics plus per-jukebox breakdowns.
 struct FarmResult {
+  /// Exact merge of the per-box metrics collectors, finalized at the
+  /// common farm end (the latest box clock). Fault and repair counters sum
+  /// across boxes; time_in_state is per-run only and stays empty here.
   SimulationResult aggregate;
+  /// Whole-run completions per box (not warm-up trimmed).
   std::vector<int64_t> completions_per_jukebox;
-  /// Time-averaged outstanding requests per jukebox.
+  /// Time-averaged outstanding requests per jukebox over the measurement
+  /// window (area clipped at warm-up / divided by measured seconds, the
+  /// same accounting as the aggregate — the per-box values sum to
+  /// aggregate.mean_outstanding exactly).
   std::vector<double> mean_outstanding_per_jukebox;
 };
 
-/// Simulates the farm; deterministic in the workload seed.
+/// Simulates the farm; deterministic in the workload seed at any thread
+/// count.
 class FarmSimulator {
  public:
   explicit FarmSimulator(const FarmConfig& config);
-  ~FarmSimulator();  // defined out of line: Box is incomplete here
 
   /// Runs to completion; call once.
   FarmResult Run();
 
  private:
-  struct Box;  // one jukebox + scheduler + drive state
+  struct BoxOutput;
 
-  void Arrive(const Request& request, double now);
-  void Dispatch(int box_index, double now);
+  /// The experiment config box `index` actually runs: split workload,
+  /// derived seed.
+  ExperimentConfig BoxConfig(int32_t index) const;
+
+  /// Runs one box to completion on its backend simulator.
+  BoxOutput RunBox(int32_t index) const;
 
   FarmConfig config_;
-  std::vector<std::unique_ptr<Box>> boxes_;
-  EventQueue<int> events_;  ///< payload: jukebox index
-  double clock_ = 0;
-  double next_arrival_ = 0;
   bool ran_ = false;
 };
 

@@ -187,6 +187,7 @@ void WriteJson(JsonWriter* w, const SimulationResult& result) {
   w->Field("p95_delay_seconds", result.p95_delay_seconds);
   w->Field("p99_delay_seconds", result.p99_delay_seconds);
   w->Field("max_delay_seconds", result.max_delay_seconds);
+  w->Field("delay_hist_overflow", result.delay_hist_overflow);
   w->Field("mean_outstanding", result.mean_outstanding);
   w->Field("tape_switches_per_hour", result.tape_switches_per_hour);
   w->Field("transfer_utilization", result.transfer_utilization);
@@ -254,6 +255,11 @@ void WriteJson(JsonWriter* w, const ExperimentResult& result) {
 void WriteJson(JsonWriter* w, const FarmConfig& config) {
   w->BeginObject();
   w->Field("num_jukeboxes", static_cast<int64_t>(config.num_jukeboxes));
+  w->Field("drives_per_jukebox",
+           static_cast<int64_t>(config.drives_per_jukebox));
+  // config.threads is an execution knob (results are bit-identical at any
+  // value) and is deliberately not serialized, so results files stay
+  // byte-identical across thread counts.
   w->Key("per_jukebox");
   WriteJson(w, config.per_jukebox);
   w->EndObject();

@@ -64,6 +64,30 @@ void MetricsCollector::MarkWarmupBoundary(const JukeboxCounters& counters) {
   warmup_counters_ = counters;
 }
 
+void MetricsCollector::Merge(const MetricsCollector& other) {
+  TJ_CHECK_EQ(warmup_seconds_, other.warmup_seconds_);
+  // An unmarked collector (its run never reached the warm-up boundary)
+  // contributes a zero counter baseline, matching Finalize's documented
+  // unmarked behavior.
+  warmup_marked_ = warmup_marked_ || other.warmup_marked_;
+  delay_.Merge(other.delay_);
+  delay_histogram_.Merge(other.delay_histogram_);
+  completed_ += other.completed_;
+  issued_total_ += other.issued_total_;
+  completed_total_ += other.completed_total_;
+  failed_total_ += other.failed_total_;
+  outstanding_ += other.outstanding_;
+  last_transition_ = std::max(last_transition_, other.last_transition_);
+  outstanding_area_ += other.outstanding_area_;
+  warmup_counters_.tape_switches += other.warmup_counters_.tape_switches;
+  warmup_counters_.blocks_read += other.warmup_counters_.blocks_read;
+  warmup_counters_.mb_read += other.warmup_counters_.mb_read;
+  warmup_counters_.rewind_seconds += other.warmup_counters_.rewind_seconds;
+  warmup_counters_.switch_seconds += other.warmup_counters_.switch_seconds;
+  warmup_counters_.locate_seconds += other.warmup_counters_.locate_seconds;
+  warmup_counters_.read_seconds += other.warmup_counters_.read_seconds;
+}
+
 SimulationResult MetricsCollector::Finalize(
     double end_time, const JukeboxCounters& final_counters,
     const obs::TimeInStateAccounting* accounting) const {
@@ -85,10 +109,15 @@ SimulationResult MetricsCollector::Finalize(
   result.mean_delay_seconds = delay_.mean();
   result.mean_delay_minutes = delay_.mean() / 60.0;
   result.delay_stddev_seconds = delay_.stddev();
-  result.p50_delay_seconds = delay_histogram_.Quantile(0.50);
-  result.p95_delay_seconds = delay_histogram_.Quantile(0.95);
-  result.p99_delay_seconds = delay_histogram_.Quantile(0.99);
+  // Quantiles landing in the histogram's overflow mass report the tracked
+  // true maximum instead of saturating at kDelayHistMax — deep farm queues
+  // push p99 past the histogram range, and a silent ~55 h ceiling would
+  // hide exactly the tail the quantile exists to expose.
+  result.p50_delay_seconds = delay_histogram_.Quantile(0.50, delay_.max());
+  result.p95_delay_seconds = delay_histogram_.Quantile(0.95, delay_.max());
+  result.p99_delay_seconds = delay_histogram_.Quantile(0.99, delay_.max());
   result.max_delay_seconds = delay_.max();
+  result.delay_hist_overflow = delay_histogram_.overflow();
 
   // Activity deltas over the measurement window.
   const JukeboxCounters& base = warmup_counters_;

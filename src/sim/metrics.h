@@ -36,6 +36,11 @@ struct SimulationResult {
   double p95_delay_seconds = 0;
   double p99_delay_seconds = 0;
   double max_delay_seconds = 0;
+  /// Completions whose delay exceeded the histogram range (200000 s). When
+  /// a quantile lands in this mass it reports max_delay_seconds instead of
+  /// saturating at the histogram upper bound; a nonzero count flags that
+  /// the p50/p95/p99 interpolation no longer resolves the far tail.
+  int64_t delay_hist_overflow = 0;
 
   /// Time-averaged number of outstanding requests (arrived, not complete).
   double mean_outstanding = 0;
@@ -109,6 +114,23 @@ class MetricsCollector {
   /// Snapshot of the jukebox counters at the warm-up boundary; call once
   /// when the clock first passes the warm-up time.
   void MarkWarmupBoundary(const JukeboxCounters& counters);
+
+  /// Extends the outstanding-population integral to `now` without any
+  /// arrival or completion (used to close a run's area at its final clock
+  /// before merging collectors that stopped at different times).
+  void AccumulateTo(double now) { AccumulateOutstandingArea(now); }
+
+  /// The post-warm-up integral of outstanding requests dt accumulated so
+  /// far (divide by the measurement window for the time-averaged mean).
+  double outstanding_area() const { return outstanding_area_; }
+
+  /// Folds another collector into this one: delay statistics, histograms,
+  /// whole-run totals, outstanding areas, and warm-up counter snapshots
+  /// all sum. Both collectors must share the warm-up boundary; a collector
+  /// whose run never reached it contributes a zero counter baseline. Merge
+  /// order is fixed by the caller, so merged floating-point results are
+  /// deterministic.
+  void Merge(const MetricsCollector& other);
 
   /// Finalizes the run at `end_time` with the final jukebox counters.
   /// When `accounting` is non-null its per-drive totals are folded into

@@ -84,6 +84,12 @@ class MultiDriveSimulator {
 
   const MultiDriveStats& stats() const { return stats_; }
 
+  /// Raw metrics collector and cumulative activity counters, for callers
+  /// that aggregate several runs into one result (the farm merges per-box
+  /// collectors). Valid after Run.
+  const MetricsCollector& metrics() const { return metrics_; }
+  const JukeboxCounters& counters() const { return counters_; }
+
  private:
   struct DriveState {
     explicit DriveState(const TimingModel* model) : unit(model) {}

@@ -83,6 +83,10 @@ class Simulator {
   /// Call at most once per Simulator instance.
   SimulationResult Run();
 
+  /// Raw metrics collector, for callers that aggregate several runs into
+  /// one result (the farm merges per-box collectors). Valid after Run.
+  const MetricsCollector& metrics() const { return metrics_; }
+
  private:
   /// Delivers every open-model arrival with timestamp <= `until` to the
   /// incremental scheduler.

@@ -66,7 +66,19 @@ void Histogram::Add(double x) {
   ++counts_[idx];
 }
 
-double Histogram::Quantile(double q) const {
+void Histogram::Merge(const Histogram& other) {
+  TJ_CHECK_EQ(lo_, other.lo_);
+  TJ_CHECK_EQ(hi_, other.hi_);
+  TJ_CHECK_EQ(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::Quantile(double q) const { return Quantile(q, hi_); }
+
+double Histogram::Quantile(double q, double overflow_value) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(count_);
@@ -80,7 +92,8 @@ double Histogram::Quantile(double q) const {
     }
     cum = next;
   }
-  return hi_;
+  // The quantile lands in the overflow mass (observations >= hi).
+  return overflow_value;
 }
 
 std::string Histogram::ToAscii(int max_width) const {

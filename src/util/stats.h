@@ -55,6 +55,10 @@ class Histogram {
   /// Records one observation (out-of-range values go to under/overflow).
   void Add(double x);
 
+  /// Merges `other` into this histogram; the bucket layouts (lo, hi,
+  /// bucket count) must match exactly.
+  void Merge(const Histogram& other);
+
   int64_t count() const { return count_; }
   int64_t underflow() const { return underflow_; }
   int64_t overflow() const { return overflow_; }
@@ -62,6 +66,13 @@ class Histogram {
   /// Approximate quantile `q` in [0, 1]. Out-of-range mass clamps to the
   /// histogram bounds. Returns 0 for an empty histogram.
   double Quantile(double q) const;
+
+  /// Like Quantile, but when the target mass lands in the overflow bucket
+  /// (observations >= hi), returns `overflow_value` instead of silently
+  /// saturating at hi. Callers that track the true maximum out of band
+  /// (e.g. a RunningStat) pass it here so tail quantiles stay honest past
+  /// the histogram range.
+  double Quantile(double q, double overflow_value) const;
 
   /// Renders a compact multi-line ASCII bar chart (for debugging/examples).
   std::string ToAscii(int max_width = 50) const;

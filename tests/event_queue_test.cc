@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tapejuke {
 namespace {
@@ -31,6 +34,111 @@ TEST(EventQueue, EqualTimesPreserveInsertionOrder) {
   EXPECT_EQ(q.Pop().second, "second");
   EXPECT_EQ(q.Pop().second, "third");
 }
+
+TEST(EventQueue, EqualTimeFifoInterleavedWithOtherTimes) {
+  // The FIFO tie-break must hold when equal-time events are interleaved
+  // with earlier and later ones (they share a calendar bucket with
+  // different-day events).
+  EventQueue<int> q;
+  q.Schedule(7.0, 1);
+  q.Schedule(3.0, 0);
+  q.Schedule(7.0, 2);
+  q.Schedule(9.0, 5);
+  q.Schedule(7.0, 3);
+  EXPECT_EQ(q.Pop().second, 0);
+  q.Schedule(7.0, 4);  // scheduled after pops began, still FIFO among 7.0s
+  EXPECT_EQ(q.Pop().second, 1);
+  EXPECT_EQ(q.Pop().second, 2);
+  EXPECT_EQ(q.Pop().second, 3);
+  EXPECT_EQ(q.Pop().second, 4);
+  EXPECT_EQ(q.Pop().second, 5);
+}
+
+TEST(EventQueue, EqualTimeFifoSurvivesResize) {
+  // Push enough events to force bucket-array growth and then drain: the
+  // insertion-order tie-break must be unaffected by resizes.
+  EventQueue<int> q;
+  constexpr int kBatch = 500;
+  for (int i = 0; i < kBatch; ++i) q.Schedule(10.0, i);
+  for (int i = 0; i < kBatch; ++i) q.Schedule(20.0, kBatch + i);
+  for (int i = 0; i < 2 * kBatch; ++i) {
+    EXPECT_EQ(q.Pop().second, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HoldModelMatchesReferenceOrdering) {
+  // A deterministic hold-model churn (pop one, push one with a pseudo-
+  // random future offset) against a sorted-reference model, through
+  // several grow/shrink cycles.
+  EventQueue<int> q;
+  std::vector<std::pair<double, int>> reference;  // (time, payload)
+  uint64_t state = 12345;
+  auto next_u64 = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  double clock = 0;
+  int id = 0;
+  auto push = [&](double at) {
+    q.Schedule(at, id);
+    reference.emplace_back(at, id);
+    ++id;
+  };
+  for (int i = 0; i < 256; ++i) {
+    push(static_cast<double>(next_u64() % 1000) / 10.0);
+  }
+  for (int step = 0; step < 4096; ++step) {
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    const auto [time, payload] = q.Pop();
+    ASSERT_EQ(time, reference.front().first);
+    ASSERT_EQ(payload, reference.front().second);
+    reference.erase(reference.begin());
+    clock = time;
+    // Occasionally burst (grow) or drain (shrink) the population.
+    const uint64_t draw = next_u64();
+    const int pushes = step % 97 == 0 ? 64 : (draw % 16 == 0 ? 0 : 1);
+    for (int p = 0; p < pushes && reference.size() < 4096; ++p) {
+      push(clock + static_cast<double>(next_u64() % 100000) / 100.0);
+    }
+    if (q.empty()) break;
+  }
+}
+
+TEST(EventQueue, SparseFarFutureEventsPopInOrder) {
+  // Events many "years" apart exercise the direct-jump path (a full
+  // bucket rotation finds nothing).
+  EventQueue<int> q;
+  q.Schedule(0.5, 0);
+  q.Schedule(1e6, 1);
+  q.Schedule(2e9, 2);
+  q.Schedule(3e12, 3);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.Pop().second, i);
+  }
+}
+
+TEST(EventQueue, ScheduleAtLastPoppedTimeIsAllowed) {
+  EventQueue<int> q;
+  q.Schedule(5.0, 1);
+  EXPECT_EQ(q.Pop().second, 1);
+  q.Schedule(5.0, 2);  // exactly the last popped timestamp: legal
+  EXPECT_EQ(q.Pop().second, 2);
+}
+
+#ifndef NDEBUG
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue<int> q;
+  q.Schedule(10.0, 1);
+  ASSERT_EQ(q.Pop().second, 1);
+  EXPECT_DEATH(q.Schedule(9.0, 2), "scheduling in the past");
+}
+#endif
 
 TEST(EventQueue, PopUntilRespectsDeadline) {
   EventQueue<int> q;

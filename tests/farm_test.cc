@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <sstream>
+
+#include "core/results_io.h"
 
 namespace tapejuke {
 namespace {
@@ -21,11 +24,24 @@ FarmConfig BaseFarm(int32_t boxes, int64_t total_queue) {
   return config;
 }
 
+std::string FarmJson(const FarmResult& result) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  WriteJson(&w, result);
+  return out.str();
+}
+
 TEST(FarmConfig, Validation) {
   FarmConfig config = BaseFarm(2, 60);
   EXPECT_TRUE(config.Validate().ok());
   config.num_jukeboxes = 0;
   EXPECT_FALSE(config.Validate().ok());
+  config.num_jukeboxes = 2;
+  config.drives_per_jukebox = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  // Closed farms need at least one process per box.
+  FarmConfig sparse = BaseFarm(8, 4);
+  EXPECT_FALSE(sparse.Validate().ok());
 }
 
 TEST(Farm, SingleBoxMatchesPlainSimulator) {
@@ -33,8 +49,8 @@ TEST(Farm, SingleBoxMatchesPlainSimulator) {
   const FarmResult farm = FarmSimulator(config).Run();
   const ExperimentResult plain =
       ExperimentRunner::Run(config.per_jukebox).value();
-  // One box, same seed structure but a different request stream (the farm
-  // interleaves a router draw); expect statistical agreement.
+  // One box, same config but the box runs under its derived per-box seed;
+  // expect statistical agreement.
   EXPECT_NEAR(farm.aggregate.requests_per_minute /
                   plain.sim.requests_per_minute,
               1.0, 0.05);
@@ -57,7 +73,7 @@ TEST(Farm, PopulationSplitsEvenly) {
       result.mean_outstanding_per_jukebox.end(), 0.0);
   EXPECT_NEAR(total, 120.0, 1.0);
   for (const double outstanding : result.mean_outstanding_per_jukebox) {
-    EXPECT_NEAR(outstanding, 30.0, 4.0);  // migration noise, not pinned
+    EXPECT_NEAR(outstanding, 30.0, 4.0);
   }
   // Work is shared: every box completed a fair share.
   for (const int64_t completions : result.completions_per_jukebox) {
@@ -68,8 +84,8 @@ TEST(Farm, PopulationSplitsEvenly) {
 
 TEST(Farm, FixedSplitApproximationIsClose) {
   // §4.8 assumes a farm of n boxes at total population Q behaves like one
-  // box at Q/n. Compare a real 3-box farm (population 180) against a
-  // single box at queue 60.
+  // box at Q/n. Compare a 3-box farm (population 180) against a single box
+  // at queue 60.
   const FarmResult farm = FarmSimulator(BaseFarm(3, 180)).Run();
   FarmConfig single = BaseFarm(1, 60);
   const FarmResult approx = FarmSimulator(single).Run();
@@ -92,6 +108,87 @@ TEST(Farm, Deterministic) {
   const FarmResult b = FarmSimulator(BaseFarm(2, 80)).Run();
   EXPECT_EQ(a.aggregate.completed_requests, b.aggregate.completed_requests);
   EXPECT_EQ(a.completions_per_jukebox, b.completions_per_jukebox);
+}
+
+TEST(Farm, BitIdenticalAcrossThreadCountsClosed) {
+  FarmConfig serial = BaseFarm(5, 150);
+  serial.threads = 1;
+  FarmConfig parallel = BaseFarm(5, 150);
+  parallel.threads = 4;
+  const FarmResult a = FarmSimulator(serial).Run();
+  const FarmResult b = FarmSimulator(parallel).Run();
+  EXPECT_EQ(FarmJson(a), FarmJson(b));
+}
+
+TEST(Farm, BitIdenticalAcrossThreadCountsOpen) {
+  FarmConfig serial = BaseFarm(4, 60);
+  serial.per_jukebox.sim.workload.model = QueuingModel::kOpen;
+  serial.per_jukebox.sim.workload.mean_interarrival_seconds = 50;
+  FarmConfig parallel = serial;
+  serial.threads = 1;
+  parallel.threads = 8;
+  const FarmResult a = FarmSimulator(serial).Run();
+  const FarmResult b = FarmSimulator(parallel).Run();
+  EXPECT_EQ(FarmJson(a), FarmJson(b));
+}
+
+TEST(Farm, MultiDriveBoxesRunAndOutperformSingleDrive) {
+  FarmConfig single = BaseFarm(2, 120);
+  FarmConfig dual = BaseFarm(2, 120);
+  dual.drives_per_jukebox = 2;
+  const FarmResult one = FarmSimulator(single).Run();
+  const FarmResult two = FarmSimulator(dual).Run();
+  // A second drive per box adds real (sub-linear) throughput.
+  EXPECT_GT(two.aggregate.requests_per_minute,
+            1.2 * one.aggregate.requests_per_minute);
+  // And the multi-drive-backed farm stays thread-invariant.
+  FarmConfig dual_parallel = dual;
+  dual.threads = 1;
+  dual_parallel.threads = 4;
+  EXPECT_EQ(FarmJson(FarmSimulator(dual).Run()),
+            FarmJson(FarmSimulator(dual_parallel).Run()));
+}
+
+TEST(Farm, FaultInjectionAggregatesAcrossBoxes) {
+  FarmConfig config = BaseFarm(3, 90);
+  config.per_jukebox.layout.num_replicas = 2;
+  config.per_jukebox.sim.faults.permanent_media_error_prob = 0.01;
+  config.per_jukebox.sim.faults.transient_read_error_prob = 0.02;
+  const FarmResult result = FarmSimulator(config).Run();
+  EXPECT_TRUE(result.aggregate.fault_injection);
+  EXPECT_GT(result.aggregate.faults.permanent_media_errors, 0);
+  EXPECT_GT(result.aggregate.faults.transient_read_errors, 0);
+  EXPECT_LT(result.aggregate.live_replica_fraction, 1.0);
+  // Conservation holds farm-wide.
+  EXPECT_EQ(result.aggregate.completed_total +
+                result.aggregate.failed_requests +
+                result.aggregate.outstanding_at_end,
+            result.aggregate.issued_requests);
+  // Faulty farms are thread-invariant too.
+  FarmConfig parallel = config;
+  config.threads = 1;
+  parallel.threads = 4;
+  EXPECT_EQ(FarmJson(FarmSimulator(config).Run()),
+            FarmJson(FarmSimulator(parallel).Run()));
+}
+
+TEST(Farm, PerBoxOutstandingConsistentWithAggregate) {
+  // Regression: per-box outstanding areas used to integrate from t = 0 and
+  // divide by the full clock while the aggregate clips at warm-up and
+  // divides by the measured window, so the box numbers disagreed with the
+  // aggregate whenever warmup_seconds > 0. Both now use the same
+  // accounting, and the per-box means sum to the aggregate mean exactly.
+  // The open model exercises this: outstanding varies over time, so the
+  // pre-warm-up area actually differs from the steady-state area.
+  FarmConfig config = BaseFarm(3, 60);
+  config.per_jukebox.sim.workload.model = QueuingModel::kOpen;
+  config.per_jukebox.sim.workload.mean_interarrival_seconds = 45;
+  const FarmResult result = FarmSimulator(config).Run();
+  ASSERT_GT(result.aggregate.mean_outstanding, 0.0);
+  const double box_sum = std::accumulate(
+      result.mean_outstanding_per_jukebox.begin(),
+      result.mean_outstanding_per_jukebox.end(), 0.0);
+  EXPECT_DOUBLE_EQ(box_sum, result.aggregate.mean_outstanding);
 }
 
 }  // namespace

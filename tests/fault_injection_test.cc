@@ -323,14 +323,31 @@ TEST(MultiDriveFaultsDeathTest, ConstCatalogCtorRejectsEnabledFaults) {
       "mutable-catalog");
 }
 
-// --- Other simulators reject faults ---------------------------------------
+// --- Farm gating -----------------------------------------------------------
 
-TEST(FaultGating, FarmConfigRejectsEnabledFaults) {
+TEST(FaultGating, FarmConfigAcceptsFaultsButGatesRepairAndAlgorithms) {
+  // The multi-drive-backed farm runs fault injection per box.
   FarmConfig farm;
   farm.per_jukebox.sim.faults.permanent_media_error_prob = 0.01;
-  const Status status = farm.Validate();
-  ASSERT_FALSE(status.ok());
-  EXPECT_NE(status.message().find("fault injection"), std::string::npos);
+  EXPECT_TRUE(farm.Validate().ok());
+
+  // Multi-drive boxes dispatch by tape policy: envelope is rejected.
+  FarmConfig envelope = farm;
+  envelope.drives_per_jukebox = 2;
+  envelope.per_jukebox.algorithm =
+      AlgorithmSpec::Parse("envelope-max-bandwidth").value();
+  const Status bad_algorithm = envelope.Validate();
+  ASSERT_FALSE(bad_algorithm.ok());
+  EXPECT_NE(bad_algorithm.message().find("static"), std::string::npos);
+
+  // Scrub/repair stays single-drive only.
+  FarmConfig repair = farm;
+  repair.drives_per_jukebox = 2;
+  repair.per_jukebox.sim.repair.enable_repair = true;
+  repair.per_jukebox.sim.repair.scrub_interval_seconds = 1000;
+  const Status bad_repair = repair.Validate();
+  ASSERT_FALSE(bad_repair.ok());
+  EXPECT_NE(bad_repair.message().find("single-drive"), std::string::npos);
 }
 
 }  // namespace

@@ -131,6 +131,76 @@ TEST(Metrics, PercentilesFromHistogram) {
   EXPECT_NEAR(result.p95_delay_seconds, 950.0, 20.0);
 }
 
+TEST(Metrics, DelayTailBeyondHistogramRangeReportsTrueMax) {
+  // Delays past the histogram range (200000 s) used to fold into the top
+  // bucket, so p99 silently saturated at ~55 h. The overflow mass must be
+  // reported and quantiles landing in it must return the tracked maximum.
+  MetricsCollector metrics(/*warmup_seconds=*/0, 16);
+  metrics.MarkWarmupBoundary(JukeboxCounters{});
+  for (int i = 0; i < 90; ++i) {
+    metrics.OnArrival(0.0);
+    metrics.OnCompletion(0.0, 100.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    metrics.OnArrival(0.0);
+    metrics.OnCompletion(0.0, 900000.0);  // ~10 days, beyond the range
+  }
+  const SimulationResult result =
+      metrics.Finalize(900000.0, JukeboxCounters{});
+  EXPECT_EQ(result.delay_hist_overflow, 10);
+  EXPECT_DOUBLE_EQ(result.max_delay_seconds, 900000.0);
+  EXPECT_DOUBLE_EQ(result.p99_delay_seconds, 900000.0);
+  // p50 still resolves inside the histogram.
+  EXPECT_LT(result.p50_delay_seconds, 200.0);
+}
+
+TEST(Metrics, MergeMatchesOneCollectorSeeingEverything) {
+  // Two boxes' collectors merged must agree with one collector that saw
+  // every event — including the outstanding-area integral once each box's
+  // area is closed at the common end time via AccumulateTo.
+  constexpr double kWarmup = 100.0;
+  MetricsCollector a(kWarmup, 16);
+  MetricsCollector b(kWarmup, 16);
+  MetricsCollector whole(kWarmup, 16);
+  a.MarkWarmupBoundary(JukeboxCounters{});
+  b.MarkWarmupBoundary(JukeboxCounters{});
+  whole.MarkWarmupBoundary(JukeboxCounters{});
+  // Box a: one request outstanding across the warm-up boundary. Box b:
+  // one normal completion, one failure, one still outstanding at the end.
+  // The reference collector sees the same events in global time order
+  // (collectors require monotone event times).
+  a.OnArrival(50.0);
+  whole.OnArrival(50.0);
+  b.OnArrival(150.0);
+  whole.OnArrival(150.0);
+  a.OnCompletion(50.0, 300.0);
+  whole.OnCompletion(50.0, 300.0);
+  b.OnCompletion(150.0, 400.0);
+  whole.OnCompletion(150.0, 400.0);
+  b.OnArrival(450.0);
+  whole.OnArrival(450.0);
+  b.OnFailure(450.0, 500.0);
+  whole.OnFailure(450.0, 500.0);
+  b.OnArrival(550.0);
+  whole.OnArrival(550.0);
+
+  const double end = 600.0;
+  a.AccumulateTo(end);
+  b.AccumulateTo(end);
+  whole.AccumulateTo(end);
+  a.Merge(b);
+  const SimulationResult merged = a.Finalize(end, JukeboxCounters{});
+  const SimulationResult single = whole.Finalize(end, JukeboxCounters{});
+  EXPECT_EQ(merged.completed_requests, single.completed_requests);
+  EXPECT_EQ(merged.issued_requests, single.issued_requests);
+  EXPECT_EQ(merged.failed_requests, single.failed_requests);
+  EXPECT_EQ(merged.outstanding_at_end, single.outstanding_at_end);
+  EXPECT_DOUBLE_EQ(merged.mean_delay_seconds, single.mean_delay_seconds);
+  EXPECT_DOUBLE_EQ(merged.max_delay_seconds, single.max_delay_seconds);
+  EXPECT_DOUBLE_EQ(merged.mean_outstanding, single.mean_outstanding);
+  EXPECT_DOUBLE_EQ(merged.p95_delay_seconds, single.p95_delay_seconds);
+}
+
 TEST(Metrics, EmptyRunIsAllZero) {
   MetricsCollector metrics(0, 16);
   const SimulationResult result = metrics.Finalize(0.0, JukeboxCounters{});

@@ -102,6 +102,51 @@ TEST(Histogram, QuantileClampsOutOfRangeMass) {
   EXPECT_DOUBLE_EQ(h.Quantile(0.1), 0.0);
 }
 
+TEST(Histogram, QuantileInOverflowMassReportsOverflowValue) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 90; ++i) h.Add(5.0);
+  for (int i = 0; i < 10; ++i) h.Add(1e9);  // beyond range
+  // p50 resolves inside the buckets; p99 lands in the overflow mass and
+  // must report the caller-supplied value, not saturate at hi.
+  EXPECT_NEAR(h.Quantile(0.50, 1e9), 5.0, 1.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99, 1e9), 1e9);
+  // The single-argument form keeps the old saturating behavior.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 10.0);
+}
+
+TEST(Histogram, MergeSumsAllCounters) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.Add(-1.0);
+  a.Add(2.5);
+  a.Add(50.0);
+  b.Add(2.5);
+  b.Add(7.5);
+  b.Add(60.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 6);
+  EXPECT_EQ(a.underflow(), 1);
+  EXPECT_EQ(a.overflow(), 2);
+  // Two observations at 2.5 out of three in-range below 5 -> median there.
+  EXPECT_NEAR(a.Quantile(0.5), 2.5, 1.0 + 1e-9);
+}
+
+TEST(Histogram, MergedQuantileMatchesSingleHistogram) {
+  Histogram merged(0.0, 1.0, 100);
+  Histogram whole(0.0, 1.0, 100);
+  Histogram part(0.0, 1.0, 100);
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.UniformDouble();
+    whole.Add(x);
+    (i % 2 == 0 ? merged : part).Add(x);
+  }
+  merged.Merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.5), whole.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(merged.Quantile(0.95), whole.Quantile(0.95));
+}
+
 TEST(Histogram, AsciiRendersOneLinePerBucket) {
   Histogram h(0.0, 2.0, 2);
   h.Add(0.5);
