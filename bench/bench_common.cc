@@ -39,6 +39,11 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
                   "robot handoff slip probability in [0, 1)");
   flags.AddInt64("fault-retries", &fault_retries,
                  "transient-error retry budget before escalation");
+  flags.AddDouble("fault-backoff-base", &fault_backoff_base,
+                  "exponential backoff base before retry k: base * 2^k "
+                  "seconds, jittered (0 = immediate retries)");
+  flags.AddDouble("fault-backoff-max", &fault_backoff_max,
+                  "cap on a single backoff wait, seconds (0 = uncapped)");
   flags.AddBool("repair", &repair,
                 "re-replicate dead replicas onto spare capacity");
   flags.AddDouble("scrub-interval", &scrub_interval,
@@ -121,6 +126,8 @@ ExperimentConfig PaperBaseConfig(const BenchOptions& options) {
   config.sim.faults.drive_mttr_seconds = options.fault_drive_mttr;
   config.sim.faults.robot_fault_prob = options.fault_robot_rate;
   config.sim.faults.max_read_retries = static_cast<int>(options.fault_retries);
+  config.sim.faults.retry_backoff_base_seconds = options.fault_backoff_base;
+  config.sim.faults.retry_backoff_max_seconds = options.fault_backoff_max;
   config.sim.repair.enable_repair = options.repair;
   config.sim.repair.scrub_interval_seconds = options.scrub_interval;
   config.sim.repair.repair_bandwidth_mb_per_s = options.repair_bw;

@@ -55,6 +55,8 @@ struct BenchOptions {
   double fault_drive_mttr = 0.0;      ///< --fault-drive-mttr (seconds)
   double fault_robot_rate = 0.0;      ///< --fault-robot-rate
   int64_t fault_retries = 3;          ///< --fault-retries
+  double fault_backoff_base = 0.0;    ///< --fault-backoff-base (seconds)
+  double fault_backoff_max = 0.0;     ///< --fault-backoff-max (seconds)
 
   /// Scrub/repair (requires at least one fault rate above).
   bool repair = false;           ///< --repair

@@ -23,6 +23,19 @@ const char* SkewName(SkewModel skew) {
   return skew == SkewModel::kZipf ? "zipf" : "hot-cold";
 }
 
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kNone:
+      return "none";
+    case AdmissionPolicy::kStaticCap:
+      return "static-cap";
+    case AdmissionPolicy::kAdaptive:
+      return "adaptive";
+  }
+  TJ_CHECK(false) << "unknown AdmissionPolicy";
+  return "?";
+}
+
 }  // namespace
 
 void WriteJson(JsonWriter* w, const JukeboxConfig& config) {
@@ -57,6 +70,30 @@ void WriteJson(JsonWriter* w, const WorkloadConfig& workload) {
   w->Field("hot_request_fraction", workload.hot_request_fraction);
   w->Field("zipf_theta", workload.zipf_theta);
   w->Field("seed", workload.seed);
+  // Tenant-mix and arrival-shaping knobs are emitted only when set, so
+  // documents for overload-free workloads stay byte-identical to
+  // pre-overload-subsystem output.
+  if (workload.HasTenantClasses()) {
+    w->Key("tenant_classes");
+    w->BeginArray();
+    for (const TenantClassConfig& cls : workload.tenant_classes) {
+      w->BeginObject();
+      w->Field("weight", cls.weight);
+      w->Field("deadline_seconds", cls.deadline_seconds);
+      w->Field("p99_slo_seconds", cls.p99_slo_seconds);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
+  if (workload.diurnal_amplitude > 0) {
+    w->Field("diurnal_amplitude", workload.diurnal_amplitude);
+    w->Field("diurnal_period_seconds", workload.diurnal_period_seconds);
+  }
+  if (workload.burst_interval_seconds > 0) {
+    w->Field("burst_interval_seconds", workload.burst_interval_seconds);
+    w->Field("burst_size", workload.burst_size);
+    w->Field("burst_spread_seconds", workload.burst_spread_seconds);
+  }
   w->EndObject();
 }
 
@@ -70,6 +107,12 @@ void WriteJson(JsonWriter* w, const FaultConfig& faults) {
   w->Field("drive_mtbf_seconds", faults.drive_mtbf_seconds);
   w->Field("drive_mttr_seconds", faults.drive_mttr_seconds);
   w->Field("robot_fault_prob", faults.robot_fault_prob);
+  // Backoff knobs appear only when enabled, keeping documents for
+  // backoff-free fault runs byte-identical to earlier output.
+  if (faults.retry_backoff_base_seconds > 0) {
+    w->Field("retry_backoff_base_seconds", faults.retry_backoff_base_seconds);
+    w->Field("retry_backoff_max_seconds", faults.retry_backoff_max_seconds);
+  }
   w->Field("seed", faults.seed);
   w->EndObject();
 }
@@ -137,6 +180,14 @@ void WriteJson(JsonWriter* w, const SimulationConfig& sim) {
   if (sim.repair.enabled()) {
     w->Key("repair");
     WriteJson(w, sim.repair);
+  }
+  if (sim.admission.enabled()) {
+    w->Key("admission");
+    w->BeginObject();
+    w->Field("policy", AdmissionPolicyName(sim.admission.policy));
+    w->Field("queue_cap", sim.admission.queue_cap);
+    w->Field("window_seconds", sim.admission.window_seconds);
+    w->EndObject();
   }
   w->EndObject();
 }
@@ -222,6 +273,34 @@ void WriteJson(JsonWriter* w, const SimulationResult& result) {
     w->Field("live_replica_fraction", result.live_replica_fraction);
     w->Key("faults");
     WriteJson(w, result.faults);
+  }
+  // Overload block: emitted only for runs that used deadlines, tenant
+  // classes, or admission control. The conservation quad is shared with
+  // the fault block, so it is repeated here only when faults were off.
+  if (result.overload_enabled) {
+    if (!result.fault_injection) {
+      w->Field("issued_requests", result.issued_requests);
+      w->Field("completed_total", result.completed_total);
+      w->Field("failed_requests", result.failed_requests);
+      w->Field("outstanding_at_end", result.outstanding_at_end);
+    }
+    w->Field("expired_requests", result.expired_requests);
+    w->Field("shed_requests", result.shed_requests);
+    if (!result.tenant_classes.empty()) {
+      w->Key("tenant_classes");
+      w->BeginArray();
+      for (const TenantClassResult& cls : result.tenant_classes) {
+        w->BeginObject();
+        w->Field("completed", cls.completed);
+        w->Field("expired", cls.expired);
+        w->Field("shed", cls.shed);
+        w->Field("mean_delay_seconds", cls.mean_delay_seconds);
+        w->Field("p99_delay_seconds", cls.p99_delay_seconds);
+        w->Field("goodput_per_minute", cls.goodput_per_minute);
+        w->EndObject();
+      }
+      w->EndArray();
+    }
   }
   if (result.repair_enabled) {
     w->Key("repair");

@@ -17,6 +17,10 @@ const char* OutcomeName(RequestOutcome outcome) {
       return "completed";
     case RequestOutcome::kFailed:
       return "failed";
+    case RequestOutcome::kExpired:
+      return "expired";
+    case RequestOutcome::kShed:
+      return "shed";
     case RequestOutcome::kOpenAtEnd:
       return "open-at-end";
   }

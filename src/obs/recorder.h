@@ -52,7 +52,7 @@ struct TraceConfig {
 };
 
 /// How a request span ended; rendered into the closing event's args.
-enum class RequestOutcome { kCompleted, kFailed, kOpenAtEnd };
+enum class RequestOutcome { kCompleted, kFailed, kExpired, kShed, kOpenAtEnd };
 
 /// Buffers simulation events and writes trace/decision files at the end
 /// of a run. All timestamps are simulated seconds.

@@ -1158,6 +1158,14 @@ std::vector<Request> EnvelopeScheduler::EvictUnservablePending() {
   return evicted;
 }
 
+std::vector<Request> EnvelopeScheduler::EvictExpired(double now) {
+  std::vector<Request> expired = Scheduler::EvictExpired(now);
+  // Expired requests leave the master cache like any other pending
+  // removal; only client requests live there (background never expires).
+  for (const Request& request : expired) RemoveMasterId(request.id);
+  return expired;
+}
+
 void EnvelopeScheduler::AbsorbStagedToPending() {
   for (const Request& request : staged_) {
     pending_.push_back(request);

@@ -78,6 +78,9 @@ class EnvelopeScheduler : public Scheduler {
   /// lists.
   std::vector<Request> EvictUnservablePending() override;
 
+  /// Overload: expired requests also leave the persistent extension lists.
+  std::vector<Request> EvictExpired(double now) override;
+
   /// Output of the upper-envelope computation (exposed for tests and the
   /// Theorem-2 validation).
   struct EnvelopeResult {

@@ -36,6 +36,15 @@ struct Request {
   BlockId block = kInvalidBlock;
   double arrival_time = 0.0;
   RequestClass cls = RequestClass::kClient;
+  /// Tenant (priority) class, 0 = most protected. Only meaningful for
+  /// client requests; the workload generator assigns it from the per-class
+  /// mix and the admission/metrics layers key their SLO accounting on it.
+  uint8_t tenant = 0;
+  /// Absolute simulation time after which the request is worthless and the
+  /// simulator completes it as *expired*; 0 means no deadline. Deadlines
+  /// are a queueing bound: a request already inside a committed sweep (or
+  /// in flight on a drive) finishes normally even past its deadline.
+  double deadline = 0.0;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

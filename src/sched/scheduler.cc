@@ -218,6 +218,23 @@ std::vector<Request> Scheduler::EvictUnservablePending() {
   return evicted;
 }
 
+std::vector<Request> Scheduler::EvictExpired(double now) {
+  // Staged arrivals can expire before their batch flushes; absorb them so
+  // the scan sees every queued request.
+  AbsorbStagedToPending();
+  std::vector<Request> expired;
+  std::deque<Request> keep;
+  for (const Request& request : pending_) {
+    if (request.deadline > 0 && request.deadline <= now) {
+      expired.push_back(request);
+    } else {
+      keep.push_back(request);
+    }
+  }
+  pending_ = std::move(keep);
+  return expired;
+}
+
 void Scheduler::EnqueueBackground(const Request& request) {
   TJ_DCHECK(request.cls == RequestClass::kBackground);
   background_.push_back(request);

@@ -180,6 +180,13 @@ class Scheduler {
   /// error). Called after replicas are masked dead.
   virtual std::vector<Request> EvictUnservablePending();
 
+  /// Overload protection: removes and returns every pending (or staged)
+  /// request whose deadline is at or before `now` (the simulator completes
+  /// them as expired). Deadlines are a queueing bound, so the active sweep
+  /// is left alone — a request already committed to a sweep finishes
+  /// normally. Background requests never carry deadlines.
+  virtual std::vector<Request> EvictExpired(double now);
+
   /// The active sweep (virtual so decorators expose the wrapped one; the
   /// simulator reads it to trace scheduled-into-sweep transitions).
   virtual const Sweep& sweep() const { return sweep_; }

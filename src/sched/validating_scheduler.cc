@@ -90,6 +90,17 @@ std::vector<Request> ValidatingScheduler::EvictUnservablePending() {
   return evicted;
 }
 
+std::vector<Request> ValidatingScheduler::EvictExpired(double now) {
+  std::vector<Request> expired = inner_->EvictExpired(now);
+  for (const Request& request : expired) {
+    TJ_CHECK(request.deadline > 0 && request.deadline <= now)
+        << "request" << request.id << "evicted before its deadline";
+    TJ_CHECK(outstanding_.erase(request.id) == 1)
+        << "expired request" << request.id << "was not outstanding";
+  }
+  return expired;
+}
+
 std::optional<ServiceEntry> ValidatingScheduler::PopNext() {
   std::optional<ServiceEntry> entry = inner_->PopNext();
   if (!entry.has_value()) return entry;

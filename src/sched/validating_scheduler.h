@@ -62,6 +62,7 @@ class ValidatingScheduler : public Scheduler {
   /// are dropped from the outstanding set.
   std::vector<Request> DrainSweep() override;
   std::vector<Request> EvictUnservablePending() override;
+  std::vector<Request> EvictExpired(double now) override;
 
   /// Decisions are made by (and recorded from) the wrapped scheduler.
   void set_decision_sink(obs::DecisionSink* sink) override {

@@ -1,5 +1,7 @@
 #include "sim/fault_model.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace tapejuke {
@@ -31,6 +33,9 @@ Status FaultConfig::Validate() const {
   }
   if (robot_fault_prob < 0.0 || robot_fault_prob >= 1.0) {
     return Status::InvalidArgument("robot_fault_prob must be in [0, 1)");
+  }
+  if (retry_backoff_base_seconds < 0.0 || retry_backoff_max_seconds < 0.0) {
+    return Status::InvalidArgument("retry backoff must be >= 0");
   }
   return Status::Ok();
 }
@@ -127,6 +132,22 @@ double FaultModel::NextFailureGap() {
 double FaultModel::NextRepairTime() {
   TJ_CHECK_GT(config_.drive_mttr_seconds, 0.0);
   return rng_.Exponential(config_.drive_mttr_seconds);
+}
+
+double FaultModel::NextRetryBackoff(int attempt) {
+  if (config_.retry_backoff_base_seconds <= 0.0) return 0.0;
+  TJ_CHECK_GE(attempt, 0);
+  // Cap the doubling exponent so the shift below cannot overflow; the
+  // config cap (when set) applies on top.
+  const int exponent = attempt < 60 ? attempt : 60;
+  double wait = config_.retry_backoff_base_seconds *
+                static_cast<double>(uint64_t{1} << exponent);
+  if (config_.retry_backoff_max_seconds > 0.0) {
+    wait = std::min(wait, config_.retry_backoff_max_seconds);
+  }
+  // Jitter in [0.5, 1.0]: desynchronizes retry storms across drives while
+  // staying a deterministic function of the fault stream.
+  return wait * (0.5 + 0.5 * rng_.UniformDouble());
 }
 
 }  // namespace tapejuke

@@ -55,6 +55,13 @@ struct FaultConfig {
   /// Probability that a robot load/eject handoff slips and must be repeated
   /// (each repeat re-drawn, so the retry count is geometric). In [0, 1).
   double robot_fault_prob = 0.0;
+  /// Exponential backoff before each transient-read retry: retry k (0-based)
+  /// waits base * 2^k seconds, scaled by a deterministic jitter factor in
+  /// [0.5, 1.0] drawn from the fault stream. 0 (the default) preserves the
+  /// historical immediate retries, with no extra draws.
+  double retry_backoff_base_seconds = 0.0;
+  /// Cap on a single backoff wait (before jitter). 0 = uncapped.
+  double retry_backoff_max_seconds = 0.0;
   /// Seed for the fault stream. 0 derives the stream from the workload seed
   /// so distinct experiments see distinct fault sequences by default.
   uint64_t seed = 0;
@@ -147,6 +154,12 @@ class FaultModel {
 
   /// Draws a repair duration, seconds. Requires drive_mttr_seconds > 0.
   double NextRepairTime();
+
+  /// Backoff wait before transient-read retry `attempt` (0-based):
+  /// min(base * 2^attempt, max) scaled by a jittered factor in [0.5, 1.0].
+  /// Returns 0 without touching the RNG when backoff is disabled, so
+  /// existing fault runs stay bit-identical.
+  double NextRetryBackoff(int attempt);
 
   const FaultConfig& config() const { return config_; }
 

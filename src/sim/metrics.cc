@@ -38,7 +38,17 @@ void MetricsCollector::OnArrival(double now) {
   ++issued_total_;
 }
 
-void MetricsCollector::OnCompletion(double arrival, double now) {
+void MetricsCollector::ConfigureClasses(int num_classes) {
+  TJ_CHECK(classes_.empty()) << "classes already configured";
+  TJ_CHECK_EQ(issued_total_, 0) << "configure classes before any event";
+  TJ_CHECK_GT(num_classes, 0);
+  classes_.reserve(static_cast<size_t>(num_classes));
+  for (int i = 0; i < num_classes; ++i) {
+    classes_.emplace_back(0.0, kDelayHistMax, kDelayHistBuckets);
+  }
+}
+
+void MetricsCollector::OnCompletion(double arrival, double now, int tenant) {
   TJ_CHECK_LE(arrival, now + 1e-9);
   AccumulateOutstandingArea(now);
   --outstanding_;
@@ -48,6 +58,13 @@ void MetricsCollector::OnCompletion(double arrival, double now) {
   ++completed_;
   delay_.Add(now - arrival);
   delay_histogram_.Add(now - arrival);
+  if (!classes_.empty()) {
+    TJ_CHECK_LT(static_cast<size_t>(tenant), classes_.size());
+    ClassAccum& cls = classes_[static_cast<size_t>(tenant)];
+    ++cls.completed;
+    cls.delay.Add(now - arrival);
+    cls.histogram.Add(now - arrival);
+  }
 }
 
 void MetricsCollector::OnFailure(double arrival, double now) {
@@ -56,6 +73,30 @@ void MetricsCollector::OnFailure(double arrival, double now) {
   --outstanding_;
   TJ_CHECK_GE(outstanding_, 0);
   ++failed_total_;
+}
+
+void MetricsCollector::OnExpired(double arrival, double now, int tenant) {
+  TJ_CHECK_LE(arrival, now + 1e-9);
+  AccumulateOutstandingArea(now);
+  --outstanding_;
+  TJ_CHECK_GE(outstanding_, 0);
+  ++expired_total_;
+  if (now <= warmup_seconds_) return;
+  if (!classes_.empty()) {
+    TJ_CHECK_LT(static_cast<size_t>(tenant), classes_.size());
+    ++classes_[static_cast<size_t>(tenant)].expired;
+  }
+}
+
+void MetricsCollector::OnShed(double now, int tenant) {
+  AccumulateOutstandingArea(now);
+  ++issued_total_;
+  ++shed_total_;
+  if (now <= warmup_seconds_) return;
+  if (!classes_.empty()) {
+    TJ_CHECK_LT(static_cast<size_t>(tenant), classes_.size());
+    ++classes_[static_cast<size_t>(tenant)].shed;
+  }
 }
 
 void MetricsCollector::MarkWarmupBoundary(const JukeboxCounters& counters) {
@@ -73,9 +114,22 @@ void MetricsCollector::Merge(const MetricsCollector& other) {
   delay_.Merge(other.delay_);
   delay_histogram_.Merge(other.delay_histogram_);
   completed_ += other.completed_;
+  TJ_CHECK_EQ(classes_.size(), other.classes_.size())
+      << "merging collectors with different tenant-class counts";
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    ClassAccum& mine = classes_[i];
+    const ClassAccum& theirs = other.classes_[i];
+    mine.delay.Merge(theirs.delay);
+    mine.histogram.Merge(theirs.histogram);
+    mine.completed += theirs.completed;
+    mine.expired += theirs.expired;
+    mine.shed += theirs.shed;
+  }
   issued_total_ += other.issued_total_;
   completed_total_ += other.completed_total_;
   failed_total_ += other.failed_total_;
+  expired_total_ += other.expired_total_;
+  shed_total_ += other.shed_total_;
   outstanding_ += other.outstanding_;
   last_transition_ = std::max(last_transition_, other.last_transition_);
   outstanding_area_ += other.outstanding_area_;
@@ -175,8 +229,34 @@ SimulationResult MetricsCollector::Finalize(
       settled > 0 ? static_cast<double>(completed_total_) /
                         static_cast<double>(settled)
                   : 1.0;
-  TJ_CHECK_EQ(completed_total_ + failed_total_ + outstanding_, issued_total_)
+  TJ_CHECK_EQ(
+      completed_total_ + failed_total_ + expired_total_ + shed_total_ +
+          outstanding_,
+      issued_total_)
       << "request conservation violated";
+
+  // Overload accounting: emitted only when the run actually used the
+  // subsystem, so overload-free results stay byte-identical.
+  result.expired_requests = expired_total_;
+  result.shed_requests = shed_total_;
+  result.overload_enabled =
+      !classes_.empty() || expired_total_ > 0 || shed_total_ > 0;
+  if (result.overload_enabled && !classes_.empty()) {
+    result.tenant_classes.reserve(classes_.size());
+    for (const ClassAccum& cls : classes_) {
+      TenantClassResult out;
+      out.completed = cls.completed;
+      out.expired = cls.expired;
+      out.shed = cls.shed;
+      out.mean_delay_seconds = cls.delay.mean();
+      out.p99_delay_seconds = cls.histogram.Quantile(0.99, cls.delay.max());
+      if (result.measured_seconds > 0) {
+        out.goodput_per_minute = static_cast<double>(cls.completed) /
+                                 (result.measured_seconds / 60.0);
+      }
+      result.tenant_classes.push_back(out);
+    }
+  }
   return result;
 }
 

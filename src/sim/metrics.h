@@ -19,6 +19,19 @@
 
 namespace tapejuke {
 
+/// Per-tenant-class steady-state results (overload runs only). Counts are
+/// post-warm-up, like the top-level completed_requests.
+struct TenantClassResult {
+  int64_t completed = 0;
+  int64_t expired = 0;
+  int64_t shed = 0;
+  double mean_delay_seconds = 0;
+  double p99_delay_seconds = 0;
+  /// Post-warm-up completions per minute. Expired and shed requests are
+  /// excluded — this is goodput, the number the SLO protects.
+  double goodput_per_minute = 0;
+};
+
 /// Steady-state results of one simulation run.
 struct SimulationResult {
   double simulated_seconds = 0;  ///< total, including warm-up
@@ -85,6 +98,16 @@ struct SimulationResult {
   /// repair subsystem enabled.
   bool repair_enabled = false;
   RepairStats repair;
+
+  /// Overload protection. Populated (and serialized) only when the run
+  /// used tenant classes, deadlines, or admission control; stays false
+  /// otherwise so overload-free results are byte-identical to builds
+  /// without the subsystem. The conservation identity extends to
+  /// completed_total + failed + expired + shed + outstanding == issued.
+  bool overload_enabled = false;
+  int64_t expired_requests = 0;  ///< whole-run, not warm-up trimmed
+  int64_t shed_requests = 0;     ///< whole-run, not warm-up trimmed
+  std::vector<TenantClassResult> tenant_classes;
 };
 
 /// Accumulates completions and outstanding-population area during a run.
@@ -93,22 +116,40 @@ class MetricsCollector {
   /// Statistics cover completions at times > `warmup_seconds`.
   MetricsCollector(double warmup_seconds, int64_t block_size_mb);
 
+  /// Arms per-tenant-class accounting (overload runs). Call once, before
+  /// any event; completions/expiries/sheds then also accrue to the class
+  /// passed via their `tenant` argument.
+  void ConfigureClasses(int num_classes);
+
   /// Records a request arrival at time `now`.
   void OnArrival(double now);
 
   /// Records a completed request that arrived at `arrival` and finished at
   /// `now`.
-  void OnCompletion(double arrival, double now);
+  void OnCompletion(double arrival, double now, int tenant = 0);
 
   /// Records a request that completed with an error at `now` (every
   /// replica of its block was lost). Excluded from throughput and delay
   /// statistics; counted in the whole-run conservation totals.
   void OnFailure(double arrival, double now);
 
+  /// Records a queued request expiring at `now` (its deadline passed
+  /// before service). Removed from the outstanding population; excluded
+  /// from throughput/delay statistics; counted as expired in the extended
+  /// conservation identity.
+  void OnExpired(double arrival, double now, int tenant = 0);
+
+  /// Records an arrival refused by admission control at `now`. The
+  /// request never joins the outstanding population: it counts as issued
+  /// and shed, keeping the extended conservation identity exact.
+  void OnShed(double now, int tenant = 0);
+
   /// Whole-run totals (not warm-up trimmed), for conservation accounting.
   int64_t issued_total() const { return issued_total_; }
   int64_t completed_total() const { return completed_total_; }
   int64_t failed_total() const { return failed_total_; }
+  int64_t expired_total() const { return expired_total_; }
+  int64_t shed_total() const { return shed_total_; }
   int64_t outstanding_now() const { return outstanding_; }
 
   /// Snapshot of the jukebox counters at the warm-up boundary; call once
@@ -144,6 +185,17 @@ class MetricsCollector {
   double warmup_seconds() const { return warmup_seconds_; }
 
  private:
+  /// Per-tenant-class accumulators (post-warm-up, like completed_).
+  struct ClassAccum {
+    ClassAccum(double lo, double hi, int buckets)
+        : histogram(lo, hi, buckets) {}
+    RunningStat delay;
+    Histogram histogram;
+    int64_t completed = 0;
+    int64_t expired = 0;
+    int64_t shed = 0;
+  };
+
   void AccumulateOutstandingArea(double now);
 
   double warmup_seconds_;
@@ -152,10 +204,13 @@ class MetricsCollector {
   RunningStat delay_;
   Histogram delay_histogram_;
   int64_t completed_ = 0;
+  std::vector<ClassAccum> classes_;
 
   int64_t issued_total_ = 0;
   int64_t completed_total_ = 0;
   int64_t failed_total_ = 0;
+  int64_t expired_total_ = 0;
+  int64_t shed_total_ = 0;
 
   int64_t outstanding_ = 0;
   double last_transition_ = 0;

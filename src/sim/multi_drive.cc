@@ -51,6 +51,17 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
     recorder_->SetTopology("jukebox", drives_config_.num_drives);
     accounting_.set_recorder(&*recorder_);
   }
+  if (sim_config_.workload.HasTenantClasses()) {
+    metrics_.ConfigureClasses(
+        static_cast<int>(sim_config_.workload.tenant_classes.size()));
+    for (const TenantClassConfig& cls : sim_config_.workload.tenant_classes) {
+      if (cls.deadline_seconds > 0) deadlines_possible_ = true;
+    }
+  }
+  if (sim_config_.admission.enabled()) {
+    admission_.emplace(sim_config_.admission,
+                       sim_config_.workload.tenant_classes);
+  }
 }
 
 MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
@@ -94,6 +105,17 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
       }
     }
   }
+  if (sim_config_.workload.HasTenantClasses()) {
+    metrics_.ConfigureClasses(
+        static_cast<int>(sim_config_.workload.tenant_classes.size()));
+    for (const TenantClassConfig& cls : sim_config_.workload.tenant_classes) {
+      if (cls.deadline_seconds > 0) deadlines_possible_ = true;
+    }
+  }
+  if (sim_config_.admission.enabled()) {
+    admission_.emplace(sim_config_.admission,
+                       sim_config_.workload.tenant_classes);
+  }
 }
 
 bool MultiDriveSimulator::ClaimedElsewhere(TapeId tape, int self) const {
@@ -124,8 +146,16 @@ void MultiDriveSimulator::BeginNextRead(int d, double now) {
   ReadOutcome outcome;
   if (faults_.has_value()) {
     outcome = faults_->NextReadOutcome();
-    // Each transient retry locates back to the block start and re-reads.
+    // Each transient retry locates back to the block start and re-reads,
+    // after an optional exponential-backoff wait (charged as locating so
+    // the drive stays visibly occupied by the faulted operation).
     for (int r = 0; r < outcome.retries; ++r) {
+      const double backoff = faults_->NextRetryBackoff(r);
+      if (backoff > 0) {
+        op_seconds += backoff;
+        op_t += backoff;
+        ds.pending_charge.emplace_back(obs::DriveActivity::kLocating, op_t);
+      }
       const double back = ds.unit.LocateTo(entry->position);
       counters_.locate_seconds += back;
       const double again = ds.unit.Read(block_mb);
@@ -305,6 +335,7 @@ bool MultiDriveSimulator::DeliverOrFail(const Request& request, double now) {
     return false;
   }
   Route(request, now);
+  TrackDeadline(request);
   return true;
 }
 
@@ -320,6 +351,7 @@ void MultiDriveSimulator::IssueClosedRequest(double now) {
 }
 
 void MultiDriveSimulator::FailRequest(const Request& request, double now) {
+  if (deadlines_possible_) deadline_live_.erase(request.id);
   if (recorder_.has_value()) {
     recorder_->RequestDone(request.id, obs::RequestOutcome::kFailed, now);
   }
@@ -330,6 +362,13 @@ void MultiDriveSimulator::FailRequest(const Request& request, double now) {
 void MultiDriveSimulator::Requeue(const std::vector<Request>& requests,
                                   double now) {
   for (const Request& request : requests) {
+    if (request.deadline > 0 && request.deadline <= now) {
+      // The fault drained a sweep holding an already-past-deadline request
+      // (its expiry event fired while it was committed and was skipped).
+      // Re-enqueueing it would lose the expiry forever, so settle it now.
+      ExpireRequest(request, now);
+      continue;
+    }
     if (catalog_->HasLiveReplica(request.block)) {
       ++fault_stats_.failovers;
       if (recorder_.has_value()) {
@@ -355,6 +394,43 @@ void MultiDriveSimulator::EvictUnservablePending(double now) {
   pending_.swap(keep);
   // Failed after the swap: closed-model regeneration pushes into pending_.
   for (const Request& request : dead) FailRequest(request, now);
+}
+
+void MultiDriveSimulator::TrackDeadline(const Request& request) {
+  if (request.deadline <= 0) return;
+  deadline_live_.insert(request.id);
+  expiries_.Schedule(request.deadline, request.id);
+}
+
+void MultiDriveSimulator::ExpireRequest(const Request& request, double now) {
+  deadline_live_.erase(request.id);
+  metrics_.OnExpired(request.arrival_time, now, request.tenant);
+  if (recorder_.has_value()) {
+    recorder_->RequestDone(request.id, obs::RequestOutcome::kExpired, now);
+  }
+  if (closed_) {
+    // The issuing process moves on exactly as it would after a completion.
+    if (faults_.has_value()) {
+      IssueClosedRequest(now);
+    } else {
+      DeliverOrFail(workload_.NextRequest(now), now);
+    }
+  }
+}
+
+void MultiDriveSimulator::ExpirePendingPastDeadline(double now) {
+  std::vector<Request> expired;
+  std::deque<Request> keep;
+  for (const Request& request : pending_) {
+    if (request.deadline > 0 && request.deadline <= now) {
+      expired.push_back(request);
+    } else {
+      keep.push_back(request);
+    }
+  }
+  pending_.swap(keep);
+  // Settled after the swap: closed-model regeneration pushes into pending_.
+  for (const Request& request : expired) ExpireRequest(request, now);
 }
 
 void MultiDriveSimulator::HandlePermanentError(int d,
@@ -477,7 +553,7 @@ SimulationResult MultiDriveSimulator::Run() {
       DeliverOrFail(workload_.NextRequest(0.0), 0.0);
     }
   } else {
-    next_arrival_ = workload_.NextInterarrival();
+    next_arrival_ = workload_.NextArrivalGap(0.0);
   }
   WakeIdleDrives(0.0);
   if (sim_config_.warmup_seconds == 0) {
@@ -488,13 +564,36 @@ SimulationResult MultiDriveSimulator::Run() {
   while (clock_ < sim_config_.duration_seconds) {
     const double event_time = events_.empty() ? kInf : events_.NextTime();
     const double arrival_time = closed_ ? kInf : next_arrival_;
-    const double next = std::min(event_time, arrival_time);
+    const double expiry_time = (deadlines_possible_ && !expiries_.empty())
+                                   ? expiries_.NextTime()
+                                   : kInf;
+    const double next = std::min({event_time, arrival_time, expiry_time});
     if (next == kInf || next > sim_config_.duration_seconds) break;
     clock_ = next;
 
-    if (arrival_time <= event_time) {
-      DeliverOrFail(workload_.NextRequest(clock_), clock_);
-      next_arrival_ = clock_ + workload_.NextInterarrival();
+    if (expiry_time <= event_time && expiry_time <= arrival_time) {
+      const auto [time, id] = expiries_.Pop();
+      (void)time;
+      // Stale events (the request completed, failed, or was evicted by an
+      // earlier scan) are skipped; requests already extracted into a
+      // drive's sweep are committed and left to complete normally.
+      if (deadline_live_.contains(id)) ExpirePendingPastDeadline(clock_);
+    } else if (arrival_time <= event_time) {
+      const Request request = workload_.NextRequest(clock_);
+      if (admission_.has_value() &&
+          !admission_->Admit(request.tenant, clock_,
+                             metrics_.outstanding_now())) {
+        metrics_.OnShed(clock_, request.tenant);
+        if (recorder_.has_value() && recorder_->SampleRequest(request.id)) {
+          recorder_->RequestArrived(request.id, request.block,
+                                    /*background=*/false, clock_);
+          recorder_->RequestDone(request.id, obs::RequestOutcome::kShed,
+                                 clock_);
+        }
+      } else {
+        DeliverOrFail(request, clock_);
+      }
+      next_arrival_ = clock_ + workload_.NextArrivalGap(clock_);
     } else {
       const auto [time, payload] = events_.Pop();
       (void)time;
@@ -533,7 +632,14 @@ SimulationResult MultiDriveSimulator::Run() {
                                          obs::RequestOutcome::kCompleted,
                                          clock_);
                 }
-                metrics_.OnCompletion(request.arrival_time, clock_);
+                metrics_.OnCompletion(request.arrival_time, clock_,
+                                      request.tenant);
+                if (admission_.has_value()) {
+                  admission_->OnCompletion(request.tenant,
+                                           clock_ - request.arrival_time,
+                                           clock_);
+                }
+                if (deadlines_possible_) deadline_live_.erase(request.id);
                 if (closed_) {
                   if (faults_.has_value()) {
                     IssueClosedRequest(clock_);

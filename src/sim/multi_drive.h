@@ -29,6 +29,7 @@
 #include "sched/schedule_cost.h"
 #include "sched/scheduler.h"
 #include "sched/sweep.h"
+#include "sim/admission.h"
 #include "sim/event_queue.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
@@ -36,6 +37,7 @@
 #include "sim/workload.h"
 #include "tape/drive.h"
 #include "tape/jukebox.h"
+#include "util/flat_hash.h"
 #include "util/status.h"
 
 namespace tapejuke {
@@ -149,6 +151,19 @@ class MultiDriveSimulator {
   /// Fails every pending request whose last live replica is gone.
   void EvictUnservablePending(double now);
 
+  /// Registers `request`'s deadline with the expiry queue (no-op when it
+  /// has none).
+  void TrackDeadline(const Request& request);
+
+  /// Completes `request` as expired at `now`; in the closed model the
+  /// issuing process then issues its next request.
+  void ExpireRequest(const Request& request, double now);
+
+  /// Evicts every pending request whose deadline has passed (requests
+  /// already extracted into a drive's sweep are committed and complete
+  /// normally) and settles each as expired.
+  void ExpirePendingPastDeadline(double now);
+
   /// Masks the media under drive `d`'s failed read and fails the affected
   /// requests over to surviving replicas.
   void HandlePermanentError(int d, const ServiceEntry& entry,
@@ -201,6 +216,16 @@ class MultiDriveSimulator {
   std::optional<FaultModel> faults_;
   FaultStats fault_stats_;
   bool drive_faults_ = false;
+
+  /// Overload protection (mirrors Simulator): admission_ is engaged iff
+  /// sim.admission.enabled(); expiry events carry the request id and
+  /// deadline_live_ filters events whose request already settled;
+  /// deadlines_possible_ gates the machinery so deadline-free runs make no
+  /// extra queue operations.
+  std::optional<AdmissionController> admission_;
+  EventQueue<RequestId> expiries_;
+  FlatSet<RequestId> deadline_live_;
+  bool deadlines_possible_ = false;
 
   JukeboxCounters counters_;
   MultiDriveStats stats_;

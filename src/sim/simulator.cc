@@ -26,6 +26,8 @@ Status SimulationConfig::Validate() const {
     return Status::InvalidArgument(
         "scrub/repair requires fault injection (config.faults)");
   }
+  const Status admission_status = admission.Validate(workload);
+  if (!admission_status.ok()) return admission_status;
   return workload.Validate();
 }
 
@@ -51,6 +53,16 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
     recorder_->SetTopology("jukebox", /*num_drives=*/1);
     accounting_.set_recorder(&*recorder_);
     scheduler_->set_decision_sink(&*recorder_);
+  }
+  if (config_.workload.HasTenantClasses()) {
+    metrics_.ConfigureClasses(
+        static_cast<int>(config_.workload.tenant_classes.size()));
+    for (const TenantClassConfig& cls : config_.workload.tenant_classes) {
+      if (cls.deadline_seconds > 0) deadlines_possible_ = true;
+    }
+  }
+  if (config_.admission.enabled()) {
+    admission_.emplace(config_.admission, config_.workload.tenant_classes);
   }
 }
 
@@ -87,6 +99,16 @@ Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
       if (recorder_.has_value()) repair_->set_recorder(&*recorder_);
     }
   }
+  if (config_.workload.HasTenantClasses()) {
+    metrics_.ConfigureClasses(
+        static_cast<int>(config_.workload.tenant_classes.size()));
+    for (const TenantClassConfig& cls : config_.workload.tenant_classes) {
+      if (cls.deadline_seconds > 0) deadlines_possible_ = true;
+    }
+  }
+  if (config_.admission.enabled()) {
+    admission_.emplace(config_.admission, config_.workload.tenant_classes);
+  }
 }
 
 Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
@@ -104,6 +126,7 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
     TJ_CHECK(request.block >= 0 && request.block < catalog->num_blocks())
         << "trace references unknown block" << request.block;
     request.id = next_id++;
+    if (request.deadline > 0) deadlines_possible_ = true;
   }
 }
 
@@ -122,7 +145,44 @@ bool Simulator::DeliverOrFail(const Request& request,
     return false;
   }
   scheduler_->OnArrival(request, committed_head);
+  TrackDeadline(request);
   return true;
+}
+
+void Simulator::TrackDeadline(const Request& request) {
+  if (request.deadline <= 0) return;
+  deadline_live_.insert(request.id);
+  expiries_.Schedule(request.deadline, request.id);
+}
+
+void Simulator::ExpireRequest(const Request& request, double now,
+                              Position committed_head) {
+  deadline_live_.erase(request.id);
+  metrics_.OnExpired(request.arrival_time, now, request.tenant);
+  if (recorder_.has_value()) {
+    recorder_->RequestDone(request.id, obs::RequestOutcome::kExpired, now);
+  }
+  if (closed_) {
+    // The issuing process moves on exactly as it would after a completion.
+    if (config_.workload.think_time_seconds > 0) {
+      thinking_.Schedule(now + workload_.NextThinkTime(), 0);
+    } else {
+      IssueClosedRequest(now, committed_head);
+    }
+  }
+}
+
+void Simulator::ProcessExpiriesUpTo(double until, Position committed_head) {
+  if (!deadlines_possible_) return;
+  while (auto event = expiries_.PopUntil(until)) {
+    // Stale events (the request completed, failed, or was evicted by an
+    // earlier sweep) are skipped; requests currently inside the active
+    // sweep are left to finish and their event simply expires unused.
+    if (!deadline_live_.contains(event->second)) continue;
+    for (const Request& request : scheduler_->EvictExpired(event->first)) {
+      ExpireRequest(request, event->first, committed_head);
+    }
+  }
 }
 
 void Simulator::IssueClosedRequest(double now, Position committed_head) {
@@ -139,6 +199,7 @@ void Simulator::IssueClosedRequest(double now, Position committed_head) {
 }
 
 void Simulator::FailRequest(const Request& request) {
+  if (deadlines_possible_) deadline_live_.erase(request.id);
   metrics_.OnFailure(request.arrival_time, clock_);
   if (recorder_.has_value()) {
     recorder_->RequestDone(request.id, obs::RequestOutcome::kFailed, clock_);
@@ -159,6 +220,13 @@ void Simulator::Requeue(const Request& request) {
     // A displaced repair source read goes back to the repair manager,
     // which re-issues or abandons it; it never counts as a failover.
     if (repair_.has_value()) repair_->OnBackgroundDisplaced(request, clock_);
+    return;
+  }
+  if (request.deadline > 0 && request.deadline <= clock_) {
+    // The fault drained a sweep holding an already-past-deadline request
+    // (its expiry event fired while it was committed and was skipped).
+    // Re-enqueueing it would lose the expiry forever, so settle it now.
+    ExpireRequest(request, clock_, jukebox_->head());
     return;
   }
   if (catalog_->HasLiveReplica(request.block)) {
@@ -231,6 +299,7 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
   // Closed-model think-time expirations: the process issues its next
   // request when its think period ends.
   while (auto expired = thinking_.PopUntil(until)) {
+    ProcessExpiriesUpTo(expired->first, committed_head);
     if (faults_.has_value()) {
       IssueClosedRequest(expired->first, committed_head);
     } else {
@@ -241,12 +310,27 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
                                   /*background=*/false, expired->first);
       }
       scheduler_->OnArrival(request, committed_head);
+      TrackDeadline(request);
     }
   }
   if (trace_mode_) {
     while (trace_pos_ < trace_.size() &&
            trace_[trace_pos_].arrival_time <= until) {
       const Request& request = trace_[trace_pos_++];
+      ProcessExpiriesUpTo(request.arrival_time, committed_head);
+      if (admission_.has_value() &&
+          !admission_->Admit(request.tenant, request.arrival_time,
+                             metrics_.outstanding_now())) {
+        metrics_.OnShed(request.arrival_time, request.tenant);
+        if (recorder_.has_value()) {
+          recorder_->RequestArrived(request.id, request.block,
+                                    /*background=*/false,
+                                    request.arrival_time);
+          recorder_->RequestDone(request.id, obs::RequestOutcome::kShed,
+                                 request.arrival_time);
+        }
+        continue;
+      }
       metrics_.OnArrival(request.arrival_time);
       if (recorder_.has_value()) {
         recorder_->RequestArrived(request.id, request.block,
@@ -254,19 +338,38 @@ void Simulator::DeliverArrivalsUpTo(double until, Position committed_head) {
                                   request.arrival_time);
       }
       scheduler_->OnArrival(request, committed_head);
+      TrackDeadline(request);
     }
     next_arrival_ = trace_pos_ < trace_.size()
                         ? trace_[trace_pos_].arrival_time
                         : config_.duration_seconds + 1;
+    ProcessExpiriesUpTo(until, committed_head);
     return;
   }
-  if (config_.workload.model != QueuingModel::kOpen) return;
-  while (next_arrival_ <= until) {
-    const Request request = workload_.NextRequest(next_arrival_);
-    metrics_.OnArrival(next_arrival_);
-    DeliverOrFail(request, committed_head);
-    next_arrival_ += workload_.NextInterarrival();
+  if (config_.workload.model != QueuingModel::kOpen) {
+    ProcessExpiriesUpTo(until, committed_head);
+    return;
   }
+  while (next_arrival_ <= until) {
+    ProcessExpiriesUpTo(next_arrival_, committed_head);
+    const Request request = workload_.NextRequest(next_arrival_);
+    if (admission_.has_value() &&
+        !admission_->Admit(request.tenant, next_arrival_,
+                           metrics_.outstanding_now())) {
+      metrics_.OnShed(next_arrival_, request.tenant);
+      if (recorder_.has_value()) {
+        recorder_->RequestArrived(request.id, request.block,
+                                  /*background=*/false, next_arrival_);
+        recorder_->RequestDone(request.id, obs::RequestOutcome::kShed,
+                               next_arrival_);
+      }
+    } else {
+      metrics_.OnArrival(next_arrival_);
+      DeliverOrFail(request, committed_head);
+    }
+    next_arrival_ += workload_.NextArrivalGap(next_arrival_);
+  }
+  ProcessExpiriesUpTo(until, committed_head);
 }
 
 void Simulator::TraceSweepContents(TapeId tape) {
@@ -311,9 +414,10 @@ SimulationResult Simulator::Run() {
                                   /*background=*/false, 0.0);
       }
       scheduler_->OnArrival(request, jukebox_->head());
+      TrackDeadline(request);
     }
   } else {
-    next_arrival_ = workload_.NextInterarrival();
+    next_arrival_ = workload_.NextArrivalGap(0.0);
   }
   MaybeMarkWarmup();
 
@@ -440,8 +544,16 @@ SimulationResult Simulator::Run() {
     ReadOutcome outcome;
     if (faults_.has_value()) {
       outcome = faults_->NextReadOutcome();
-      // Each transient retry locates back to the block start and re-reads.
+      // Each transient retry waits out its (jittered, exponentially
+      // growing) backoff, then locates back to the block start and
+      // re-reads. Backoff waits are charged as locating time.
       for (int r = 0; r < outcome.retries; ++r) {
+        const double backoff = faults_->NextRetryBackoff(r);
+        if (backoff > 0) {
+          op_seconds += backoff;
+          op_t += backoff;
+          accounting_.ChargeTo(0, obs::DriveActivity::kLocating, op_t);
+        }
         op_seconds += jukebox_->ReadBlockAt(entry->position,
                                             &read_breakdown);
         op_t += read_breakdown.locate;
@@ -492,7 +604,12 @@ SimulationResult Simulator::Run() {
                   catalog_->ReplicasOf(request.block).size())) {
         ++fault_stats_.degraded_reads;
       }
-      metrics_.OnCompletion(request.arrival_time, clock_);
+      metrics_.OnCompletion(request.arrival_time, clock_, request.tenant);
+      if (admission_.has_value()) {
+        admission_->OnCompletion(request.tenant,
+                                 clock_ - request.arrival_time, clock_);
+      }
+      if (deadlines_possible_) deadline_live_.erase(request.id);
       if (recorder_.has_value()) {
         recorder_->RequestDone(request.id,
                                obs::RequestOutcome::kCompleted, clock_);
@@ -512,6 +629,7 @@ SimulationResult Simulator::Run() {
                                       /*background=*/false, clock_);
           }
           scheduler_->OnArrival(next, jukebox_->head());
+          TrackDeadline(next);
         }
       }
     }

@@ -24,12 +24,14 @@
 #include "obs/recorder.h"
 #include "obs/time_in_state.h"
 #include "sched/scheduler.h"
+#include "sim/admission.h"
 #include "sim/event_queue.h"
 #include "sim/fault_model.h"
 #include "sim/metrics.h"
 #include "sim/repair.h"
 #include "sim/workload.h"
 #include "tape/jukebox.h"
+#include "util/flat_hash.h"
 #include "util/status.h"
 
 namespace tapejuke {
@@ -49,6 +51,10 @@ struct SimulationConfig {
   /// Background scrub and repair (disabled by default). Requires fault
   /// injection — without faults there is nothing to scrub for or repair.
   RepairConfig repair;
+  /// Admission control / load shedding (disabled by default: every arrival
+  /// is admitted and output is byte-identical to a build without the
+  /// overload subsystem). Open model only.
+  AdmissionConfig admission;
   /// Observability (disabled by default; never serialized into results
   /// JSON). When enabled the simulator owns a TraceRecorder, feeds it
   /// drive state slices / request lifecycles / scheduler decisions, and
@@ -89,8 +95,23 @@ class Simulator {
 
  private:
   /// Delivers every open-model arrival with timestamp <= `until` to the
-  /// incremental scheduler.
+  /// incremental scheduler, interleaved in time order with deadline-expiry
+  /// events so the outstanding-population integral stays exact.
   void DeliverArrivalsUpTo(double until, Position committed_head);
+
+  /// Pops every expiry event with timestamp <= `until` and evicts the
+  /// queued requests whose deadline has passed. No-op (and no queue
+  /// lookups) when no request can carry a deadline.
+  void ProcessExpiriesUpTo(double until, Position committed_head);
+
+  /// Completes `request` as expired at `now` and, in the closed model,
+  /// lets the issuing process continue like any other settled request.
+  void ExpireRequest(const Request& request, double now,
+                     Position committed_head);
+
+  /// Registers `request`'s deadline with the expiry queue (no-op when it
+  /// has none).
+  void TrackDeadline(const Request& request);
 
   /// Marks the metrics warm-up boundary the first time the clock passes it.
   void MaybeMarkWarmup();
@@ -167,6 +188,16 @@ class Simulator {
 
   /// Closed model with think time: pending regeneration instants.
   EventQueue<char> thinking_;
+
+  /// Overload protection. admission_ is engaged iff
+  /// config_.admission.enabled(). Expiry events carry the request id;
+  /// deadline_live_ filters events whose request already settled (the
+  /// calendar queue has no random deletion). deadlines_possible_ gates the
+  /// whole machinery so deadline-free runs make no extra queue operations.
+  std::optional<AdmissionController> admission_;
+  EventQueue<RequestId> expiries_;
+  FlatSet<RequestId> deadline_live_;
+  bool deadlines_possible_ = false;
 };
 
 }  // namespace tapejuke

@@ -24,16 +24,66 @@ Status WorkloadConfig::Validate() const {
   if (zipf_theta < 0) {
     return Status::InvalidArgument("zipf_theta must be >= 0");
   }
+  if (tenant_classes.size() > 16) {
+    return Status::InvalidArgument("at most 16 tenant classes");
+  }
+  for (const TenantClassConfig& cls : tenant_classes) {
+    if (cls.weight <= 0) {
+      return Status::InvalidArgument("tenant class weight must be > 0");
+    }
+    if (cls.deadline_seconds != 0 && cls.deadline_seconds < 1e-3) {
+      return Status::InvalidArgument(
+          "tenant deadline must be 0 (none) or >= 1ms; sub-millisecond "
+          "deadlines expire faster than any tape service");
+    }
+    if (cls.p99_slo_seconds < 0) {
+      return Status::InvalidArgument("p99 SLO must be >= 0");
+    }
+  }
+  if (diurnal_amplitude < 0 || diurnal_amplitude >= 1) {
+    return Status::InvalidArgument("diurnal_amplitude must be in [0, 1)");
+  }
+  if (diurnal_amplitude > 0 && diurnal_period_seconds <= 0) {
+    return Status::InvalidArgument(
+        "diurnal modulation needs a positive period");
+  }
+  if (burst_interval_seconds < 0 || burst_spread_seconds < 0) {
+    return Status::InvalidArgument("burst knobs must be >= 0");
+  }
+  if (burst_interval_seconds > 0 && burst_size < 1) {
+    return Status::InvalidArgument("bursts need a mean size >= 1");
+  }
+  if (HasOverloadShaping() && model != QueuingModel::kOpen) {
+    return Status::InvalidArgument(
+        "diurnal/burst arrival shaping applies to the open model only");
+  }
   return Status::Ok();
+}
+
+uint64_t DeriveOverloadSeed(uint64_t workload_seed) {
+  uint64_t state = workload_seed ^ 0xdead11e55eedULL;
+  return SplitMix64(&state);
 }
 
 WorkloadGenerator::WorkloadGenerator(const Catalog* catalog,
                                      const WorkloadConfig& config)
-    : catalog_(catalog), config_(config), rng_(config.seed) {
+    : catalog_(catalog),
+      config_(config),
+      rng_(config.seed),
+      overload_rng_(DeriveOverloadSeed(config.seed)) {
   TJ_CHECK(catalog != nullptr);
   const Status status = config.Validate();
   TJ_CHECK(status.ok()) << status.ToString();
   TJ_CHECK_GT(catalog->num_blocks(), 0);
+  if (!config.tenant_classes.empty()) {
+    tenant_cdf_.reserve(config.tenant_classes.size());
+    double cumulative = 0;
+    for (const TenantClassConfig& cls : config.tenant_classes) {
+      cumulative += cls.weight;
+      tenant_cdf_.push_back(cumulative);
+    }
+    for (double& value : tenant_cdf_) value /= cumulative;
+  }
   if (config.skew == SkewModel::kZipf) {
     // Popularity of rank r (0-based) proportional to 1 / (r+1)^theta.
     zipf_cdf_.reserve(static_cast<size_t>(catalog->num_blocks()));
@@ -75,12 +125,103 @@ BlockId WorkloadGenerator::NextBlock() {
                    rng_.UniformUint64(static_cast<uint64_t>(cold)));
 }
 
+uint8_t WorkloadGenerator::NextTenant() {
+  const double u = overload_rng_.UniformDouble();
+  const auto it =
+      std::lower_bound(tenant_cdf_.begin(), tenant_cdf_.end(), u);
+  if (it == tenant_cdf_.end()) {
+    return static_cast<uint8_t>(tenant_cdf_.size() - 1);
+  }
+  return static_cast<uint8_t>(it - tenant_cdf_.begin());
+}
+
 Request WorkloadGenerator::NextRequest(double arrival_time) {
-  return Request{next_id_++, NextBlock(), arrival_time};
+  Request request{next_id_++, NextBlock(), arrival_time};
+  if (!tenant_cdf_.empty()) {
+    request.tenant = NextTenant();
+    const double deadline =
+        config_.tenant_classes[request.tenant].deadline_seconds;
+    if (deadline > 0) request.deadline = arrival_time + deadline;
+  }
+  return request;
 }
 
 double WorkloadGenerator::NextInterarrival() {
   return rng_.Exponential(config_.mean_interarrival_seconds);
+}
+
+double WorkloadGenerator::NextBaseArrival(double now) {
+  if (config_.diurnal_amplitude <= 0) {
+    return now + overload_rng_.Exponential(config_.mean_interarrival_seconds);
+  }
+  // Lewis-Shedler thinning at the peak rate (1 + a) / mean: candidates at
+  // the peak rate, accepted with probability rate(t) / peak.
+  constexpr double kTwoPi = 6.283185307179586;
+  const double a = config_.diurnal_amplitude;
+  const double peak_gap = config_.mean_interarrival_seconds / (1.0 + a);
+  double t = now;
+  for (;;) {
+    t += overload_rng_.Exponential(peak_gap);
+    const double phase = kTwoPi * t / config_.diurnal_period_seconds;
+    const double accept = (1.0 + a * std::sin(phase)) / (1.0 + a);
+    if (overload_rng_.UniformDouble() < accept) return t;
+  }
+}
+
+void WorkloadGenerator::EnsureBurstsUpTo(double horizon) {
+  if (config_.burst_interval_seconds <= 0) return;
+  if (next_burst_onset_ < 0) {
+    next_burst_onset_ =
+        overload_rng_.Exponential(config_.burst_interval_seconds);
+  }
+  bool expanded = false;
+  while (next_burst_onset_ <= horizon) {
+    int64_t extra = 1;
+    if (config_.burst_size > 1.0) {
+      extra += static_cast<int64_t>(
+          overload_rng_.Exponential(config_.burst_size - 1.0));
+    }
+    for (int64_t i = 0; i < extra; ++i) {
+      const double offset =
+          config_.burst_spread_seconds > 0
+              ? overload_rng_.UniformDouble(0.0,
+                                            config_.burst_spread_seconds)
+              : 0.0;
+      burst_queue_.push_back(next_burst_onset_ + offset);
+    }
+    next_burst_onset_ +=
+        overload_rng_.Exponential(config_.burst_interval_seconds);
+    expanded = true;
+  }
+  if (expanded) {
+    // Bursts can overlap when the spread exceeds the onset gap, so keep
+    // the whole unconsumed region sorted, not just the new segment.
+    std::sort(burst_queue_.begin() + static_cast<ptrdiff_t>(burst_head_),
+              burst_queue_.end());
+  }
+}
+
+double WorkloadGenerator::NextArrivalGap(double now) {
+  if (!config_.HasOverloadShaping()) return NextInterarrival();
+  // Candidate base-process arrival; reuse the stashed draw if a burst
+  // arrival preempted it last time.
+  double base = stashed_base_arrival_;
+  if (base < 0) base = NextBaseArrival(now);
+  EnsureBurstsUpTo(base);
+  if (burst_head_ < burst_queue_.size() &&
+      burst_queue_[burst_head_] <= base) {
+    const double t = burst_queue_[burst_head_++];
+    stashed_base_arrival_ = base;
+    if (burst_head_ > 1024 && burst_head_ * 2 > burst_queue_.size()) {
+      burst_queue_.erase(
+          burst_queue_.begin(),
+          burst_queue_.begin() + static_cast<ptrdiff_t>(burst_head_));
+      burst_head_ = 0;
+    }
+    return std::max(0.0, t - now);
+  }
+  stashed_base_arrival_ = -1.0;
+  return std::max(0.0, base - now);
 }
 
 double WorkloadGenerator::NextThinkTime() {

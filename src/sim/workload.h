@@ -43,6 +43,20 @@ enum class SkewModel {
   kZipf,
 };
 
+/// One tenant (priority) class in the overload mix. Class index = position
+/// in WorkloadConfig::tenant_classes; lower index = more protected (the
+/// adaptive admission policy sheds the highest index first).
+struct TenantClassConfig {
+  /// Relative arrival share; normalized across the mix.
+  double weight = 1.0;
+  /// Relative deadline: a request of this class expires
+  /// `deadline_seconds` after arrival if still queued. 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// p99 response-delay target the admission layer defends. 0 = best
+  /// effort (never triggers shedding, shed first under pressure).
+  double p99_slo_seconds = 0.0;
+};
+
 /// Workload parameters.
 struct WorkloadConfig {
   QueuingModel model = QueuingModel::kClosed;
@@ -60,6 +74,30 @@ struct WorkloadConfig {
   /// Zipf exponent (kZipf).
   double zipf_theta = 0.8;
   uint64_t seed = 1;
+
+  /// Tenant mix. Empty = the historical single-class workload: every
+  /// request is tenant 0 with no deadline, and no overload draws are made
+  /// (output stays byte-identical to pre-overload builds).
+  std::vector<TenantClassConfig> tenant_classes;
+  /// Open model: sinusoidal rate modulation. The instantaneous arrival
+  /// rate is (1 + a*sin(2*pi*t/period)) / mean_interarrival_seconds with
+  /// a = diurnal_amplitude in [0, 1). 0 = off.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_seconds = 86400.0;
+  /// Open model: correlated bursts layered on the base process. Burst
+  /// onsets are Poisson with this mean gap (0 = off); each burst adds
+  /// 1 + Exponential(burst_size - 1) extra arrivals spread uniformly over
+  /// [onset, onset + burst_spread_seconds].
+  double burst_interval_seconds = 0.0;
+  double burst_size = 1.0;
+  double burst_spread_seconds = 0.0;
+
+  /// True when any knob that changes arrival timing or request fields
+  /// beyond the historical generator is set.
+  bool HasOverloadShaping() const {
+    return diurnal_amplitude > 0 || burst_interval_seconds > 0;
+  }
+  bool HasTenantClasses() const { return !tenant_classes.empty(); }
 
   Status Validate() const;
 };
@@ -81,11 +119,20 @@ class WorkloadGenerator {
   /// Exposed so tests can drive the boundary directly.
   BlockId ZipfBlockForQuantile(double u) const;
 
-  /// Mints the next request at `arrival_time`.
+  /// Mints the next request at `arrival_time`. With a tenant mix
+  /// configured, also assigns the tenant class (weighted draw from the
+  /// dedicated overload stream) and the absolute deadline.
   Request NextRequest(double arrival_time);
 
   /// Open model: sample the next interarrival gap (seconds).
   double NextInterarrival();
+
+  /// Open model: gap to the next arrival given the current clock. With no
+  /// shaping configured this is exactly NextInterarrival() (same stream,
+  /// same draws); with diurnal modulation and/or bursts it merges the
+  /// thinned base process with the burst process, drawing all shaping
+  /// randomness from the dedicated overload stream.
+  double NextArrivalGap(double now);
 
   /// Closed model: sample a think-time gap (0 when think time is 0).
   double NextThinkTime();
@@ -93,13 +140,39 @@ class WorkloadGenerator {
   const WorkloadConfig& config() const { return config_; }
 
  private:
+  /// Weighted tenant draw from the overload stream (mix is non-empty).
+  uint8_t NextTenant();
+  /// Extends the burst arrival queue with every burst whose onset falls
+  /// at or before `horizon`.
+  void EnsureBurstsUpTo(double horizon);
+  /// Next base-process arrival time from `now` (thinned when diurnal
+  /// modulation is on, plain exponential otherwise).
+  double NextBaseArrival(double now);
+
   const Catalog* catalog_;
   WorkloadConfig config_;
   Rng rng_;
+  /// Dedicated stream for every overload draw (tenant mix, diurnal
+  /// thinning, bursts) so enabling them never perturbs the base block /
+  /// interarrival sequence.
+  Rng overload_rng_;
   RequestId next_id_ = 0;
   /// kZipf: cumulative popularity by block rank.
   std::vector<double> zipf_cdf_;
+  /// Cumulative tenant weights, normalized to [0, 1].
+  std::vector<double> tenant_cdf_;
+  /// Burst process state: pending burst arrival times (sorted, absolute),
+  /// the onset of the next not-yet-expanded burst, and a stashed base
+  /// arrival drawn past a burst that fired first.
+  std::vector<double> burst_queue_;
+  size_t burst_head_ = 0;
+  double next_burst_onset_ = -1.0;
+  double stashed_base_arrival_ = -1.0;
 };
+
+/// Deterministic seed for the overload stream, decorrelated from the main
+/// workload stream the same way DeriveFaultSeed decorrelates faults.
+uint64_t DeriveOverloadSeed(uint64_t workload_seed);
 
 }  // namespace tapejuke
 

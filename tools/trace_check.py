@@ -13,6 +13,8 @@ Checks the structural invariants docs/OBSERVABILITY.md promises:
   * async request spans are balanced: every "b" has a matching "e" on the
     same id, "n" instants land inside an open span, and nothing is left
     open at the end;
+  * request "e" events carry a known lifecycle outcome (completed, failed,
+    expired, shed, open-at-end);
   * the per-drive metadata threads announced by "M" events exist.
 
 Optionally validates a decision JSONL stream (--decision-log): one JSON
@@ -28,6 +30,7 @@ import math
 import sys
 
 KNOWN_PHASES = {"M", "X", "b", "e", "n", "i"}
+KNOWN_OUTCOMES = {"completed", "failed", "expired", "shed", "open-at-end"}
 KNOWN_STATES = {
     "idle",
     "switching",
@@ -83,6 +86,7 @@ def check_trace(path):
     last_slice_end = {}  # tid -> end of the previous X slice, microseconds
     open_spans = set()  # async ids with a 'b' but no 'e' yet
     counts = {phase: 0 for phase in KNOWN_PHASES}
+    outcomes = {name: 0 for name in KNOWN_OUTCOMES}
 
     for index, event in enumerate(events):
         where = "event %d" % index
@@ -137,6 +141,11 @@ def check_trace(path):
                 if span_id not in open_spans:
                     fail("%s: span %r closed without open" % (where, span_id))
                 open_spans.remove(span_id)
+                outcome = event.get("args", {}).get("outcome")
+                if outcome not in KNOWN_OUTCOMES:
+                    fail("%s: span %r closed with unknown outcome %r"
+                         % (where, span_id, outcome))
+                outcomes[outcome] += 1
             else:
                 if span_id not in open_spans:
                     fail("%s: instant on closed span %r" % (where, span_id))
@@ -149,7 +158,7 @@ def check_trace(path):
     if counts["b"] != counts["e"]:
         fail("unbalanced spans: %d 'b' vs %d 'e'" % (counts["b"], counts["e"]))
 
-    return counts
+    return counts, outcomes
 
 
 def check_decision_log(path):
@@ -186,10 +195,14 @@ def main():
                         help="decision JSONL path to validate too")
     args = parser.parse_args()
 
-    counts = check_trace(args.trace)
+    counts, outcomes = check_trace(args.trace)
     summary = ("trace_check: OK: %d slices, %d spans, %d span instants, "
                "%d scheduler instants"
                % (counts["X"], counts["b"], counts["n"], counts["i"]))
+    lifecycle = {name: n for name, n in sorted(outcomes.items()) if n > 0}
+    if lifecycle:
+        summary += ", outcomes " + " ".join(
+            "%s=%d" % item for item in lifecycle.items())
     if args.decision_log is not None:
         decisions = check_decision_log(args.decision_log)
         summary += ", %d decisions" % decisions
