@@ -63,6 +63,12 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
   flags.AddInt64("trace-point", &trace_point,
                  "index of the grid point to trace, in the first sweep "
                  "large enough to contain it");
+  flags.AddString("timeline-out", &timeline_out,
+                  "time-series telemetry JSONL output path for the traced "
+                  "grid point (empty disables the timeline)");
+  flags.AddDouble("timeline-interval", &timeline_interval,
+                  "simulated seconds between timeline samples (required "
+                  "with --timeline-out)");
   const Status status = flags.Parse(argc, argv);
   if (status.code() == StatusCode::kNotFound) {  // --help
     *exit_code = 0;
@@ -90,6 +96,16 @@ bool BenchOptions::Parse(int argc, char** argv, const std::string& summary,
   }
   if (trace_point < 0) {
     std::cerr << "--trace-point must be >= 0\n";
+    *exit_code = 2;
+    return false;
+  }
+  if (timeline_interval < 0) {
+    std::cerr << "--timeline-interval must be >= 0\n";
+    *exit_code = 2;
+    return false;
+  }
+  if (!timeline_out.empty() && timeline_interval <= 0) {
+    std::cerr << "--timeline-out requires a positive --timeline-interval\n";
     *exit_code = 2;
     return false;
   }
@@ -188,6 +204,14 @@ std::vector<ExperimentResult> BenchContext::RunGrid(
       trace_attached_ = true;
     }
   }
+  const obs::TimelineConfig timeline = options_.Timeline();
+  if (timeline.enabled() && !timeline_attached_) {
+    const size_t target = static_cast<size_t>(options_.trace_point);
+    if (target < points.size()) {
+      points[target].sim.timeline = timeline;
+      timeline_attached_ = true;
+    }
+  }
   StatusOr<std::vector<ExperimentResult>> results = runner.Run(points);
   TJ_CHECK(results.ok()) << results.status().ToString();
   std::vector<RecordedPoint> recorded;
@@ -207,6 +231,14 @@ std::vector<FarmResult> BenchContext::RunFarmGrid(
   std::vector<FarmConfig> points;
   points.reserve(grid.size());
   for (const FarmGridPoint& point : grid) points.push_back(point.config);
+  const obs::TimelineConfig timeline = options_.Timeline();
+  if (timeline.enabled() && !timeline_attached_) {
+    const size_t target = static_cast<size_t>(options_.trace_point);
+    if (target < points.size()) {
+      points[target].per_jukebox.sim.timeline = timeline;
+      timeline_attached_ = true;
+    }
+  }
   StatusOr<std::vector<FarmResult>> results = runner.RunFarms(points);
   TJ_CHECK(results.ok()) << results.status().ToString();
   std::vector<RecordedFarmPoint> recorded;

@@ -29,6 +29,7 @@
 #include "core/sweep_runner.h"
 #include "core/tapejuke.h"
 #include "obs/recorder.h"
+#include "obs/timeline.h"
 
 namespace tapejuke {
 namespace bench {
@@ -71,6 +72,12 @@ struct BenchOptions {
   int64_t trace_sample = 1;      ///< --trace-sample (every Nth request)
   int64_t trace_point = 0;       ///< --trace-point (grid index to trace)
 
+  /// Time-series telemetry (docs/OBSERVABILITY.md). Like tracing it is
+  /// opt-in, attaches to the --trace-point grid point, and never changes
+  /// results output.
+  std::string timeline_out;      ///< --timeline-out (JSONL path)
+  double timeline_interval = 0;  ///< --timeline-interval (sim seconds)
+
   /// Parses argv; returns false if the process should exit (help or error;
   /// error sets a nonzero *exit_code).
   bool Parse(int argc, char** argv, const std::string& summary,
@@ -87,6 +94,15 @@ struct BenchOptions {
     config.trace_out = trace_out;
     config.decision_log = decision_log;
     config.sample = trace_sample;
+    return config;
+  }
+
+  /// The timeline configuration implied by these flags (disabled when
+  /// --timeline-out is empty).
+  obs::TimelineConfig Timeline() const {
+    obs::TimelineConfig config;
+    config.out = timeline_out;
+    config.interval_seconds = timeline_interval;
     return config;
   }
 
@@ -221,6 +237,8 @@ class BenchContext {
   BenchOptions options_;
   /// A requested trace has been attached to some grid point already.
   bool trace_attached_ = false;
+  /// A requested timeline has been attached to some grid point already.
+  bool timeline_attached_ = false;
   std::vector<std::vector<RecordedPoint>> sweeps_;
   std::vector<std::vector<RecordedFarmPoint>> farm_sweeps_;
   std::vector<RecordedExtra> extra_results_;

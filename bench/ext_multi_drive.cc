@@ -48,10 +48,12 @@ int Main(int argc, char** argv) {
     SimulationConfig sim_config = base.sim;
     sim_config.workload.queue_length = queue;
     sim_config.workload.seed = ctx.PointSeed(i);
-    // Bespoke-simulator benches attach the trace themselves; point
-    // indices follow RunParallel order (drives-major, queue-minor).
+    // Bespoke-simulator benches attach the trace and timeline
+    // themselves; point indices follow RunParallel order (drives-major,
+    // queue-minor).
     if (i == static_cast<size_t>(options.trace_point)) {
       sim_config.obs = options.Trace();
+      sim_config.timeline = options.Timeline();
     }
     MultiDriveSimulator sim(&jukebox, &catalog, drive_config, sim_config);
     outputs[i].result = sim.Run();

@@ -1,17 +1,38 @@
 #include "core/farm.h"
 
 #include <algorithm>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "core/sweep_runner.h"
+#include "obs/timeline.h"
 #include "sim/multi_drive.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 namespace tapejuke {
+
+namespace {
+
+/// "dir/farm.jsonl" + box 2 -> "dir/farm.box2.jsonl" (appends when the
+/// base name has no extension).
+std::string BoxTimelinePath(const std::string& base, int32_t box) {
+  const size_t slash = base.find_last_of('/');
+  const size_t dot = base.find_last_of('.');
+  const std::string tag = ".box" + std::to_string(box);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + tag;
+  }
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
+}  // namespace
 
 Status FarmConfig::Validate() const {
   if (num_jukeboxes < 1) {
@@ -48,6 +69,25 @@ struct FarmSimulator::BoxOutput {
   SimulationResult result;
   MetricsCollector metrics;
   JukeboxCounters counters;
+  /// Buffered timeline capture (empty unless the farm timeline is on).
+  /// Boxes run with buffer_only so the farm can write per-box files plus
+  /// one merged, fixed-order farm timeline after the parallel phase.
+  std::string timeline_header;
+  std::vector<obs::TimelineSampler::Row> timeline_rows;
+  std::string timeline_summary_json;
+  obs::TimelineSummary timeline_summary;
+  std::vector<std::string> timeline_counter_names;
+
+  template <typename Sim>
+  void CaptureTimeline(const Sim& sim) {
+    const obs::TimelineSampler* timeline = sim.timeline();
+    if (timeline == nullptr) return;
+    timeline_header = timeline->header_json();
+    timeline_rows = timeline->rows();
+    timeline_summary_json = timeline->summary_json();
+    timeline_summary = timeline->summary();
+    timeline_counter_names = timeline->counter_names();
+  }
 };
 
 FarmSimulator::FarmSimulator(const FarmConfig& config) : config_(config) {
@@ -57,6 +97,13 @@ FarmSimulator::FarmSimulator(const FarmConfig& config) : config_(config) {
 
 ExperimentConfig FarmSimulator::BoxConfig(int32_t index) const {
   ExperimentConfig cfg = config_.per_jukebox;
+  if (cfg.sim.timeline.enabled()) {
+    // Boxes buffer their rows (stamped with the box index) instead of
+    // writing; the farm writes per-box and merged files after the run.
+    cfg.sim.timeline.buffer_only = true;
+    cfg.sim.timeline.box = index;
+    cfg.sim.timeline.out.clear();
+  }
   WorkloadConfig& workload = cfg.sim.workload;
   const int64_t n = config_.num_jukeboxes;
   if (workload.model == QueuingModel::kClosed) {
@@ -85,7 +132,9 @@ FarmSimulator::BoxOutput FarmSimulator::RunBox(int32_t index) const {
         CreateScheduler(cfg.algorithm, &jukebox, &catalog.value());
     Simulator sim(&jukebox, &catalog.value(), scheduler.get(), cfg.sim);
     SimulationResult result = sim.Run();
-    return BoxOutput{std::move(result), sim.metrics(), jukebox.counters()};
+    BoxOutput out{std::move(result), sim.metrics(), jukebox.counters()};
+    out.CaptureTimeline(sim);
+    return out;
   }
   MultiDriveConfig drives;
   drives.num_drives = config_.drives_per_jukebox;
@@ -94,7 +143,9 @@ FarmSimulator::BoxOutput FarmSimulator::RunBox(int32_t index) const {
   drives.options = cfg.algorithm.options;
   MultiDriveSimulator sim(&jukebox, &catalog.value(), drives, cfg.sim);
   SimulationResult result = sim.Run();
-  return BoxOutput{std::move(result), sim.metrics(), sim.counters()};
+  BoxOutput out{std::move(result), sim.metrics(), sim.counters()};
+  out.CaptureTimeline(sim);
+  return out;
 }
 
 FarmResult FarmSimulator::Run() {
@@ -194,7 +245,100 @@ FarmResult FarmSimulator::Run() {
     result.mean_outstanding_per_jukebox.push_back(
         measured > 0 ? out->metrics.outstanding_area() / measured : 0.0);
   }
+
+  WriteTimelines(outputs);
   return result;
+}
+
+void FarmSimulator::WriteTimelines(
+    const std::vector<std::unique_ptr<BoxOutput>>& outputs) const {
+  const obs::TimelineConfig& timeline = config_.per_jukebox.sim.timeline;
+  if (!timeline.enabled() || timeline.out.empty()) return;
+  const int32_t n = config_.num_jukeboxes;
+
+  const auto warn = [](const Status& status) {
+    // Timeline output must never fail the run.
+    if (!status.ok()) {
+      std::cerr << "warning: timeline output failed: " << status.ToString()
+                << '\n';
+    }
+  };
+
+  // Per-box documents, exactly as a standalone run would have written
+  // them (rows carry the box index).
+  for (int32_t i = 0; i < n; ++i) {
+    const BoxOutput& box = *outputs[static_cast<size_t>(i)];
+    std::string doc = box.timeline_header + "\n";
+    for (const obs::TimelineSampler::Row& row : box.timeline_rows) {
+      doc += row.json;
+      doc += "\n";
+    }
+    doc += box.timeline_summary_json + "\n";
+    warn(WriteTextFile(BoxTimelinePath(timeline.out, i), doc));
+  }
+
+  // Merged farm timeline: every box's rows interleaved in simulated-time
+  // order. Rows are concatenated in box order first and the sort is
+  // stable, so equal-time rows keep box order and the document is
+  // byte-identical at any thread count.
+  struct MergedRow {
+    double t;
+    const std::string* json;
+  };
+  std::vector<MergedRow> merged;
+  for (const auto& out : outputs) {
+    for (const obs::TimelineSampler::Row& row : out->timeline_rows) {
+      merged.push_back({row.t, &row.json});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const MergedRow& a, const MergedRow& b) {
+                     return a.t < b.t;
+                   });
+
+  // Farm summary: samples and final counters sum across boxes; the peaks
+  // are per-box maxima (box queues need not peak simultaneously).
+  obs::TimelineSummary farm;
+  for (const auto& out : outputs) {
+    const obs::TimelineSummary& s = out->timeline_summary;
+    farm.samples += s.samples;
+    farm.peak_queue_depth =
+        std::max(farm.peak_queue_depth, s.peak_queue_depth);
+    farm.worst_window_p99 =
+        std::max(farm.worst_window_p99, s.worst_window_p99);
+    if (farm.final_counters.empty()) {
+      farm.final_counters = s.final_counters;
+    } else {
+      TJ_CHECK_EQ(farm.final_counters.size(), s.final_counters.size());
+      for (size_t c = 0; c < s.final_counters.size(); ++c) {
+        farm.final_counters[c] += s.final_counters[c];
+      }
+    }
+  }
+  const std::vector<std::string>& names =
+      outputs.front()->timeline_counter_names;
+  std::string summary = "{\"kind\":\"summary\",\"boxes\":" +
+                        std::to_string(n) + ",\"timeline_samples\":" +
+                        std::to_string(farm.samples) +
+                        ",\"peak_queue_depth\":" +
+                        JsonDouble(farm.peak_queue_depth) +
+                        ",\"worst_window_p99\":" +
+                        JsonDouble(farm.worst_window_p99) +
+                        ",\"final_counters\":{";
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (c > 0) summary += ",";
+    summary += "\"" + JsonEscape(names[c]) +
+               "\":" + std::to_string(farm.final_counters[c]);
+  }
+  summary += "}}";
+
+  std::string doc = outputs.front()->timeline_header + "\n";
+  for (const MergedRow& row : merged) {
+    doc += *row.json;
+    doc += "\n";
+  }
+  doc += summary + "\n";
+  warn(WriteTextFile(timeline.out, doc));
 }
 
 }  // namespace tapejuke

@@ -27,6 +27,7 @@
 #ifndef TAPEJUKE_CORE_FARM_H_
 #define TAPEJUKE_CORE_FARM_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/experiment.h"
@@ -87,6 +88,14 @@ class FarmSimulator {
 
   /// Runs one box to completion on its backend simulator.
   BoxOutput RunBox(int32_t index) const;
+
+  /// When per_jukebox.sim.timeline names an output file, writes the
+  /// per-box timelines ("out.boxN.jsonl") plus one merged farm timeline
+  /// at the configured path: box rows interleaved in simulated-time order
+  /// (stable in box order at equal times, so the file is byte-identical
+  /// at any thread count) and a farm-wide summary line.
+  void WriteTimelines(
+      const std::vector<std::unique_ptr<BoxOutput>>& outputs) const;
 
   FarmConfig config_;
   bool ran_ = false;

@@ -262,6 +262,10 @@ std::string TraceRecorder::RenderTraceJson() const {
 }
 
 Status TraceRecorder::Finalize(double end_time) {
+  TJ_CHECK(!finalized_)
+      << "TraceRecorder::Finalize called twice (it closes open spans and "
+         "writes the output files, so it must run exactly once)";
+  finalized_ = true;
   if (trace_enabled()) {
     // Close spans still open at the end of the run so every 'b' has a
     // matching 'e'; sorted by id for deterministic output.

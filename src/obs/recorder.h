@@ -95,7 +95,9 @@ class TraceRecorder : public DecisionSink {
   void RecordDecision(const DecisionRecord& record) override;
 
   /// Closes still-open request spans at `end_time`, then writes the
-  /// trace JSON and decision log files.
+  /// trace JSON and decision log files. Call exactly once: a second call
+  /// is a bug (it would re-close spans and re-write the outputs) and
+  /// TJ_CHECK-fails.
   Status Finalize(double end_time);
 
   // Introspection for tests.
@@ -126,6 +128,7 @@ class TraceRecorder : public DecisionSink {
   std::unordered_map<int64_t, bool> open_requests_;
   std::vector<std::string> decision_lines_;
   int64_t decisions_recorded_ = 0;
+  bool finalized_ = false;
 };
 
 // Perfetto thread ids: drives are 1..num_drives, then the scheduler and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/check.h"
 
@@ -48,12 +49,48 @@ void MetricsCollector::ConfigureClasses(int num_classes) {
   }
 }
 
+void MetricsCollector::AttachTimeline(obs::StatRegistry* registry) {
+  registry->AddCounter("issued", [this] { return issued_total_; });
+  registry->AddCounter("completed", [this] { return completed_total_; });
+  registry->AddCounter("failed", [this] { return failed_total_; });
+  registry->AddCounter("expired", [this] { return expired_total_; });
+  registry->AddCounter("shed", [this] { return shed_total_; });
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    const std::string prefix = "class" + std::to_string(i);
+    // Per-class counts are post-warm-up, matching TenantClassResult.
+    registry->AddCounter(prefix + "_completed",
+                         [this, i] { return classes_[i].completed; });
+    registry->AddCounter(prefix + "_expired",
+                         [this, i] { return classes_[i].expired; });
+    registry->AddCounter(prefix + "_shed",
+                         [this, i] { return classes_[i].shed; });
+  }
+  registry->AddGauge("outstanding", [this] {
+    return static_cast<double>(outstanding_);
+  });
+  timeline_delay_ =
+      registry->AddWindow("delay", 0.0, kDelayHistMax, kDelayHistBuckets);
+  timeline_class_delay_.clear();
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    timeline_class_delay_.push_back(
+        registry->AddWindow("class" + std::to_string(i) + "_delay", 0.0,
+                            kDelayHistMax, kDelayHistBuckets));
+  }
+}
+
 void MetricsCollector::OnCompletion(double arrival, double now, int tenant) {
   TJ_CHECK_LE(arrival, now + 1e-9);
   AccumulateOutstandingArea(now);
   --outstanding_;
   TJ_CHECK_GE(outstanding_, 0);
   ++completed_total_;
+  if (timeline_delay_ != nullptr) {
+    timeline_delay_->Add(now - arrival);
+    if (!timeline_class_delay_.empty()) {
+      TJ_CHECK_LT(static_cast<size_t>(tenant), timeline_class_delay_.size());
+      timeline_class_delay_[static_cast<size_t>(tenant)]->Add(now - arrival);
+    }
+  }
   if (now <= warmup_seconds_) return;
   ++completed_;
   delay_.Add(now - arrival);

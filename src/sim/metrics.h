@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/time_in_state.h"
+#include "obs/timeline.h"
 #include "sim/fault_model.h"
 #include "sim/repair.h"
 #include "tape/jukebox.h"
@@ -121,6 +122,14 @@ class MetricsCollector {
   /// passed via their `tenant` argument.
   void ConfigureClasses(int num_classes);
 
+  /// Registers this collector's probes into a timeline registry: the
+  /// whole-run conservation counters (issued/completed/failed/expired/
+  /// shed), the outstanding gauge, a windowed whole-run delay histogram,
+  /// and — when classes are configured — per-class counters (post-warm-up,
+  /// like the end-of-run TenantClassResult counts) plus per-class delay
+  /// windows. Call after ConfigureClasses and before the first sample.
+  void AttachTimeline(obs::StatRegistry* registry);
+
   /// Records a request arrival at time `now`.
   void OnArrival(double now);
 
@@ -218,6 +227,15 @@ class MetricsCollector {
 
   bool warmup_marked_ = false;
   JukeboxCounters warmup_counters_;
+
+  /// Non-owning timeline windows (owned by the sampler's StatRegistry),
+  /// fed in OnCompletion regardless of warm-up — the timeline shows the
+  /// whole run. Copies of a collector (the farm snapshots per-box
+  /// collectors into its BoxOutput) carry stale pointers, but copies
+  /// never observe events and Merge/Finalize never touch the windows, so
+  /// the pointers are never dereferenced after the source run ends.
+  obs::WindowStat* timeline_delay_ = nullptr;
+  std::vector<obs::WindowStat*> timeline_class_delay_;
 };
 
 }  // namespace tapejuke

@@ -62,6 +62,7 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox,
     admission_.emplace(sim_config_.admission,
                        sim_config_.workload.tenant_classes);
   }
+  SetupTimeline();
 }
 
 MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
@@ -115,6 +116,47 @@ MultiDriveSimulator::MultiDriveSimulator(Jukebox* jukebox, Catalog* catalog,
   if (sim_config_.admission.enabled()) {
     admission_.emplace(sim_config_.admission,
                        sim_config_.workload.tenant_classes);
+  }
+  SetupTimeline();
+}
+
+void MultiDriveSimulator::SetupTimeline() {
+  if (!sim_config_.timeline.enabled()) return;
+  timeline_.emplace(sim_config_.timeline);
+  obs::StatRegistry* reg = timeline_->registry();
+  reg->AddGauge("queue_depth", [this] {
+    return static_cast<double>(pending_.size());
+  });
+  reg->AddGauge("sweep_depth", [this] {
+    size_t depth = 0;
+    for (const DriveState& ds : drives_) depth += ds.sweep.size();
+    return static_cast<double>(depth);
+  });
+  reg->AddGauge("shed_level", [this] {
+    return admission_.has_value() ? static_cast<double>(admission_->shed_level())
+                                  : 0.0;
+  });
+  reg->AddGauge("live_replica_fraction", [this] {
+    const int64_t total = catalog_->TotalCopies();
+    if (total <= 0) return 1.0;
+    return static_cast<double>(total - catalog_->dead_replicas()) /
+           static_cast<double>(total);
+  });
+  // Scrub/repair is single-drive only; the gauge stays so the schema is
+  // uniform across simulators.
+  reg->AddGauge("repair_backlog", [] { return 0.0; });
+  metrics_.AttachTimeline(reg);
+  for (int s = 0; s < obs::kNumDriveActivities; ++s) {
+    const std::string name =
+        std::string("state_") +
+        obs::DriveActivityName(static_cast<obs::DriveActivity>(s));
+    reg->AddAccum(name, [this, s] {
+      double total = 0;
+      for (const obs::DriveTimeInState& drive : accounting_.per_drive()) {
+        total += drive.seconds[static_cast<size_t>(s)];
+      }
+      return total;
+    });
   }
 }
 
@@ -569,6 +611,10 @@ SimulationResult MultiDriveSimulator::Run() {
                                    : kInf;
     const double next = std::min({event_time, arrival_time, expiry_time});
     if (next == kInf || next > sim_config_.duration_seconds) break;
+    // Timeline samples due before the next event read the state as of
+    // their sample time. Pure observation: the sampler never advances
+    // clock_, wakes a drive, or marks warm-up, so results are unchanged.
+    if (timeline_.has_value()) timeline_->SampleUpTo(next);
     clock_ = next;
 
     if (expiry_time <= event_time && expiry_time <= arrival_time) {
@@ -668,6 +714,15 @@ SimulationResult MultiDriveSimulator::Run() {
     FlushCharges(static_cast<int>(d), clock_);
   }
   accounting_.FinishAt(clock_);
+  if (timeline_.has_value()) {
+    // After accounting_.FinishAt so the final row's time-in-state deltas
+    // cover the whole run. Timeline output must never fail the run.
+    const Status timeline_status = timeline_->FinishAt(clock_);
+    if (!timeline_status.ok()) {
+      std::cerr << "warning: timeline output failed: "
+                << timeline_status.ToString() << "\n";
+    }
+  }
   SimulationResult result = metrics_.Finalize(clock_, counters_, &accounting_);
   if (faults_.has_value()) {
     result.fault_injection = true;

@@ -92,6 +92,13 @@ class MultiDriveSimulator {
   const MetricsCollector& metrics() const { return metrics_; }
   const JukeboxCounters& counters() const { return counters_; }
 
+  /// Buffered timeline rows/summary, for callers that merge per-box
+  /// timelines (the farm). Null unless sim.timeline is enabled; valid
+  /// after Run.
+  const obs::TimelineSampler* timeline() const {
+    return timeline_.has_value() ? &*timeline_ : nullptr;
+  }
+
  private:
   struct DriveState {
     explicit DriveState(const TimingModel* model) : unit(model) {}
@@ -192,6 +199,10 @@ class MultiDriveSimulator {
   /// Emits scheduled-into-sweep instants for drive `d`'s just-built sweep.
   void TraceSweepContents(int d, TapeId tape, double now);
 
+  /// Engages the timeline sampler and registers every probe. Must run
+  /// last in both constructors, after the optional subsystems are engaged.
+  void SetupTimeline();
+
   Jukebox* jukebox_;
   const Catalog* catalog_;
   /// Non-null only via the mutable-catalog constructor (fault injection).
@@ -236,6 +247,11 @@ class MultiDriveSimulator {
   obs::TimeInStateAccounting accounting_;
   /// Engaged only when sim.obs asks for output (tracing is opt-in).
   std::optional<obs::TraceRecorder> recorder_;
+  /// Engaged iff sim.timeline.enabled(). Samples are emitted before each
+  /// main-loop event is processed — pure observation, never a clock
+  /// advance, drive wake-up, or warm-up mark, so enabling the timeline
+  /// cannot change simulation results.
+  std::optional<obs::TimelineSampler> timeline_;
 };
 
 }  // namespace tapejuke

@@ -158,6 +158,10 @@ class RepairManager {
 
   const RepairStats& stats() const { return stats_; }
 
+  /// Repair tasks discovered but not yet completed (timeline backlog
+  /// gauge).
+  int64_t outstanding_tasks() const { return outstanding_tasks_; }
+
   /// Observability: attaches the run's trace recorder. The manager emits
   /// scheduler-track instants for scrub-pass completions and finished
   /// repairs, and opens lifecycle spans for its background source reads.

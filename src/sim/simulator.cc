@@ -14,6 +14,13 @@ Status SimulationConfig::Validate() const {
   if (obs.sample < 1) {
     return Status::InvalidArgument("trace sample must be >= 1");
   }
+  if (timeline.interval_seconds < 0) {
+    return Status::InvalidArgument("timeline interval must be >= 0");
+  }
+  if (!timeline.out.empty() && timeline.interval_seconds <= 0) {
+    return Status::InvalidArgument(
+        "timeline output requires a positive --timeline-interval");
+  }
   if (warmup_seconds < 0 || warmup_seconds >= duration_seconds) {
     return Status::InvalidArgument(
         "warmup must be in [0, duration_seconds)");
@@ -64,6 +71,7 @@ Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
   if (config_.admission.enabled()) {
     admission_.emplace(config_.admission, config_.workload.tenant_classes);
   }
+  SetupTimeline();
 }
 
 Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
@@ -109,6 +117,7 @@ Simulator::Simulator(Jukebox* jukebox, Catalog* catalog, Scheduler* scheduler,
   if (config_.admission.enabled()) {
     admission_.emplace(config_.admission, config_.workload.tenant_classes);
   }
+  SetupTimeline();
 }
 
 Simulator::Simulator(Jukebox* jukebox, const Catalog* catalog,
@@ -173,16 +182,25 @@ void Simulator::ExpireRequest(const Request& request, double now,
 }
 
 void Simulator::ProcessExpiriesUpTo(double until, Position committed_head) {
-  if (!deadlines_possible_) return;
-  while (auto event = expiries_.PopUntil(until)) {
-    // Stale events (the request completed, failed, or was evicted by an
-    // earlier sweep) are skipped; requests currently inside the active
-    // sweep are left to finish and their event simply expires unused.
-    if (!deadline_live_.contains(event->second)) continue;
-    for (const Request& request : scheduler_->EvictExpired(event->first)) {
-      ExpireRequest(request, event->first, committed_head);
+  if (!deadlines_possible_ && !timeline_.has_value()) return;
+  if (deadlines_possible_) {
+    while (auto event = expiries_.PopUntil(until)) {
+      // Timeline samples due before this expiry read the queue state as it
+      // was at their sample time, keeping rows in strict time order.
+      if (timeline_.has_value()) timeline_->SampleUpTo(event->first);
+      // Stale events (the request completed, failed, or was evicted by an
+      // earlier sweep) are skipped; requests currently inside the active
+      // sweep are left to finish and their event simply expires unused.
+      if (!deadline_live_.contains(event->second)) continue;
+      for (const Request& request : scheduler_->EvictExpired(event->first)) {
+        ExpireRequest(request, event->first, committed_head);
+      }
     }
   }
+  // This runs before every clock advance (each run-loop path delivers
+  // arrivals up to its end time first), so sampling here covers the whole
+  // run; a sample due exactly at `until` fires before that event settles.
+  if (timeline_.has_value()) timeline_->SampleUpTo(until);
 }
 
 void Simulator::IssueClosedRequest(double now, Position committed_head) {
@@ -384,6 +402,46 @@ void Simulator::TraceSweepContents(TapeId tape) {
     for (const Request& request : entry.requests) {
       recorder_->RequestScheduled(request.id, tape, clock_);
     }
+  }
+}
+
+void Simulator::SetupTimeline() {
+  if (!config_.timeline.enabled()) return;
+  timeline_.emplace(config_.timeline);
+  obs::StatRegistry* reg = timeline_->registry();
+  reg->AddGauge("queue_depth", [this] {
+    return static_cast<double>(scheduler_->pending_size());
+  });
+  reg->AddGauge("sweep_depth", [this] {
+    return static_cast<double>(scheduler_->sweep_size());
+  });
+  reg->AddGauge("shed_level", [this] {
+    return admission_.has_value() ? static_cast<double>(admission_->shed_level())
+                                  : 0.0;
+  });
+  reg->AddGauge("live_replica_fraction", [this] {
+    const int64_t total = catalog_->TotalCopies();
+    if (total <= 0) return 1.0;
+    return static_cast<double>(total - catalog_->dead_replicas()) /
+           static_cast<double>(total);
+  });
+  reg->AddGauge("repair_backlog", [this] {
+    return repair_.has_value()
+               ? static_cast<double>(repair_->outstanding_tasks())
+               : 0.0;
+  });
+  metrics_.AttachTimeline(reg);
+  for (int s = 0; s < obs::kNumDriveActivities; ++s) {
+    const std::string name =
+        std::string("state_") +
+        obs::DriveActivityName(static_cast<obs::DriveActivity>(s));
+    reg->AddAccum(name, [this, s] {
+      double total = 0;
+      for (const obs::DriveTimeInState& drive : accounting_.per_drive()) {
+        total += drive.seconds[static_cast<size_t>(s)];
+      }
+      return total;
+    });
   }
 }
 
@@ -651,6 +709,15 @@ SimulationResult Simulator::Run() {
   if (repair_.has_value()) {
     result.repair_enabled = true;
     result.repair = repair_->Finalize();
+  }
+  if (timeline_.has_value()) {
+    // After accounting_.FinishAt so the final row's time-in-state deltas
+    // cover the whole run. Timeline output must never fail the run.
+    const Status timeline_status = timeline_->FinishAt(clock_);
+    if (!timeline_status.ok()) {
+      std::cerr << "warning: timeline output failed: "
+                << timeline_status.ToString() << '\n';
+    }
   }
   if (recorder_.has_value()) {
     const Status obs_status = recorder_->Finalize(clock_);

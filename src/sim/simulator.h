@@ -60,6 +60,12 @@ struct SimulationConfig {
   /// drive state slices / request lifecycles / scheduler decisions, and
   /// writes the configured files at the end of Run.
   obs::TraceConfig obs;
+  /// Time-series telemetry (disabled by default; never serialized into
+  /// results JSON). When enabled the simulator owns a TimelineSampler,
+  /// samples every registered stat on a fixed simulated-time cadence, and
+  /// writes one JSONL timeline at the end of Run. Results JSON stays
+  /// byte-identical with the timeline on or off.
+  obs::TimelineConfig timeline;
 
   Status Validate() const;
 };
@@ -92,6 +98,13 @@ class Simulator {
   /// Raw metrics collector, for callers that aggregate several runs into
   /// one result (the farm merges per-box collectors). Valid after Run.
   const MetricsCollector& metrics() const { return metrics_; }
+
+  /// Buffered timeline rows/summary, for callers that merge per-box
+  /// timelines (the farm). Null unless config.timeline is enabled; valid
+  /// after Run.
+  const obs::TimelineSampler* timeline() const {
+    return timeline_.has_value() ? &*timeline_ : nullptr;
+  }
 
  private:
   /// Delivers every open-model arrival with timestamp <= `until` to the
@@ -153,6 +166,12 @@ class Simulator {
   /// sweep (called right after a major reschedule); no-op unless tracing.
   void TraceSweepContents(TapeId tape);
 
+  /// Engages the timeline sampler and registers every probe (scheduler
+  /// depths, admission state, repair backlog, replica health, metrics
+  /// counters/windows, time-in-state accums). Must run last in every
+  /// constructor, after the optional subsystems are engaged.
+  void SetupTimeline();
+
   Jukebox* jukebox_;
   const Catalog* catalog_;
   /// Non-null only via the mutable-catalog constructor; required (and
@@ -167,6 +186,9 @@ class Simulator {
   obs::TimeInStateAccounting accounting_;
   /// Engaged iff config_.obs.enabled().
   std::optional<obs::TraceRecorder> recorder_;
+  /// Engaged iff config_.timeline.enabled(); probes registered by
+  /// SetupTimeline at the end of construction.
+  std::optional<obs::TimelineSampler> timeline_;
 
   /// Engaged iff config_.faults.enabled().
   std::optional<FaultModel> faults_;

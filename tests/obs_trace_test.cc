@@ -236,5 +236,14 @@ TEST(TraceRecorder, DisabledConfigRecordsNothing) {
   EXPECT_TRUE(recorder.Finalize(3.0).ok());
 }
 
+TEST(TraceRecorder, FinalizeTwiceIsFatal) {
+  // Regression: Finalize closes the open spans and writes the files, so a
+  // second call would double-close spans and truncate the output. It must
+  // trip a check instead of silently rewriting.
+  obs::TraceRecorder recorder(obs::TraceConfig{});
+  EXPECT_TRUE(recorder.Finalize(3.0).ok());
+  EXPECT_DEATH((void)recorder.Finalize(4.0), "called twice");
+}
+
 }  // namespace
 }  // namespace tapejuke

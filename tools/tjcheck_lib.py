@@ -1,0 +1,80 @@
+"""Shared helpers for the tools/*_check.py validators.
+
+Each checker passes its tool name (the prefix of every FAIL/OK message)
+into these helpers so output stays greppable per tool:
+
+    trace_check: FAIL: cannot parse trace.json: ...
+    timeline_check: OK: 400 samples ...
+"""
+
+import json
+import sys
+
+
+def fail(tool, message):
+    """Prints a one-line failure and exits nonzero."""
+    print("%s: FAIL: %s" % (tool, message), file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json_file(tool, path):
+    """Loads one JSON document, failing with the tool's prefix."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(tool, "cannot parse %s: %s" % (path, error))
+
+
+def iter_jsonl(tool, path):
+    """Yields (line_number, record) for each non-blank JSONL line.
+
+    Fails on unreadable files, unparsable lines, and non-object records.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as error:
+        fail(tool, "cannot read %s: %s" % (path, error))
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(tool, "%s:%d: bad JSON: %s" % (path, number, error))
+        if not isinstance(record, dict):
+            fail(tool, "%s:%d: not an object" % (path, number))
+        yield number, record
+
+
+def results_point(tool, doc, point=0):
+    """Returns the SimulationResult object of one bench results point.
+
+    Navigates sweeps[0][point].result (docs/RESULTS.md schema) and
+    descends into the nested "sim" (ExperimentResult) or "aggregate"
+    (FarmResult) object when present, falling back to extra_results for
+    bespoke-simulator benches that record flat SimulationResults.
+    """
+    sweeps = doc.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        extras = doc.get("extra_results")
+        if not isinstance(extras, list) or point >= len(extras):
+            fail(tool, "results document has no sweeps or extra_results "
+                       "point %d" % point)
+        result = extras[point].get("result")
+        if not isinstance(result, dict):
+            fail(tool, "results point %d has no result object" % point)
+        return result
+    first = sweeps[0]
+    if not isinstance(first, list) or point >= len(first):
+        fail(tool, "results sweep 0 has no point %d" % point)
+    result = first[point].get("result")
+    if not isinstance(result, dict):
+        fail(tool, "results point %d has no result object" % point)
+    if isinstance(result.get("sim"), dict):
+        return result["sim"]
+    if isinstance(result.get("aggregate"), dict):
+        return result["aggregate"]
+    return result

@@ -25,9 +25,12 @@ Exits nonzero with a message on the first violation.
 """
 
 import argparse
-import json
 import math
-import sys
+
+from tjcheck_lib import fail as lib_fail
+from tjcheck_lib import iter_jsonl, load_json_file
+
+TOOL = "trace_check"
 
 KNOWN_PHASES = {"M", "X", "b", "e", "n", "i"}
 KNOWN_OUTCOMES = {"completed", "failed", "expired", "shed", "open-at-end"}
@@ -63,16 +66,11 @@ def overlap_epsilon_us(at):
 
 
 def fail(message):
-    print("trace_check: FAIL: %s" % message, file=sys.stderr)
-    sys.exit(1)
+    lib_fail(TOOL, message)
 
 
 def check_trace(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as error:
-        fail("cannot parse %s: %s" % (path, error))
+    doc = load_json_file(TOOL, path)
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -163,27 +161,13 @@ def check_trace(path):
 
 def check_decision_log(path):
     lines = 0
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            for number, line in enumerate(f, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as error:
-                    fail("%s:%d: bad JSON: %s" % (path, number, error))
-                if not isinstance(record, dict):
-                    fail("%s:%d: not an object" % (path, number))
-                missing = DECISION_KEYS - set(record)
-                if missing:
-                    fail("%s:%d: missing keys %s"
-                         % (path, number, sorted(missing)))
-                if not isinstance(record["candidates"], list):
-                    fail("%s:%d: candidates is not a list" % (path, number))
-                lines += 1
-    except OSError as error:
-        fail("cannot read %s: %s" % (path, error))
+    for number, record in iter_jsonl(TOOL, path):
+        missing = DECISION_KEYS - set(record)
+        if missing:
+            fail("%s:%d: missing keys %s" % (path, number, sorted(missing)))
+        if not isinstance(record["candidates"], list):
+            fail("%s:%d: candidates is not a list" % (path, number))
+        lines += 1
     return lines
 
 
